@@ -1,0 +1,71 @@
+package heterogen_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen"
+)
+
+func TestPublicTranspile(t *testing.T) {
+	src := `
+int top(int in) {
+    long double in_ld = in;
+    in_ld = in_ld + 1;
+    return (int)in_ld;
+}`
+	res, err := heterogen.Transpile(src, heterogen.Options{
+		Kernel: "top",
+		Fuzz:   heterogen.FuzzOptions{Seed: 1, MaxExecs: 120, Plateau: 50, TypedMutation: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible || !res.BehaviorOK {
+		t.Fatalf("transpile failed: %v", res.Repair.Remaining)
+	}
+	if !strings.Contains(res.Source, "fpga_float") {
+		t.Errorf("source:\n%s", res.Source)
+	}
+}
+
+func TestPublicCheck(t *testing.T) {
+	rep, err := heterogen.Check(`void k(int n) { int a[n]; a[0] = 1; }`, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("VLA must be diagnosed")
+	}
+	if !rep.HasClass(heterogen.ClassDynamicData) {
+		t.Errorf("diagnostics: %v", rep.Diags)
+	}
+}
+
+func TestPublicGenerateTests(t *testing.T) {
+	camp, err := heterogen.GenerateTests(`
+int kernel(int x) {
+    if (x > 10) { return 1; }
+    return 0;
+}`, "kernel", heterogen.FuzzOptions{Seed: 1, MaxExecs: 200, Plateau: 80, TypedMutation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Coverage < 1.0 {
+		t.Errorf("coverage %.2f", camp.Coverage)
+	}
+}
+
+func TestPublicParseAndPrint(t *testing.T) {
+	u, err := heterogen.Parse(`int f(int a) { return a + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := heterogen.PrintUnit(u)
+	if !strings.Contains(out, "return a + 1;") {
+		t.Errorf("print: %q", out)
+	}
+	if _, err := heterogen.Parse("int f("); err == nil {
+		t.Error("parse error must surface")
+	}
+}

@@ -1,0 +1,23 @@
+package heterogen_test
+
+import (
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls/sim"
+	"github.com/hetero/heterogen/internal/profile"
+)
+
+// profileGenerate runs the bitwidth profiler and returns the narrowed
+// initial version.
+func profileGenerate(u *cast.Unit, kernel string, tests []fuzz.TestCase) (*cast.Unit, error) {
+	res, err := profile.Generate(u, kernel, tests)
+	if err != nil {
+		return nil, err
+	}
+	return res.Unit, nil
+}
+
+// estimateFF returns the flip-flop component of the resource estimate.
+func estimateFF(u *cast.Unit) int {
+	return sim.Estimate(u).FF
+}

@@ -1,0 +1,79 @@
+// Command heterogen transpiles a C program to HLS-C: it generates tests,
+// profiles bitwidths, and runs the dependence-guided repair search,
+// writing the repaired HLS-C source and a report.
+//
+// Usage:
+//
+//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] input.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hetero/heterogen"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "top/kernel function to transpile (required)")
+	host := flag.String("host", "", "optional host entry point for seed capture")
+	out := flag.String("out", "", "output file for the HLS-C source (default stdout)")
+	report := flag.String("report", "", "write a markdown transpilation report to this file")
+	quick := flag.Bool("quick", false, "small fuzzing budget (fast, lower coverage)")
+	verbose := flag.Bool("v", false, "print the edit log and diagnostics")
+	flag.Parse()
+
+	if *kernel == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] input.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := heterogen.Options{Kernel: *kernel, HostMain: *host}
+	if *quick {
+		opts.Fuzz.Seed = 1
+		opts.Fuzz.MaxExecs = 250
+		opts.Fuzz.Plateau = 100
+		opts.Fuzz.TypedMutation = true
+	}
+	res, err := heterogen.Transpile(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "heterogen: %s\n", res.Summary())
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "tests: %s\n", res.Campaign.Summary())
+		for _, e := range res.Repair.Stats.EditLog {
+			fmt.Fprintf(os.Stderr, "edit: %s\n", e)
+		}
+		for _, d := range res.Repair.Remaining {
+			fmt.Fprintf(os.Stderr, "remaining: %s\n", d.Error())
+		}
+	}
+	if !res.Compatible || !res.BehaviorOK {
+		fmt.Fprintln(os.Stderr, "heterogen: repair incomplete; emitting best-effort version")
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(res.Markdown(*kernel)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *out == "" {
+		fmt.Print(res.Source)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(res.Source), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heterogen:", err)
+	os.Exit(1)
+}

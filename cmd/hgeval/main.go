@@ -1,0 +1,146 @@
+// Command hgeval regenerates the paper's evaluation: Table 3 (conversion
+// effectiveness), Table 4 (test generation), Table 5 (manual /
+// HeteroRefactor comparison), Figure 9 (ablations), and Figure 3 (the
+// forum study), plus the §6 headline summary.
+//
+// Usage:
+//
+//	hgeval [-quick] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hetero/heterogen/internal/eval"
+	"github.com/hetero/heterogen/internal/repair"
+	"github.com/hetero/heterogen/internal/subjects"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized budgets")
+	subject := flag.String("subject", "", "run a single subject (e.g. P3)")
+	t3 := flag.Bool("table3", false, "Table 3: conversion effectiveness")
+	t4 := flag.Bool("table4", false, "Table 4: test generation")
+	t5 := flag.Bool("table5", false, "Table 5: manual/HR comparison")
+	f9 := flag.Bool("fig9", false, "Figure 9: ablation study")
+	f3 := flag.Bool("fig3", false, "Figure 3: forum study")
+	summary := flag.Bool("summary", false, "§6 headline summary")
+	deps := flag.Bool("deps", false, "print the Table 2 template catalog with its Figure 7c dependences")
+	flag.Parse()
+
+	if *deps {
+		fmt.Print(repair.DescribeRegistry())
+		return
+	}
+
+	cfg := eval.DefaultConfig()
+	if *quick {
+		cfg = eval.QuickConfig()
+	}
+	all := !*t3 && !*t4 && !*t5 && !*f9 && !*f3 && !*summary
+
+	if *f3 || all {
+		fmt.Print(eval.FormatFigure3(eval.Figure3(cfg)))
+		fmt.Println()
+	}
+
+	var runs []eval.SubjectRun
+	needRuns := *t3 || *t4 || *t5 || *summary || all
+	if needRuns {
+		if *subject != "" {
+			s, err := subjects.ByID(*subject)
+			if err != nil {
+				fatal(err)
+			}
+			r, err := eval.RunSubject(s, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			runs = []eval.SubjectRun{r}
+		} else {
+			var err error
+			runs, err = eval.RunAll(cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *t3 || all {
+		fmt.Print(eval.FormatTable3(runs))
+		fmt.Println()
+	}
+	if *t4 || all {
+		fmt.Print(eval.FormatTable4(runs))
+		fmt.Println()
+	}
+	if *t5 || all {
+		fmt.Print(eval.FormatTable5(runs))
+		fmt.Println()
+	}
+	if *summary || all {
+		printSummary(runs)
+		fmt.Println()
+	}
+	if *f9 || all {
+		var abls []eval.AblationRun
+		if *subject != "" {
+			s, err := subjects.ByID(*subject)
+			if err != nil {
+				fatal(err)
+			}
+			a, err := eval.RunAblation(s, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			abls = []eval.AblationRun{a}
+		} else {
+			var err error
+			abls, err = eval.RunAllAblations(cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Print(eval.FormatFigure9(abls))
+	}
+}
+
+func printSummary(runs []eval.SubjectRun) {
+	compat, improved := 0, 0
+	var deltaSum int
+	var speedup float64
+	var covSum float64
+	nPerf := 0
+	for _, r := range runs {
+		if r.Compatible && r.BehaviorOK {
+			compat++
+		}
+		if r.Improved {
+			improved++
+		}
+		deltaSum += r.DeltaLOC
+		covSum += r.Coverage
+		if r.RuntimeHGMS > 0 && r.RuntimeOriginMS > 0 {
+			speedup += r.RuntimeOriginMS / r.RuntimeHGMS
+			nPerf++
+		}
+	}
+	n := len(runs)
+	if n == 0 {
+		return
+	}
+	fmt.Printf("§6 headline: %d/%d HLS-compatible, %d/%d faster than the original;\n",
+		compat, n, improved, n)
+	if nPerf > 0 {
+		fmt.Printf("mean simulated speedup %.2fx; mean ΔLOC %d; mean branch coverage %.0f%%\n",
+			speedup/float64(nPerf), deltaSum/n, 100*covSum/float64(n))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgeval:", err)
+	os.Exit(1)
+}

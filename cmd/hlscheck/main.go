@@ -1,0 +1,55 @@
+// Command hlscheck runs the simulated HLS synthesizability checker over a
+// C/HLS-C source file and prints Vivado-style diagnostics, grouped by the
+// six error classes of the paper's §5.1.
+//
+// Usage:
+//
+//	hlscheck -top <function> file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hetero/heterogen"
+)
+
+func main() {
+	top := flag.String("top", "", "top function of the design (required)")
+	flag.Parse()
+	if *top == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlscheck:", err)
+		os.Exit(1)
+	}
+	rep, err := heterogen.Check(string(src), *top)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlscheck:", err)
+		os.Exit(1)
+	}
+	if rep.OK {
+		fmt.Println("Synthesizability check passed.")
+		return
+	}
+	by := rep.ByClass()
+	for _, class := range []heterogen.ErrorClass{
+		heterogen.ClassDynamicData, heterogen.ClassUnsupportedType,
+		heterogen.ClassDataflow, heterogen.ClassLoopParallel,
+		heterogen.ClassStructUnion, heterogen.ClassTopFunction,
+	} {
+		diags := by[class]
+		if len(diags) == 0 {
+			continue
+		}
+		fmt.Printf("-- %s (%d)\n", class, len(diags))
+		for _, d := range diags {
+			fmt.Println("  " + d.Error())
+		}
+	}
+	os.Exit(1)
+}

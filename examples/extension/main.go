@@ -1,0 +1,96 @@
+// Extension: the paper's extensibility story (§5.2) — "for a new HLS
+// error type, a user can add a new corresponding repair localization
+// module." This example registers a custom classifier and repair template
+// for a design-rule error the built-in catalog does not know (a missing
+// interface pragma on the top function), then shows a parsed real-world
+// Vivado log flowing through the same classification machinery.
+//
+// Run with:
+//
+//	go run ./examples/extension
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+func main() {
+	// 1. A custom classifier: our team's lint message becomes a
+	//    TopFunction-class error.
+	repair.RegisterClassifier(func(msg string) hls.ErrorClass {
+		if strings.Contains(msg, "missing AXI interface") {
+			return hls.ClassTopFunction
+		}
+		return hls.ClassNone
+	})
+
+	// 2. A custom template that repairs it.
+	err := repair.RegisterTemplate(repair.Template{
+		ID:    "axi_interface",
+		Class: hls.ClassTopFunction,
+		Instantiate: func(u *cast.Unit, d hls.Diagnostic, st *repair.State) []repair.Edit {
+			fn := u.Func(d.Subject)
+			if fn == nil {
+				return nil
+			}
+			name := d.Subject
+			return []repair.Edit{{
+				Template: "axi_interface",
+				Class:    hls.ClassTopFunction,
+				Target:   name,
+				Note:     "insert m_axi interface pragma",
+				Apply: func(u *cast.Unit) error {
+					fn := u.Func(name)
+					fn.Pragmas = append(fn.Pragmas,
+						&cast.Pragma{Text: "HLS interface mode=m_axi port=return"})
+					return nil
+				},
+			}}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== active template catalog (Table 2 + extension) ==")
+	fmt.Print(repair.DescribeRegistry())
+
+	// 3. Drive the extension: classify our lint message, instantiate the
+	//    template, apply it.
+	u := cparser.MustParse(`
+void kernel(int a[16], int b[16]) {
+    for (int i = 0; i < 16; i++) { b[i] = a[i] + 1; }
+}`)
+	diag := hls.Diagnostic{
+		Message: "missing AXI interface on the top function 'kernel'",
+		Subject: "kernel",
+	}
+	fmt.Printf("\nclassified as: %s\n", repair.ClassifyMessage(diag.Message))
+	cands := repair.CandidatesFor(u, diag, repair.NewState())
+	for _, c := range cands {
+		if c.Edits[0].Template == "axi_interface" {
+			fmt.Println("applied:", c.Describe())
+			fmt.Println()
+			fmt.Print(cast.Print(c.Unit))
+		}
+	}
+
+	// 4. A real Vivado log parses into the same diagnostic shape the
+	//    search consumes — the migration path off the simulator.
+	vivado := `
+ERROR: [XFORM 202-876] Synthesizability check failed: recursive functions are not supported ('walk')
+ERROR: [SYNCHK 200-31] dynamic memory allocation/deallocation is not supported
+`
+	fmt.Println("\n== parsed Vivado log ==")
+	for _, d := range hls.ParseVivadoLog(vivado) {
+		fmt.Printf("  [%s] subject=%q class=%s\n",
+			d.Code, d.Subject, repair.ClassifyMessage(d.Message))
+	}
+}

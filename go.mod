@@ -1,0 +1,3 @@
+module github.com/hetero/heterogen
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package heterogen is the public API of the HeteroGen reproduction: a
+// C-to-HLS-C transpiler with automated test generation and search-based
+// program repair (Zhang, Wang, Xu, Kim — ASPLOS 2022).
+//
+// The one-call entry point is Transpile:
+//
+//	res, err := heterogen.Transpile(cSource, heterogen.Options{Kernel: "kernel"})
+//	if err != nil { ... }
+//	fmt.Println(res.Source)       // the repaired HLS-C program
+//	fmt.Println(res.Summary())    // compat/perf verdict, coverage, ΔLOC
+//
+// Behind it sit the subsystems the paper describes, all implemented in
+// this module: a C frontend (internal/cparser), a CPU interpreter with
+// coverage and value profiling (internal/interp), a simulated HLS
+// toolchain — synthesizability checker, lightweight style checker, and a
+// pragma-aware FPGA simulator (internal/hls/...) — a coverage-guided
+// kernel fuzzer (internal/fuzz), bitwidth finitization
+// (internal/profile), and the dependence-guided repair search
+// (internal/repair).
+package heterogen
+
+import (
+	"github.com/hetero/heterogen/internal/core"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// Options configures a transpilation. The zero value plus a Kernel name
+// is a complete configuration.
+type Options = core.Options
+
+// Result is the transpilation outcome: the repaired HLS-C source, the
+// fuzzing campaign, the repair log, and the simulated performance
+// comparison.
+type Result = core.Result
+
+// FuzzOptions configures test generation (Options.Fuzz).
+type FuzzOptions = fuzz.Options
+
+// TestCase is one generated kernel input vector.
+type TestCase = fuzz.TestCase
+
+// Report is an HLS toolchain report (diagnostics + pass/fail).
+type Report = hls.Report
+
+// Diagnostic is one Vivado-style toolchain message.
+type Diagnostic = hls.Diagnostic
+
+// ErrorClass is one of the six HLS compatibility error classes (§5.1).
+type ErrorClass = hls.ErrorClass
+
+// The six error classes.
+const (
+	ClassDynamicData     = hls.ClassDynamicData
+	ClassUnsupportedType = hls.ClassUnsupportedType
+	ClassDataflow        = hls.ClassDataflow
+	ClassLoopParallel    = hls.ClassLoopParallel
+	ClassStructUnion     = hls.ClassStructUnion
+	ClassTopFunction     = hls.ClassTopFunction
+)
+
+// Transpile runs the full pipeline — test generation, bitwidth profiling,
+// and iterative repair — over a C/C++ source text and returns the HLS-C
+// result. It never returns an error for repair failure; inspect
+// Result.Compatible and Result.BehaviorOK (a failed search still returns
+// the best version found plus its generated tests, mirroring the paper's
+// "incomplete version with generated tests" outcome).
+func Transpile(src string, opts Options) (Result, error) {
+	return core.Run(src, opts)
+}
+
+// Check runs only the synthesizability checker over a source text,
+// reporting the HLS compatibility errors a Vivado-style toolchain would.
+func Check(src, top string) (Report, error) {
+	return core.Check(src, top)
+}
+
+// GenerateTests runs only the coverage-guided test generator against the
+// kernel of the given source.
+func GenerateTests(src, kernel string, opts FuzzOptions) (fuzz.Campaign, error) {
+	u, err := parse(src)
+	if err != nil {
+		return fuzz.Campaign{}, err
+	}
+	return fuzz.Run(u, kernel, opts)
+}

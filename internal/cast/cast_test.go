@@ -1,0 +1,214 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// buildTreeUnit constructs a small unit programmatically: a struct with a
+// self-referential pointer field, a global, and a function.
+func buildTreeUnit() *Unit {
+	node := &ctypes.Struct{Tag: "Node"}
+	node.Fields = []ctypes.Field{
+		{Name: "val", Type: ctypes.IntT},
+		{Name: "next", Type: ctypes.Pointer{Elem: node}},
+	}
+	fn := &FuncDecl{
+		Name:   "walk",
+		Ret:    ctypes.IntT,
+		Params: []Param{{Name: "p", Type: ctypes.Pointer{Elem: node}}},
+		Body: &Block{Stmts: []Stmt{
+			&If{
+				Cond:     &Binary{Op: ctoken.EQL, L: &Ident{Name: "p"}, R: &IntLit{Value: 0, Text: "0"}},
+				Then:     &Return{X: &IntLit{Value: 0, Text: "0"}},
+				BranchID: -1,
+			},
+			&Return{X: &Member{X: &Ident{Name: "p"}, Field: "val", Arrow: true}},
+		}},
+	}
+	u := &Unit{
+		Typedefs: map[string]ctypes.Type{},
+		Structs:  map[string]*ctypes.Struct{"Node": node},
+		Decls: []Decl{
+			&StructDecl{Type: node},
+			&VarDecl{Name: "head", Type: ctypes.Pointer{Elem: node}},
+			fn,
+		},
+	}
+	NumberBranches(u)
+	return u
+}
+
+// Regression test for the clone-aliasing bug: retyping a struct field in
+// a clone must not corrupt the original unit's struct (the search applies
+// destructive edits to clones and compares against the original).
+func TestCloneUnitIsolatesStructTypes(t *testing.T) {
+	orig := buildTreeUnit()
+	clone := CloneUnit(orig)
+
+	cs := clone.Structs["Node"]
+	if cs == orig.Structs["Node"] {
+		t.Fatal("clone shares the struct type object with the original")
+	}
+	// Mutate the clone's field type (what pointer removal does).
+	cs.Fields[1].Type = ctypes.Named{Name: "Node_ptr", Underlying: ctypes.IntT}
+	if _, stillPtr := orig.Structs["Node"].Fields[1].Type.(ctypes.Pointer); !stillPtr {
+		t.Fatal("mutating the clone's struct field leaked into the original")
+	}
+	// The clone's self-referential pointer must point at the clone's
+	// struct, not the original's.
+	sd := clone.Decls[0].(*StructDecl)
+	if sd.Type != cs {
+		t.Error("clone's StructDecl does not reference the cloned struct")
+	}
+}
+
+func TestCloneUnitRemapsDeclSites(t *testing.T) {
+	orig := buildTreeUnit()
+	clone := CloneUnit(orig)
+	cs := clone.Structs["Node"]
+
+	v := clone.Var("head")
+	p, ok := v.Type.(ctypes.Pointer)
+	if !ok {
+		t.Fatalf("head type %T", v.Type)
+	}
+	if p.Elem != ctypes.Type(cs) {
+		t.Error("global's pointer element not remapped to the cloned struct")
+	}
+	fn := clone.Func("walk")
+	pp, ok := fn.Params[0].Type.(ctypes.Pointer)
+	if !ok || pp.Elem != ctypes.Type(cs) {
+		t.Error("parameter type not remapped to the cloned struct")
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	u := buildTreeUnit()
+	if u.Func("walk") == nil || u.Func("missing") != nil {
+		t.Error("Func lookup")
+	}
+	if u.Var("head") == nil || u.Var("nope") != nil {
+		t.Error("Var lookup")
+	}
+	if u.StructOf("Node") == nil || u.StructOf("Nope") != nil {
+		t.Error("StructOf lookup")
+	}
+	if len(u.Funcs()) != 1 {
+		t.Error("Funcs")
+	}
+
+	extra := &VarDecl{Name: "x", Type: ctypes.IntT}
+	u.InsertDeclBefore(extra, u.Decls[2])
+	if u.Decls[2] != Decl(extra) {
+		t.Error("InsertDeclBefore position")
+	}
+	u.RemoveDecl(extra)
+	if u.Var("x") != nil {
+		t.Error("RemoveDecl")
+	}
+	// Insert before a missing target appends.
+	tail := &VarDecl{Name: "y", Type: ctypes.IntT}
+	u.InsertDeclBefore(tail, &VarDecl{Name: "ghost"})
+	if u.Decls[len(u.Decls)-1] != Decl(tail) {
+		t.Error("InsertDeclBefore fallback append")
+	}
+}
+
+func TestNumberBranchesCountsAllSites(t *testing.T) {
+	u := &Unit{Decls: []Decl{
+		&FuncDecl{Name: "f", Ret: ctypes.Void{}, Body: &Block{Stmts: []Stmt{
+			&If{Cond: &IntLit{Value: 1}, Then: &Block{}, BranchID: -1},
+			&For{Body: &Block{}, BranchID: -1},
+			&While{Cond: &IntLit{Value: 0}, Body: &Block{}, BranchID: -1},
+			&ExprStmt{X: &Cond{C: &IntLit{Value: 1}, T: &IntLit{Value: 2},
+				F: &IntLit{Value: 3}, BranchID: -1}},
+			&Switch{X: &IntLit{Value: 1}, BranchID: -1, Cases: []*SwitchCase{
+				{Value: &IntLit{Value: 0}}, {IsDefault: true},
+			}},
+		}}},
+	}}
+	NumberBranches(u)
+	// if + for + while + cond = 4 sites, switch contributes 2 (one per arm).
+	if u.NumBranches != 6 {
+		t.Errorf("NumBranches = %d, want 6", u.NumBranches)
+	}
+}
+
+func TestCountNodesAndCallsTo(t *testing.T) {
+	u := buildTreeUnit()
+	if CountNodes(u) < 10 {
+		t.Errorf("CountNodes too small: %d", CountNodes(u))
+	}
+	fn := u.Func("walk")
+	if len(CallsTo(fn, "walk")) != 0 {
+		t.Error("walk is not recursive here")
+	}
+}
+
+func TestPrintStmtAndExpr(t *testing.T) {
+	s := &If{
+		Cond: &Binary{Op: ctoken.GTR, L: &Ident{Name: "x"}, R: &IntLit{Value: 0, Text: "0"}},
+		Then: &Return{X: &Ident{Name: "x"}},
+	}
+	got := PrintStmt(s)
+	if !strings.Contains(got, "if (x > 0)") || !strings.Contains(got, "return x;") {
+		t.Errorf("PrintStmt:\n%s", got)
+	}
+	e := &Binary{Op: ctoken.MUL,
+		L: &Binary{Op: ctoken.ADD, L: &Ident{Name: "a"}, R: &Ident{Name: "b"}},
+		R: &Ident{Name: "c"}}
+	if PrintExpr(e) != "(a + b) * c" {
+		t.Errorf("precedence parens: %q", PrintExpr(e))
+	}
+}
+
+func TestPrintPreservesLiteralText(t *testing.T) {
+	e := &IntLit{Value: 127, Text: "0x7f"}
+	if PrintExpr(e) != "0x7f" {
+		t.Errorf("literal spelling lost: %q", PrintExpr(e))
+	}
+	f := &FloatLit{Value: 2.5, Text: "2.50f"}
+	if PrintExpr(f) != "2.50f" {
+		t.Errorf("float spelling lost: %q", PrintExpr(f))
+	}
+}
+
+func TestCloneStmtDeep(t *testing.T) {
+	orig := &Block{Stmts: []Stmt{
+		&DeclStmt{Name: "i", Type: ctypes.IntT, Init: &IntLit{Value: 1, Text: "1"}},
+		&While{Cond: &Ident{Name: "i"}, Body: &Block{Stmts: []Stmt{
+			&ExprStmt{X: &Postfix{Op: ctoken.INC, X: &Ident{Name: "i"}}},
+		}}},
+	}}
+	clone := CloneStmt(orig).(*Block)
+	clone.Stmts[0].(*DeclStmt).Name = "j"
+	if orig.Stmts[0].(*DeclStmt).Name != "i" {
+		t.Error("CloneStmt shares DeclStmt")
+	}
+	innerOrig := orig.Stmts[1].(*While).Body.(*Block)
+	innerClone := clone.Stmts[1].(*While).Body.(*Block)
+	if innerOrig == innerClone {
+		t.Error("CloneStmt shares nested blocks")
+	}
+}
+
+func TestInspectSkipsChildrenOnFalse(t *testing.T) {
+	u := buildTreeUnit()
+	sawIdent := false
+	Inspect(u, func(n Node) bool {
+		if _, ok := n.(*FuncDecl); ok {
+			return false // do not descend into the body
+		}
+		if _, ok := n.(*Ident); ok {
+			sawIdent = true
+		}
+		return true
+	})
+	if sawIdent {
+		t.Error("Inspect descended into pruned subtree")
+	}
+}

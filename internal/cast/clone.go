@@ -1,0 +1,296 @@
+package cast
+
+import "github.com/hetero/heterogen/internal/ctypes"
+
+// CloneUnit deep-copies a translation unit, including its struct types.
+// The repair search clones the current program before applying each
+// candidate edit; edits retype struct fields in place, so sharing
+// *ctypes.Struct values between clone and parent would corrupt the
+// parent. Every struct gets a fresh copy and every type reference in the
+// clone is remapped onto the copies.
+func CloneUnit(u *Unit) *Unit {
+	out := &Unit{
+		Typedefs:    make(map[string]ctypes.Type, len(u.Typedefs)),
+		Structs:     make(map[string]*ctypes.Struct, len(u.Structs)),
+		NumBranches: u.NumBranches,
+	}
+	structMap := make(map[*ctypes.Struct]*ctypes.Struct, len(u.Structs))
+	for tag, st := range u.Structs {
+		ns := &ctypes.Struct{Tag: st.Tag, IsUnion: st.IsUnion,
+			Fields: append([]ctypes.Field{}, st.Fields...)}
+		structMap[st] = ns
+		out.Structs[tag] = ns
+	}
+	// Struct declarations occasionally carry types absent from the map
+	// (e.g. generated context structs); clone those too.
+	for _, d := range u.Decls {
+		if sd, ok := d.(*StructDecl); ok {
+			if _, seen := structMap[sd.Type]; !seen {
+				ns := &ctypes.Struct{Tag: sd.Type.Tag, IsUnion: sd.Type.IsUnion,
+					Fields: append([]ctypes.Field{}, sd.Type.Fields...)}
+				structMap[sd.Type] = ns
+			}
+		}
+	}
+	remap := func(t ctypes.Type) ctypes.Type { return mapStructs(t, structMap) }
+	for _, ns := range structMap {
+		for i := range ns.Fields {
+			ns.Fields[i].Type = remap(ns.Fields[i].Type)
+		}
+	}
+	for k, v := range u.Typedefs {
+		out.Typedefs[k] = remap(v)
+	}
+	out.Decls = make([]Decl, len(u.Decls))
+	for i, d := range u.Decls {
+		out.Decls[i] = CloneDecl(d)
+	}
+	retypeUnit(out, remap, structMap)
+	return out
+}
+
+// mapStructs rewrites struct references inside a type onto their clones.
+func mapStructs(t ctypes.Type, m map[*ctypes.Struct]*ctypes.Struct) ctypes.Type {
+	switch x := t.(type) {
+	case *ctypes.Struct:
+		if n, ok := m[x]; ok {
+			return n
+		}
+		return x
+	case ctypes.Pointer:
+		return ctypes.Pointer{Elem: mapStructs(x.Elem, m)}
+	case ctypes.Array:
+		return ctypes.Array{Elem: mapStructs(x.Elem, m), Len: x.Len}
+	case ctypes.Ref:
+		return ctypes.Ref{Elem: mapStructs(x.Elem, m)}
+	case ctypes.Stream:
+		return ctypes.Stream{Elem: mapStructs(x.Elem, m)}
+	case ctypes.Named:
+		return ctypes.Named{Name: x.Name, Underlying: mapStructs(x.Underlying, m)}
+	}
+	return t
+}
+
+// retypeUnit applies remap to every type reference in the unit.
+func retypeUnit(u *Unit, remap func(ctypes.Type) ctypes.Type, structMap map[*ctypes.Struct]*ctypes.Struct) {
+	var fixFn func(f *FuncDecl)
+	fixFn = func(f *FuncDecl) {
+		f.Ret = remap(f.Ret)
+		for i := range f.Params {
+			f.Params[i].Type = remap(f.Params[i].Type)
+		}
+		Inspect(f, func(n Node) bool {
+			switch x := n.(type) {
+			case *DeclStmt:
+				x.Type = remap(x.Type)
+			case *Cast:
+				x.To = remap(x.To)
+			case *SizeofType:
+				x.T = remap(x.T)
+			case *InitList:
+				if x.Type != nil {
+					x.Type = remap(x.Type)
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range u.Decls {
+		switch x := d.(type) {
+		case *VarDecl:
+			x.Type = remap(x.Type)
+			Inspect(x, func(n Node) bool {
+				if il, ok := n.(*InitList); ok && il.Type != nil {
+					il.Type = remap(il.Type)
+				}
+				return true
+			})
+		case *FuncDecl:
+			fixFn(x)
+		case *TypedefDecl:
+			x.Type = remap(x.Type)
+		case *StructDecl:
+			if ns, ok := structMap[x.Type]; ok {
+				x.Type = ns
+			}
+			for _, m := range x.Methods {
+				fixFn(m)
+			}
+		}
+	}
+}
+
+// CloneDecl deep-copies a declaration.
+func CloneDecl(d Decl) Decl {
+	switch x := d.(type) {
+	case *FuncDecl:
+		return CloneFunc(x)
+	case *VarDecl:
+		return &VarDecl{P: x.P, Name: x.Name, Type: x.Type,
+			Init: CloneExpr(x.Init), Static: x.Static, Const: x.Const}
+	case *StructDecl:
+		out := &StructDecl{P: x.P, Type: x.Type, HasCtor: x.HasCtor}
+		out.Methods = make([]*FuncDecl, len(x.Methods))
+		for i, m := range x.Methods {
+			out.Methods[i] = CloneFunc(m)
+		}
+		return out
+	case *TypedefDecl:
+		return &TypedefDecl{P: x.P, Name: x.Name, Type: x.Type}
+	case *PragmaDecl:
+		return &PragmaDecl{P: x.P, Text: x.Text}
+	}
+	return d
+}
+
+// CloneFunc deep-copies a function declaration.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	out := &FuncDecl{P: f.P, Name: f.Name, Ret: f.Ret, Static: f.Static}
+	out.Params = make([]Param, len(f.Params))
+	copy(out.Params, f.Params)
+	out.Pragmas = make([]*Pragma, len(f.Pragmas))
+	for i, p := range f.Pragmas {
+		out.Pragmas[i] = &Pragma{P: p.P, Text: p.Text}
+	}
+	if f.Body != nil {
+		out.Body = CloneStmt(f.Body).(*Block)
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *ExprStmt:
+		return &ExprStmt{P: x.P, X: CloneExpr(x.X)}
+	case *DeclStmt:
+		out := &DeclStmt{P: x.P, Name: x.Name, Type: x.Type,
+			Init: CloneExpr(x.Init), Static: x.Static, Const: x.Const}
+		for _, d := range x.VLADims {
+			out.VLADims = append(out.VLADims, CloneExpr(d))
+		}
+		return out
+	case *Block:
+		out := &Block{P: x.P, Stmts: make([]Stmt, len(x.Stmts))}
+		for i, st := range x.Stmts {
+			out.Stmts[i] = CloneStmt(st)
+		}
+		return out
+	case *If:
+		return &If{P: x.P, Cond: CloneExpr(x.Cond), Then: CloneStmt(x.Then),
+			Else: CloneStmt(x.Else), BranchID: x.BranchID}
+	case *For:
+		out := &For{P: x.P, Init: CloneStmt(x.Init), Cond: CloneExpr(x.Cond),
+			Post: CloneExpr(x.Post), Body: CloneStmt(x.Body), BranchID: x.BranchID}
+		out.Pragmas = clonePragmas(x.Pragmas)
+		return out
+	case *While:
+		out := &While{P: x.P, Cond: CloneExpr(x.Cond), Body: CloneStmt(x.Body),
+			DoWhile: x.DoWhile, BranchID: x.BranchID}
+		out.Pragmas = clonePragmas(x.Pragmas)
+		return out
+	case *Return:
+		return &Return{P: x.P, X: CloneExpr(x.X)}
+	case *Break:
+		return &Break{P: x.P}
+	case *Continue:
+		return &Continue{P: x.P}
+	case *Switch:
+		out := &Switch{P: x.P, X: CloneExpr(x.X), BranchID: x.BranchID}
+		out.Cases = make([]*SwitchCase, len(x.Cases))
+		for i, c := range x.Cases {
+			nc := &SwitchCase{P: c.P, Value: CloneExpr(c.Value), IsDefault: c.IsDefault}
+			nc.Body = make([]Stmt, len(c.Body))
+			for j, st := range c.Body {
+				nc.Body[j] = CloneStmt(st)
+			}
+			out.Cases[i] = nc
+		}
+		return out
+	case *Pragma:
+		return &Pragma{P: x.P, Text: x.Text}
+	case *Label:
+		return &Label{P: x.P, Name: x.Name}
+	case *Goto:
+		return &Goto{P: x.P, Name: x.Name}
+	}
+	return s
+}
+
+// CloneExpr deep-copies an expression. Cloning a nil expression yields nil.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StrLit:
+		c := *x
+		return &c
+	case *CharLit:
+		c := *x
+		return &c
+	case *BoolLit:
+		c := *x
+		return &c
+	case *Ident:
+		c := *x
+		return &c
+	case *Unary:
+		return &Unary{P: x.P, Op: x.Op, X: CloneExpr(x.X)}
+	case *Postfix:
+		return &Postfix{P: x.P, Op: x.Op, X: CloneExpr(x.X)}
+	case *Binary:
+		return &Binary{P: x.P, Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Assign:
+		return &Assign{P: x.P, Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Cond:
+		return &Cond{P: x.P, C: CloneExpr(x.C), T: CloneExpr(x.T),
+			F: CloneExpr(x.F), BranchID: x.BranchID}
+	case *Call:
+		out := &Call{P: x.P, Fun: CloneExpr(x.Fun)}
+		out.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			out.Args[i] = CloneExpr(a)
+		}
+		return out
+	case *Index:
+		return &Index{P: x.P, X: CloneExpr(x.X), Idx: CloneExpr(x.Idx)}
+	case *Member:
+		return &Member{P: x.P, X: CloneExpr(x.X), Field: x.Field, Arrow: x.Arrow}
+	case *Cast:
+		return &Cast{P: x.P, To: x.To, X: CloneExpr(x.X)}
+	case *SizeofType:
+		c := *x
+		return &c
+	case *SizeofExpr:
+		return &SizeofExpr{P: x.P, X: CloneExpr(x.X)}
+	case *InitList:
+		out := &InitList{P: x.P, Type: x.Type}
+		out.Elems = make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			out.Elems[i] = CloneExpr(el)
+		}
+		return out
+	}
+	return e
+}
+
+func clonePragmas(ps []*Pragma) []*Pragma {
+	if ps == nil {
+		return nil
+	}
+	out := make([]*Pragma, len(ps))
+	for i, p := range ps {
+		out[i] = &Pragma{P: p.P, Text: p.Text}
+	}
+	return out
+}

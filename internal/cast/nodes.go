@@ -1,0 +1,505 @@
+// Package cast defines the abstract syntax tree for the C subset that the
+// HeteroGen frontend parses, the repair engine edits, and the interpreter
+// and HLS simulator execute.
+//
+// The repair engine works by structural edits on this tree — parameterized
+// templates clone subtrees, splice statements, retype declarations, and
+// insert pragmas — so the package also provides deep cloning (Clone), a
+// generic walker (Walk/Inspect), and a stable printer (Print) that renders
+// the tree back to C/HLS-C source.
+package cast
+
+import (
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	Pos() ctoken.Pos
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is a top-level declaration node.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// IntLit is an integer literal.
+type IntLit struct {
+	P     ctoken.Pos
+	Value int64
+	Text  string // original spelling, kept for faithful printing
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	P     ctoken.Pos
+	Value float64
+	Text  string
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	P     ctoken.Pos
+	Value string
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	P     ctoken.Pos
+	Value byte
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	P     ctoken.Pos
+	Value bool
+}
+
+// Ident is a name reference.
+type Ident struct {
+	P    ctoken.Pos
+	Name string
+}
+
+// Unary is a prefix unary expression: -x, !x, ~x, *p, &x, ++x, --x.
+type Unary struct {
+	P  ctoken.Pos
+	Op ctoken.Kind
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	P  ctoken.Pos
+	Op ctoken.Kind // INC or DEC
+	X  Expr
+}
+
+// Binary is a binary expression.
+type Binary struct {
+	P    ctoken.Pos
+	Op   ctoken.Kind
+	L, R Expr
+}
+
+// Assign is an assignment, including compound assignments.
+type Assign struct {
+	P    ctoken.Pos
+	Op   ctoken.Kind // ASSIGN, ADDASSIGN, ...
+	L, R Expr
+}
+
+// Cond is the ternary operator c ? t : f.
+type Cond struct {
+	P       ctoken.Pos
+	C, T, F Expr
+	// BranchID is assigned during coverage numbering; -1 if unassigned.
+	BranchID int
+}
+
+// Call is a function call. Method calls (s.pop(), q.read()) are
+// represented with a Member callee.
+type Call struct {
+	P    ctoken.Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is a[i].
+type Index struct {
+	P      ctoken.Pos
+	X, Idx Expr
+}
+
+// Member is x.f or p->f.
+type Member struct {
+	P     ctoken.Pos
+	X     Expr
+	Field string
+	Arrow bool // true for ->
+}
+
+// Cast is (T)x.
+type Cast struct {
+	P  ctoken.Pos
+	To ctypes.Type
+	X  Expr
+}
+
+// SizeofType is sizeof(T).
+type SizeofType struct {
+	P ctoken.Pos
+	T ctypes.Type
+}
+
+// SizeofExpr is sizeof(x).
+type SizeofExpr struct {
+	P ctoken.Pos
+	X Expr
+}
+
+// InitList is a brace initializer {a, b, c}, also used for struct
+// temporaries like If2{in, tmp}.
+type InitList struct {
+	P     ctoken.Pos
+	Type  ctypes.Type // optional: named struct temporaries
+	Elems []Expr
+}
+
+func (e *IntLit) Pos() ctoken.Pos     { return e.P }
+func (e *FloatLit) Pos() ctoken.Pos   { return e.P }
+func (e *StrLit) Pos() ctoken.Pos     { return e.P }
+func (e *CharLit) Pos() ctoken.Pos    { return e.P }
+func (e *BoolLit) Pos() ctoken.Pos    { return e.P }
+func (e *Ident) Pos() ctoken.Pos      { return e.P }
+func (e *Unary) Pos() ctoken.Pos      { return e.P }
+func (e *Postfix) Pos() ctoken.Pos    { return e.P }
+func (e *Binary) Pos() ctoken.Pos     { return e.P }
+func (e *Assign) Pos() ctoken.Pos     { return e.P }
+func (e *Cond) Pos() ctoken.Pos       { return e.P }
+func (e *Call) Pos() ctoken.Pos       { return e.P }
+func (e *Index) Pos() ctoken.Pos      { return e.P }
+func (e *Member) Pos() ctoken.Pos     { return e.P }
+func (e *Cast) Pos() ctoken.Pos       { return e.P }
+func (e *SizeofType) Pos() ctoken.Pos { return e.P }
+func (e *SizeofExpr) Pos() ctoken.Pos { return e.P }
+func (e *InitList) Pos() ctoken.Pos   { return e.P }
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*CharLit) exprNode()    {}
+func (*BoolLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Postfix) exprNode()    {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Cast) exprNode()       {}
+func (*SizeofType) exprNode() {}
+func (*SizeofExpr) exprNode() {}
+func (*InitList) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	P ctoken.Pos
+	X Expr
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	P      ctoken.Pos
+	Name   string
+	Type   ctypes.Type
+	Init   Expr // may be nil
+	Static bool
+	Const  bool
+	// VLADims holds the runtime dimension expressions of a
+	// variable-length array declaration (one per unknown dimension, outer
+	// first). The CPU interpreter evaluates them; the HLS checker rejects
+	// the declaration; the array_static repair replaces them with
+	// constants.
+	VLADims []Expr
+}
+
+// Block is { ... }.
+type Block struct {
+	P     ctoken.Pos
+	Stmts []Stmt
+}
+
+// If is if/else.
+type If struct {
+	P          ctoken.Pos
+	Cond       Expr
+	Then, Else Stmt // Else may be nil
+	BranchID   int  // coverage site id; -1 if unassigned
+}
+
+// For is for(init; cond; post) body. Init may be a DeclStmt or ExprStmt.
+type For struct {
+	P        ctoken.Pos
+	Init     Stmt // may be nil
+	Cond     Expr // may be nil
+	Post     Expr // may be nil
+	Body     Stmt
+	BranchID int
+	Pragmas  []*Pragma // HLS pragmas attached inside the loop body head
+}
+
+// While is while(cond) body or do body while(cond).
+type While struct {
+	P        ctoken.Pos
+	Cond     Expr
+	Body     Stmt
+	DoWhile  bool
+	BranchID int
+	Pragmas  []*Pragma
+}
+
+// Return is return [expr].
+type Return struct {
+	P ctoken.Pos
+	X Expr // may be nil
+}
+
+// Break / Continue.
+type Break struct{ P ctoken.Pos }
+
+// Continue is the continue statement.
+type Continue struct{ P ctoken.Pos }
+
+// Switch is switch(x) { cases }.
+type Switch struct {
+	P        ctoken.Pos
+	X        Expr
+	Cases    []*SwitchCase
+	BranchID int
+}
+
+// SwitchCase is one case (or default when IsDefault) arm.
+type SwitchCase struct {
+	P         ctoken.Pos
+	Value     Expr // nil for default
+	IsDefault bool
+	Body      []Stmt
+}
+
+// Pragma is a #pragma directive appearing in statement position. The text
+// excludes the leading "#pragma" (e.g. "HLS unroll factor=4").
+type Pragma struct {
+	P    ctoken.Pos
+	Text string
+}
+
+// Label is a goto target.
+type Label struct {
+	P    ctoken.Pos
+	Name string
+}
+
+// Goto transfers control to a label.
+type Goto struct {
+	P    ctoken.Pos
+	Name string
+}
+
+func (s *ExprStmt) Pos() ctoken.Pos { return s.P }
+func (s *DeclStmt) Pos() ctoken.Pos { return s.P }
+func (s *Block) Pos() ctoken.Pos    { return s.P }
+func (s *If) Pos() ctoken.Pos       { return s.P }
+func (s *For) Pos() ctoken.Pos      { return s.P }
+func (s *While) Pos() ctoken.Pos    { return s.P }
+func (s *Return) Pos() ctoken.Pos   { return s.P }
+func (s *Break) Pos() ctoken.Pos    { return s.P }
+func (s *Continue) Pos() ctoken.Pos { return s.P }
+func (s *Switch) Pos() ctoken.Pos   { return s.P }
+func (s *Pragma) Pos() ctoken.Pos   { return s.P }
+func (s *Label) Pos() ctoken.Pos    { return s.P }
+func (s *Goto) Pos() ctoken.Pos     { return s.P }
+
+func (*ExprStmt) stmtNode() {}
+func (*DeclStmt) stmtNode() {}
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*For) stmtNode()      {}
+func (*While) stmtNode()    {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*Switch) stmtNode()   {}
+func (*Pragma) stmtNode()   {}
+func (*Label) stmtNode()    {}
+func (*Goto) stmtNode()     {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type ctypes.Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	P       ctoken.Pos
+	Name    string
+	Ret     ctypes.Type
+	Params  []Param
+	Body    *Block // nil for prototypes
+	Static  bool
+	Pragmas []*Pragma // pragmas at function head (e.g. HLS dataflow, interface)
+}
+
+// VarDecl is a global variable declaration.
+type VarDecl struct {
+	P      ctoken.Pos
+	Name   string
+	Type   ctypes.Type
+	Init   Expr
+	Static bool
+	Const  bool
+}
+
+// StructDecl defines a struct or union type, possibly with methods
+// (HLS-C structs may carry member functions, as in the paper's If2).
+type StructDecl struct {
+	P       ctoken.Pos
+	Type    *ctypes.Struct
+	Methods []*FuncDecl // member functions; receiver fields resolve to the instance
+	// HasCtor notes an explicit constructor among Methods (name == struct tag).
+	HasCtor bool
+}
+
+// TypedefDecl introduces a type alias.
+type TypedefDecl struct {
+	P    ctoken.Pos
+	Name string
+	Type ctypes.Type
+}
+
+// PragmaDecl is a file-scope pragma.
+type PragmaDecl struct {
+	P    ctoken.Pos
+	Text string
+}
+
+func (d *FuncDecl) Pos() ctoken.Pos    { return d.P }
+func (d *VarDecl) Pos() ctoken.Pos     { return d.P }
+func (d *StructDecl) Pos() ctoken.Pos  { return d.P }
+func (d *TypedefDecl) Pos() ctoken.Pos { return d.P }
+func (d *PragmaDecl) Pos() ctoken.Pos  { return d.P }
+
+func (*FuncDecl) declNode()    {}
+func (*VarDecl) declNode()     {}
+func (*StructDecl) declNode()  {}
+func (*TypedefDecl) declNode() {}
+func (*PragmaDecl) declNode()  {}
+
+// ---------------------------------------------------------------------------
+// Translation unit
+
+// Unit is a parsed translation unit. It implements Node (position of its
+// first declaration) so Inspect can start from the whole unit.
+type Unit struct {
+	Decls []Decl
+	// Typedefs and Structs index the unit's named types.
+	Typedefs map[string]ctypes.Type
+	Structs  map[string]*ctypes.Struct
+	// NumBranches is the number of coverage sites assigned by
+	// NumberBranches; 0 until numbering runs.
+	NumBranches int
+}
+
+// Pos returns the position of the unit's first declaration.
+func (u *Unit) Pos() ctoken.Pos {
+	if len(u.Decls) > 0 {
+		return u.Decls[0].Pos()
+	}
+	return ctoken.Pos{}
+}
+
+// Func returns the named function declaration, preferring a definition
+// (with a body) over a prototype; nil when the name is unknown.
+func (u *Unit) Func(name string) *FuncDecl {
+	var proto *FuncDecl
+	for _, d := range u.Decls {
+		if f, ok := d.(*FuncDecl); ok && f.Name == name {
+			if f.Body != nil {
+				return f
+			}
+			if proto == nil {
+				proto = f
+			}
+		}
+	}
+	// Struct methods are reachable too.
+	for _, d := range u.Decls {
+		if sd, ok := d.(*StructDecl); ok {
+			for _, m := range sd.Methods {
+				if m.Name == name {
+					return m
+				}
+			}
+		}
+	}
+	return proto
+}
+
+// Var returns the named global variable declaration, or nil.
+func (u *Unit) Var(name string) *VarDecl {
+	for _, d := range u.Decls {
+		if v, ok := d.(*VarDecl); ok && v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// StructOf returns the declaration of the named struct, or nil.
+func (u *Unit) StructOf(tag string) *StructDecl {
+	for _, d := range u.Decls {
+		if s, ok := d.(*StructDecl); ok && s.Type.Tag == tag {
+			return s
+		}
+	}
+	return nil
+}
+
+// Funcs returns all function declarations in order, excluding methods.
+func (u *Unit) Funcs() []*FuncDecl {
+	var fs []*FuncDecl
+	for _, d := range u.Decls {
+		if f, ok := d.(*FuncDecl); ok {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// RemoveDecl deletes the given declaration from the unit.
+func (u *Unit) RemoveDecl(target Decl) {
+	for i, d := range u.Decls {
+		if d == target {
+			u.Decls = append(u.Decls[:i], u.Decls[i+1:]...)
+			return
+		}
+	}
+}
+
+// InsertDeclBefore inserts d immediately before target (or appends if the
+// target is not found).
+func (u *Unit) InsertDeclBefore(d, target Decl) {
+	for i, x := range u.Decls {
+		if x == target {
+			u.Decls = append(u.Decls[:i], append([]Decl{d}, u.Decls[i:]...)...)
+			return
+		}
+	}
+	u.Decls = append(u.Decls, d)
+}

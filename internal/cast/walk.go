@@ -1,0 +1,175 @@
+package cast
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f for
+// each node. If f returns false for a node, its children are skipped.
+// Nil children are not visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	// Expressions
+	case *IntLit, *FloatLit, *StrLit, *CharLit, *BoolLit, *Ident,
+		*SizeofType, *Break, *Continue, *Pragma, *PragmaDecl,
+		*TypedefDecl, *Label, *Goto:
+		// leaves
+	case *Unary:
+		Inspect(x.X, f)
+	case *Postfix:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Assign:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Cond:
+		Inspect(x.C, f)
+		Inspect(x.T, f)
+		Inspect(x.F, f)
+	case *Call:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.Idx, f)
+	case *Member:
+		Inspect(x.X, f)
+	case *Cast:
+		Inspect(x.X, f)
+	case *SizeofExpr:
+		Inspect(x.X, f)
+	case *InitList:
+		for _, e := range x.Elems {
+			Inspect(e, f)
+		}
+
+	// Statements
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *DeclStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *If:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *For:
+		for _, p := range x.Pragmas {
+			Inspect(p, f)
+		}
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *While:
+		for _, p := range x.Pragmas {
+			Inspect(p, f)
+		}
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *Return:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *Switch:
+		Inspect(x.X, f)
+		for _, c := range x.Cases {
+			if c.Value != nil {
+				Inspect(c.Value, f)
+			}
+			for _, s := range c.Body {
+				Inspect(s, f)
+			}
+		}
+
+	// Declarations
+	case *FuncDecl:
+		for _, p := range x.Pragmas {
+			Inspect(p, f)
+		}
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *StructDecl:
+		for _, m := range x.Methods {
+			Inspect(m, f)
+		}
+	case *Unit:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	}
+}
+
+// CountNodes returns the number of nodes under n (inclusive).
+func CountNodes(n Node) int {
+	count := 0
+	Inspect(n, func(Node) bool { count++; return true })
+	return count
+}
+
+// CallsTo returns all call expressions under n whose callee is the plain
+// identifier name.
+func CallsTo(n Node, name string) []*Call {
+	var calls []*Call
+	Inspect(n, func(m Node) bool {
+		if c, ok := m.(*Call); ok {
+			if id, ok := c.Fun.(*Ident); ok && id.Name == name {
+				calls = append(calls, c)
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+// NumberBranches assigns sequential branch IDs to every coverage site in
+// the unit (if/else, loops, ternaries, switch) and records the total. The
+// interpreter reports coverage against these IDs: an if contributes two
+// outcomes (taken/not taken) under a single site ID; the fuzzer tracks
+// (site, outcome) pairs.
+func NumberBranches(u *Unit) {
+	id := 0
+	Inspect(u, func(n Node) bool {
+		switch x := n.(type) {
+		case *If:
+			x.BranchID = id
+			id++
+		case *For:
+			x.BranchID = id
+			id++
+		case *While:
+			x.BranchID = id
+			id++
+		case *Cond:
+			x.BranchID = id
+			id++
+		case *Switch:
+			x.BranchID = id
+			// one site per case arm
+			id += len(x.Cases)
+		}
+		return true
+	})
+	u.NumBranches = id
+}

@@ -1,0 +1,167 @@
+// Package core orchestrates the five-stage HeteroGen pipeline of Figure 1:
+//
+//  1. test input generation (coverage-guided fuzzing of the kernel),
+//  2. initial HLS version generation (bitwidth profiling -> P_broken),
+//  3. repair localization (HLS diagnostics -> error classes),
+//  4. repair-space exploration (dependence-guided edit chains), and
+//  5. fitness evaluation (differential testing + simulated latency),
+//
+// iterating 3-5 under a virtual time budget.
+package core
+
+import (
+	"fmt"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+	"github.com/hetero/heterogen/internal/hls/sim"
+	"github.com/hetero/heterogen/internal/profile"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Kernel names the function to transpile (the design's top function).
+	Kernel string
+	// HostMain optionally names a host entry point used to capture
+	// kernel-entry seed inputs.
+	HostMain string
+	// Fuzz configures test generation; zero means fuzz.DefaultOptions.
+	Fuzz fuzz.Options
+	// Repair configures the search; zero means repair.DefaultOptions.
+	Repair repair.Options
+	// SkipProfile disables bitwidth finitization (ablation).
+	SkipProfile bool
+	// ExtraTests are appended to the generated suite (e.g. a subject's
+	// pre-existing tests).
+	ExtraTests []fuzz.TestCase
+}
+
+// Result is the full pipeline outcome.
+type Result struct {
+	// Original is the parsed input program.
+	Original *cast.Unit
+	// Initial is the bitwidth-profiled starting version (P_broken).
+	Initial *cast.Unit
+	// Final is the repaired HLS-C version.
+	Final *cast.Unit
+	// HLS source text of the final version.
+	Source string
+
+	Campaign fuzz.Campaign
+	Profiled profile.Result
+	Repair   repair.Result
+
+	// Compatible / BehaviorOK / Improved summarize §6.1's three criteria.
+	Compatible bool
+	BehaviorOK bool
+	Improved   bool
+	// DeltaLOC is the paper's edit-size metric.
+	DeltaLOC int
+	// OriginalLOC counts the input program.
+	OriginalLOC int
+	// CPUMeanMS / FPGAMeanMS are the Table 5 runtime columns.
+	CPUMeanMS  float64
+	FPGAMeanMS float64
+	// Resources estimates fabric utilization of the final design.
+	Resources sim.Resources
+}
+
+// Run executes the pipeline over C source text.
+func Run(src string, opts Options) (Result, error) {
+	orig, err := cparser.Parse(src)
+	if err != nil {
+		return Result{}, fmt.Errorf("heterogen: parse: %w", err)
+	}
+	return RunUnit(orig, opts)
+}
+
+// RunUnit executes the pipeline over a parsed unit.
+func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
+	if opts.Kernel == "" {
+		return Result{}, fmt.Errorf("heterogen: no kernel specified")
+	}
+	if orig.Func(opts.Kernel) == nil {
+		return Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
+	}
+	res := Result{Original: orig, OriginalLOC: cast.CountLines(orig)}
+
+	// Stage 1: test input generation.
+	fopts := opts.Fuzz
+	if fopts.MaxExecs == 0 {
+		fopts = fuzz.DefaultOptions()
+	}
+	if opts.HostMain != "" {
+		fopts.HostMain = opts.HostMain
+	}
+	camp, err := fuzz.Run(orig, opts.Kernel, fopts)
+	if err != nil {
+		return res, fmt.Errorf("heterogen: test generation: %w", err)
+	}
+	res.Campaign = camp
+	tests := append([]fuzz.TestCase{}, camp.Tests...)
+	tests = append(tests, opts.ExtraTests...)
+
+	// Stage 2: initial HLS version with estimated types.
+	initial := cast.CloneUnit(orig)
+	if !opts.SkipProfile {
+		prof, err := profile.Generate(orig, opts.Kernel, tests)
+		if err == nil {
+			res.Profiled = prof
+			initial = prof.Unit
+		}
+	}
+	res.Initial = initial
+
+	// Stages 3-5: iterative repair.
+	ropts := opts.Repair
+	if ropts.Budget == 0 && ropts.MaxIterations == 0 {
+		ropts = repair.DefaultOptions()
+	}
+	rr := repair.Search(orig, initial, opts.Kernel, tests, ropts)
+	res.Repair = rr
+	res.Final = rr.Unit
+	res.Source = cast.Print(rr.Unit)
+	res.Compatible = rr.Compatible
+	res.BehaviorOK = rr.BehaviorOK
+	res.Improved = rr.Improved
+	res.DeltaLOC = repair.EditedLines(orig, rr.Unit)
+	res.CPUMeanMS = rr.Report.CPUMeanMS()
+	res.FPGAMeanMS = rr.Report.FPGAMeanMS()
+	res.Resources = sim.Estimate(rr.Unit)
+	return res, nil
+}
+
+// Check exposes the full synthesizability checker for a source text.
+func Check(src, top string) (hls.Report, error) {
+	u, err := cparser.Parse(src)
+	if err != nil {
+		return hls.Report{}, err
+	}
+	return check.Run(u, hls.DefaultConfig(top)), nil
+}
+
+// Validate differential-tests an already-produced HLS version against the
+// original over a test suite.
+func Validate(original, candidate *cast.Unit, kernel string, tests []fuzz.TestCase) difftest.Report {
+	return difftest.Run(original, candidate, kernel, hls.DefaultConfig(kernel), tests)
+}
+
+// Summary renders the §6.1-style one-line verdict.
+func (r Result) Summary() string {
+	comp := "✗"
+	if r.Compatible && r.BehaviorOK {
+		comp = "✓"
+	}
+	perf := "✗"
+	if r.Improved {
+		perf = "✓"
+	}
+	return fmt.Sprintf("compat=%s perf=%s tests=%d cov=%.0f%% ΔLOC=%d cpu=%.3fms fpga=%.3fms",
+		comp, perf, len(r.Campaign.Tests), 100*r.Campaign.Coverage,
+		r.DeltaLOC, r.CPUMeanMS, r.FPGAMeanMS)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+)
+
+// Markdown renders a full transpilation report: the diagnostics the
+// original failed with, the generated-test campaign, the accepted edit
+// chain, the performance comparison, and the final HLS-C source.
+func (r Result) Markdown(kernel string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# HeteroGen transpilation report: `%s`\n\n", kernel)
+
+	status := "**incomplete** (best-effort version emitted)"
+	if r.Compatible && r.BehaviorOK {
+		status = "**success** — HLS-compatible, behaviour preserved"
+		if r.Improved {
+			status += ", faster than the CPU original"
+		}
+	}
+	fmt.Fprintf(&sb, "Outcome: %s\n\n", status)
+
+	sb.WriteString("## Diagnostics before repair\n\n")
+	pre := check.Run(r.Original, hls.DefaultConfig(kernel))
+	if pre.OK {
+		sb.WriteString("(none — the input was already synthesizable)\n")
+	}
+	for class, diags := range pre.ByClass() {
+		fmt.Fprintf(&sb, "- **%s** (%d)\n", class, len(diags))
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "  - `%s`\n", d.Error())
+		}
+	}
+
+	sb.WriteString("\n## Test generation\n\n")
+	fmt.Fprintf(&sb, "- executions: %d (%.0f virtual minutes)\n",
+		r.Campaign.Execs, r.Campaign.VirtualMinutes())
+	fmt.Fprintf(&sb, "- retained corpus: %d tests\n", len(r.Campaign.Tests))
+	fmt.Fprintf(&sb, "- branch coverage: %.0f%% (%d/%d outcomes)\n",
+		100*r.Campaign.Coverage, r.Campaign.CoveredOutcomes, r.Campaign.TotalOutcomes)
+	if r.Campaign.SeededFromHost {
+		sb.WriteString("- seeded from host-program kernel-entry capture\n")
+	}
+
+	if len(r.Profiled.Retyped) > 0 {
+		sb.WriteString("\n## Bitwidth finitization\n\n")
+		for _, line := range r.Profiled.Retyped {
+			fmt.Fprintf(&sb, "- %s\n", line)
+		}
+	}
+
+	sb.WriteString("\n## Repair\n\n")
+	fmt.Fprintf(&sb, "- %d accepted edits over %d candidates (%d style-rejected, %d full compilations)\n",
+		len(r.Repair.Stats.EditLog), r.Repair.Stats.CandidatesTried,
+		r.Repair.Stats.StyleRejections, r.Repair.Stats.HLSInvocations)
+	fmt.Fprintf(&sb, "- virtual repair time: %.0f minutes\n", r.Repair.Stats.VirtualMinutes())
+	for _, e := range r.Repair.Stats.EditLog {
+		fmt.Fprintf(&sb, "1. `%s`\n", e)
+	}
+	for _, d := range r.Repair.Remaining {
+		fmt.Fprintf(&sb, "- remaining: `%s`\n", d.Error())
+	}
+
+	sb.WriteString("\n## Performance (simulated)\n\n")
+	fmt.Fprintf(&sb, "| | latency |\n|---|---|\n")
+	fmt.Fprintf(&sb, "| original on CPU | %.4f ms |\n", r.CPUMeanMS)
+	fmt.Fprintf(&sb, "| HLS version on FPGA | %.4f ms |\n", r.FPGAMeanMS)
+	if r.Improved && r.FPGAMeanMS > 0 {
+		fmt.Fprintf(&sb, "| speedup | %.2fx |\n", r.CPUMeanMS/r.FPGAMeanMS)
+	}
+	fmt.Fprintf(&sb, "\nResource estimate: %s\n", r.Resources)
+	fmt.Fprintf(&sb, "\nΔLOC: %d over an original of %d lines\n", r.DeltaLOC, r.OriginalLOC)
+
+	sb.WriteString("\n## Final HLS-C source\n\n```c\n")
+	sb.WriteString(r.Source)
+	sb.WriteString("```\n")
+	return sb.String()
+}

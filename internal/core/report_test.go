@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownReport(t *testing.T) {
+	res, err := Run(longDoubleKernel, Options{Kernel: "top", Fuzz: quickFuzz()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := res.Markdown("top")
+	for _, want := range []string{
+		"# HeteroGen transpilation report: `top`",
+		"**success**",
+		"Diagnostics before repair",
+		"long double",
+		"Bitwidth finitization",
+		"fpga_float<8,71>",
+		"## Performance (simulated)",
+		"## Final HLS-C source",
+		"```c",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownReportIncomplete(t *testing.T) {
+	// goto cannot be repaired by any template: the report must say so.
+	src := `
+int kernel(int x) {
+    if (x > 0) { goto out; }
+    x = x + 1;
+out:
+    return x;
+}`
+	res, err := Run(src, Options{Kernel: "kernel", Fuzz: quickFuzz()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compatible {
+		t.Fatal("goto must remain unsynthesizable")
+	}
+	md := res.Markdown("kernel")
+	if !strings.Contains(md, "**incomplete**") {
+		t.Error("report should mark the outcome incomplete")
+	}
+	if !strings.Contains(md, "goto") {
+		t.Error("report should carry the remaining goto diagnostic")
+	}
+}

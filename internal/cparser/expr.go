@@ -1,0 +1,228 @@
+package cparser
+
+import (
+	"strconv"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// parseExpr parses a full expression (assignment level; the comma operator
+// is not part of the subset — argument lists use explicit grammar).
+func (p *parser) parseExpr() cast.Expr { return p.parseAssignExpr() }
+
+func (p *parser) parseAssignExpr() cast.Expr {
+	l := p.parseCondExpr()
+	if p.cur().Kind.IsAssignOp() {
+		op := p.next().Kind
+		r := p.parseAssignExpr()
+		return &cast.Assign{P: l.Pos(), Op: op, L: l, R: r}
+	}
+	return l
+}
+
+func (p *parser) parseCondExpr() cast.Expr {
+	c := p.parseBinaryExpr(1)
+	if p.accept(ctoken.QUESTION) {
+		t := p.parseAssignExpr()
+		p.expect(ctoken.COLON)
+		f := p.parseCondExpr()
+		return &cast.Cond{P: c.Pos(), C: c, T: t, F: f, BranchID: -1}
+	}
+	return c
+}
+
+// binPrec mirrors cast.precOf: higher binds tighter.
+func binPrec(k ctoken.Kind) int {
+	switch k {
+	case ctoken.MUL, ctoken.QUO, ctoken.REM:
+		return 10
+	case ctoken.ADD, ctoken.SUB:
+		return 9
+	case ctoken.SHL, ctoken.SHR:
+		return 8
+	case ctoken.LSS, ctoken.GTR, ctoken.LEQ, ctoken.GEQ:
+		return 7
+	case ctoken.EQL, ctoken.NEQ:
+		return 6
+	case ctoken.AND:
+		return 5
+	case ctoken.XOR:
+		return 4
+	case ctoken.OR:
+		return 3
+	case ctoken.LAND:
+		return 2
+	case ctoken.LOR:
+		return 1
+	}
+	return 0
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) cast.Expr {
+	l := p.parseUnaryExpr()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return l
+		}
+		op := p.next().Kind
+		r := p.parseBinaryExpr(prec + 1)
+		l = &cast.Binary{P: l.Pos(), Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnaryExpr() cast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.ADD:
+		p.next()
+		return p.parseUnaryExpr()
+	case ctoken.SUB, ctoken.NOT, ctoken.TILD, ctoken.MUL, ctoken.AND:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &cast.Unary{P: t.Pos, Op: t.Kind, X: x}
+	case ctoken.INC, ctoken.DEC:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &cast.Unary{P: t.Pos, Op: t.Kind, X: x}
+	case ctoken.KwSizeof:
+		p.next()
+		p.expect(ctoken.LPAREN)
+		if typ := p.tryType(); typ != nil && p.cur().Kind == ctoken.RPAREN {
+			p.next()
+			return &cast.SizeofType{P: t.Pos, T: typ}
+		}
+		x := p.parseExpr()
+		p.expect(ctoken.RPAREN)
+		return &cast.SizeofExpr{P: t.Pos, X: x}
+	case ctoken.LPAREN:
+		// Either a cast "(T)expr" or a parenthesized expression.
+		save := p.pos
+		p.next()
+		if typ := p.tryType(); typ != nil && p.cur().Kind == ctoken.RPAREN {
+			p.next()
+			// Cast only when followed by something that can start a
+			// unary expression; otherwise it was "(ident)".
+			switch p.cur().Kind {
+			case ctoken.IDENT, ctoken.INTLIT, ctoken.FLOATLIT, ctoken.STRLIT,
+				ctoken.CHARLIT, ctoken.LPAREN, ctoken.SUB, ctoken.NOT,
+				ctoken.TILD, ctoken.MUL, ctoken.AND, ctoken.INC, ctoken.DEC,
+				ctoken.KwSizeof, ctoken.KwTrue, ctoken.KwFalse:
+				x := p.parseUnaryExpr()
+				return &cast.Cast{P: t.Pos, To: typ, X: x}
+			}
+		}
+		p.pos = save
+		p.next() // (
+		x := p.parseExpr()
+		p.expect(ctoken.RPAREN)
+		return p.parsePostfixOps(x)
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() cast.Expr {
+	t := p.cur()
+	var x cast.Expr
+	switch t.Kind {
+	case ctoken.INTLIT:
+		p.next()
+		x = &cast.IntLit{P: t.Pos, Value: parseIntLit(t.Lit), Text: t.Lit}
+	case ctoken.FLOATLIT:
+		p.next()
+		v, _ := strconv.ParseFloat(trimFloatSuffix(t.Lit), 64)
+		x = &cast.FloatLit{P: t.Pos, Value: v, Text: t.Lit}
+	case ctoken.STRLIT:
+		p.next()
+		x = &cast.StrLit{P: t.Pos, Value: t.Lit}
+	case ctoken.CHARLIT:
+		p.next()
+		var b byte
+		if len(t.Lit) > 0 {
+			b = t.Lit[0]
+		}
+		x = &cast.CharLit{P: t.Pos, Value: b}
+	case ctoken.KwTrue:
+		p.next()
+		x = &cast.BoolLit{P: t.Pos, Value: true}
+	case ctoken.KwFalse:
+		p.next()
+		x = &cast.BoolLit{P: t.Pos, Value: false}
+	case ctoken.IDENT:
+		// Struct temporary "Tag{a, b}".
+		if st, ok := p.unit.Structs[t.Lit]; ok && p.peek().Kind == ctoken.LBRACE {
+			p.next() // tag
+			p.next() // {
+			il := &cast.InitList{P: t.Pos, Type: st}
+			for p.cur().Kind != ctoken.RBRACE && p.cur().Kind != ctoken.EOF {
+				il.Elems = append(il.Elems, p.parseAssignExpr())
+				if !p.accept(ctoken.COMMA) {
+					break
+				}
+			}
+			p.expect(ctoken.RBRACE)
+			x = il
+			break
+		}
+		p.next()
+		x = &cast.Ident{P: t.Pos, Name: t.Lit}
+	default:
+		p.errorf("expected expression, found %s", t)
+		return &cast.IntLit{P: t.Pos}
+	}
+	return p.parsePostfixOps(x)
+}
+
+func (p *parser) parsePostfixOps(x cast.Expr) cast.Expr {
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case ctoken.LPAREN:
+			p.next()
+			call := &cast.Call{P: x.Pos(), Fun: x}
+			for p.cur().Kind != ctoken.RPAREN && p.cur().Kind != ctoken.EOF {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if !p.accept(ctoken.COMMA) {
+					break
+				}
+			}
+			p.expect(ctoken.RPAREN)
+			x = call
+		case ctoken.LBRACKET:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(ctoken.RBRACKET)
+			x = &cast.Index{P: x.Pos(), X: x, Idx: idx}
+		case ctoken.DOT:
+			p.next()
+			f := p.expect(ctoken.IDENT).Lit
+			x = &cast.Member{P: x.Pos(), X: x, Field: f}
+		case ctoken.ARROW:
+			p.next()
+			f := p.expect(ctoken.IDENT).Lit
+			x = &cast.Member{P: x.Pos(), X: x, Field: f, Arrow: true}
+		case ctoken.INC, ctoken.DEC:
+			p.next()
+			x = &cast.Postfix{P: x.Pos(), Op: t.Kind, X: x}
+		default:
+			return x
+		}
+	}
+}
+
+func trimFloatSuffix(s string) string {
+	for len(s) > 0 {
+		last := s[len(s)-1]
+		if last == 'f' || last == 'F' || last == 'l' || last == 'L' {
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	return s
+}
+
+// Ensure ctypes is referenced (used by expr casts through tryType).
+var _ ctypes.Type = ctypes.IntT

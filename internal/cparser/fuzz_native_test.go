@@ -1,0 +1,56 @@
+package cparser
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+)
+
+// FuzzParse drives the lexer+parser+printer with arbitrary inputs: no
+// input may panic, and any input that parses must round-trip through the
+// printer to a fixed point. Run with `go test -fuzz=FuzzParse` for a real
+// campaign; the seeds below run in every normal `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int f() { return 1; }",
+		"struct S { int x; };",
+		"#pragma HLS unroll factor=4",
+		`void k(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }`,
+		"int f( {",
+		"typedef int T; T x;",
+		`int f(fpga_uint<7> x) { return x > 100 ? 1 : 0; }`,
+		"long double d;",
+		`struct N { int v; struct N *n; }; struct N *h;`,
+		"int a[/*]*/3];",
+		"\"unterminated",
+		"int x = 'c' + 0x7f;",
+		"void g() { goto end; end: return; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Parse(src)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		p1 := cast.Print(u)
+		u2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\nsource: %q\nprinted:\n%s", err, src, p1)
+		}
+		p2 := cast.Print(u2)
+		if p1 != p2 {
+			t.Fatalf("print not a fixed point for %q\nfirst:\n%s\nsecond:\n%s", src, p1, p2)
+		}
+		// The checker must never panic on a parsed unit.
+		check.Run(u, hls.DefaultConfig("kernel"))
+		// Cloning preserves the printed form.
+		if cast.Print(cast.CloneUnit(u)) != p1 {
+			t.Fatalf("clone print differs for %q", src)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package cparser
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+)
+
+// parseBlock parses "{ stmts }".
+func (p *parser) parseBlock() *cast.Block {
+	start := p.cur().Pos
+	p.expect(ctoken.LBRACE)
+	b := &cast.Block{P: start}
+	for p.cur().Kind != ctoken.RBRACE && p.cur().Kind != ctoken.EOF {
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(ctoken.RBRACE)
+	return b
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() cast.Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case ctoken.PRAGMA:
+		p.next()
+		return &cast.Pragma{P: t.Pos, Text: t.Lit}
+	case ctoken.LBRACE:
+		return p.parseBlock()
+	case ctoken.SEMI:
+		p.next()
+		return &cast.Block{P: t.Pos} // empty statement
+	case ctoken.KwIf:
+		return p.parseIf()
+	case ctoken.KwFor:
+		return p.parseFor()
+	case ctoken.KwWhile:
+		return p.parseWhile()
+	case ctoken.KwDo:
+		return p.parseDoWhile()
+	case ctoken.KwReturn:
+		p.next()
+		r := &cast.Return{P: t.Pos}
+		if p.cur().Kind != ctoken.SEMI {
+			r.X = p.parseExpr()
+		}
+		p.expect(ctoken.SEMI)
+		return r
+	case ctoken.KwBreak:
+		p.next()
+		p.expect(ctoken.SEMI)
+		return &cast.Break{P: t.Pos}
+	case ctoken.KwContinue:
+		p.next()
+		p.expect(ctoken.SEMI)
+		return &cast.Continue{P: t.Pos}
+	case ctoken.KwSwitch:
+		return p.parseSwitch()
+	case ctoken.KwGoto:
+		p.next()
+		name := p.expect(ctoken.IDENT).Lit
+		p.expect(ctoken.SEMI)
+		return &cast.Goto{P: t.Pos, Name: name}
+	case ctoken.IDENT:
+		// Label: "name:" not followed by another colon (::).
+		if p.peek().Kind == ctoken.COLON && p.at(2).Kind != ctoken.COLON {
+			name := p.next().Lit
+			p.next() // :
+			return &cast.Label{P: t.Pos, Name: name}
+		}
+	}
+
+	if p.isTypeAhead() {
+		return p.parseDeclStmt()
+	}
+
+	e := p.parseExpr()
+	p.expect(ctoken.SEMI)
+	return &cast.ExprStmt{P: t.Pos, X: e}
+}
+
+// parseDeclStmt parses a local declaration statement. Multiple declarators
+// become a Block of DeclStmts so every declaration node stays simple.
+func (p *parser) parseDeclStmt() cast.Stmt {
+	start := p.cur().Pos
+	static, constQ := false, false
+	for {
+		if p.accept(ctoken.KwStatic) {
+			static = true
+			continue
+		}
+		if p.accept(ctoken.KwConst) {
+			constQ = true
+			continue
+		}
+		break
+	}
+	base := p.parseTypeSpec()
+	typ, name := p.parseDeclarator(base)
+	first := &cast.DeclStmt{P: start, Name: name, Type: typ, Static: static, Const: constQ,
+		VLADims: p.lastVLADims}
+	if p.accept(ctoken.ASSIGN) {
+		first.Init = p.parseInitializer()
+	} else if p.cur().Kind == ctoken.LPAREN {
+		// Constructor-style initialization: stack<context> s(1024);
+		p.next()
+		var args []cast.Expr
+		for p.cur().Kind != ctoken.RPAREN && p.cur().Kind != ctoken.EOF {
+			args = append(args, p.parseAssignExpr())
+			if !p.accept(ctoken.COMMA) {
+				break
+			}
+		}
+		p.expect(ctoken.RPAREN)
+		first.Init = &cast.InitList{P: start, Type: typ, Elems: args}
+	}
+	if p.cur().Kind != ctoken.COMMA {
+		p.expect(ctoken.SEMI)
+		return first
+	}
+	group := &cast.Block{P: start, Stmts: []cast.Stmt{first}}
+	for p.accept(ctoken.COMMA) {
+		typ2, name2 := p.parseDeclarator(base)
+		d := &cast.DeclStmt{P: p.cur().Pos, Name: name2, Type: typ2, Static: static, Const: constQ}
+		if p.accept(ctoken.ASSIGN) {
+			d.Init = p.parseInitializer()
+		}
+		group.Stmts = append(group.Stmts, d)
+	}
+	p.expect(ctoken.SEMI)
+	return group
+}
+
+func (p *parser) parseIf() cast.Stmt {
+	start := p.cur().Pos
+	p.next() // if
+	p.expect(ctoken.LPAREN)
+	cond := p.parseExpr()
+	p.expect(ctoken.RPAREN)
+	s := &cast.If{P: start, Cond: cond, BranchID: -1}
+	s.Then = p.parseStmt()
+	if p.accept(ctoken.KwElse) {
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *parser) parseFor() cast.Stmt {
+	start := p.cur().Pos
+	p.next() // for
+	p.expect(ctoken.LPAREN)
+	s := &cast.For{P: start, BranchID: -1}
+	if !p.accept(ctoken.SEMI) {
+		if p.isTypeAhead() {
+			s.Init = p.parseDeclStmt() // consumes the ';'
+		} else {
+			e := p.parseExpr()
+			p.expect(ctoken.SEMI)
+			s.Init = &cast.ExprStmt{P: start, X: e}
+		}
+	}
+	if p.cur().Kind != ctoken.SEMI {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(ctoken.SEMI)
+	if p.cur().Kind != ctoken.RPAREN {
+		s.Post = p.parseExpr()
+	}
+	p.expect(ctoken.RPAREN)
+	s.Body = p.parseStmt()
+	hoistLoopPragmas(&s.Pragmas, &s.Body)
+	return s
+}
+
+func (p *parser) parseWhile() cast.Stmt {
+	start := p.cur().Pos
+	p.next() // while
+	p.expect(ctoken.LPAREN)
+	cond := p.parseExpr()
+	p.expect(ctoken.RPAREN)
+	s := &cast.While{P: start, Cond: cond, BranchID: -1}
+	s.Body = p.parseStmt()
+	hoistLoopPragmas(&s.Pragmas, &s.Body)
+	return s
+}
+
+func (p *parser) parseDoWhile() cast.Stmt {
+	start := p.cur().Pos
+	p.next() // do
+	body := p.parseStmt()
+	p.expect(ctoken.KwWhile)
+	p.expect(ctoken.LPAREN)
+	cond := p.parseExpr()
+	p.expect(ctoken.RPAREN)
+	p.expect(ctoken.SEMI)
+	s := &cast.While{P: start, Cond: cond, Body: body, DoWhile: true, BranchID: -1}
+	hoistLoopPragmas(&s.Pragmas, &s.Body)
+	return s
+}
+
+// hoistLoopPragmas moves leading #pragma statements of a loop body into
+// the loop node itself, where the HLS toolchain models them.
+func hoistLoopPragmas(dst *[]*cast.Pragma, body *cast.Stmt) {
+	b, ok := (*body).(*cast.Block)
+	if !ok {
+		return
+	}
+	for len(b.Stmts) > 0 {
+		pr, ok := b.Stmts[0].(*cast.Pragma)
+		if !ok {
+			break
+		}
+		*dst = append(*dst, pr)
+		b.Stmts = b.Stmts[1:]
+	}
+}
+
+func (p *parser) parseSwitch() cast.Stmt {
+	start := p.cur().Pos
+	p.next() // switch
+	p.expect(ctoken.LPAREN)
+	x := p.parseExpr()
+	p.expect(ctoken.RPAREN)
+	p.expect(ctoken.LBRACE)
+	s := &cast.Switch{P: start, X: x, BranchID: -1}
+	for p.cur().Kind != ctoken.RBRACE && p.cur().Kind != ctoken.EOF {
+		c := &cast.SwitchCase{P: p.cur().Pos}
+		if p.accept(ctoken.KwDefault) {
+			c.IsDefault = true
+		} else {
+			p.expect(ctoken.KwCase)
+			c.Value = p.parseExpr()
+		}
+		p.expect(ctoken.COLON)
+		for {
+			k := p.cur().Kind
+			if k == ctoken.KwCase || k == ctoken.KwDefault || k == ctoken.RBRACE || k == ctoken.EOF {
+				break
+			}
+			c.Body = append(c.Body, p.parseStmt())
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	p.expect(ctoken.RBRACE)
+	return s
+}
+
+// parseInitializer parses either a brace initializer or an assignment
+// expression.
+func (p *parser) parseInitializer() cast.Expr {
+	if p.cur().Kind == ctoken.LBRACE {
+		start := p.cur().Pos
+		p.next()
+		il := &cast.InitList{P: start}
+		for p.cur().Kind != ctoken.RBRACE && p.cur().Kind != ctoken.EOF {
+			il.Elems = append(il.Elems, p.parseInitializer())
+			if !p.accept(ctoken.COMMA) {
+				break
+			}
+		}
+		p.expect(ctoken.RBRACE)
+		return il
+	}
+	return p.parseAssignExpr()
+}
+
+// parseIntLit converts an INTLIT token to a value.
+func parseIntLit(lit string) int64 {
+	trimmed := strings.TrimRight(lit, "uUlL")
+	v, err := strconv.ParseInt(trimmed, 0, 64)
+	if err != nil {
+		// Out-of-range unsigned literal; wrap like C does.
+		u, _ := strconv.ParseUint(trimmed, 0, 64)
+		return int64(u)
+	}
+	return v
+}

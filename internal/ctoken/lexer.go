@@ -1,0 +1,334 @@
+package ctoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns C source text into a token stream. It strips // and /* */
+// comments, folds #include and #define lines away (the subjects are
+// self-contained), and lexes #pragma lines into PRAGMA tokens so the parser
+// can attach them to the statement or declaration they precede.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	errs []error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *Lexer) advance() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isHex(c byte) bool    { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// skipWhitespaceAndComments advances past spaces and comments.
+func (l *Lexer) skipWhitespaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipWhitespaceAndComments()
+	p := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}
+	}
+	c := l.peek()
+
+	// Preprocessor lines. #pragma becomes a PRAGMA token; #include and
+	// #define lines are skipped (the subjects carry no multi-file state).
+	if c == '#' {
+		lineStart := l.pos
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			// Honor line continuations in pragmas/defines.
+			if l.peek() == '\\' && l.peekAt(1) == '\n' {
+				l.advance()
+				l.advance()
+				continue
+			}
+			l.advance()
+		}
+		text := strings.TrimSpace(l.src[lineStart:l.pos])
+		if strings.HasPrefix(text, "#pragma") {
+			body := strings.TrimSpace(strings.TrimPrefix(text, "#pragma"))
+			return Token{Kind: PRAGMA, Lit: body, Pos: p}
+		}
+		return l.Next()
+	}
+
+	if isLetter(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		if k, ok := Keywords[word]; ok {
+			return Token{Kind: k, Lit: word, Pos: p}
+		}
+		return Token{Kind: IDENT, Lit: word, Pos: p}
+	}
+
+	if isDigit(c) || (c == '.' && isDigit(l.peekAt(1))) {
+		return l.lexNumber(p)
+	}
+
+	switch c {
+	case '"':
+		return l.lexString(p)
+	case '\'':
+		return l.lexChar(p)
+	}
+
+	// Operators and punctuation (longest match first).
+	three := l.rest(3)
+	switch three {
+	case "<<=":
+		l.advanceN(3)
+		return Token{Kind: SHLASSIGN, Pos: p}
+	case ">>=":
+		l.advanceN(3)
+		return Token{Kind: SHRASSIGN, Pos: p}
+	case "...":
+		l.advanceN(3)
+		return Token{Kind: ELLIPSIS, Pos: p}
+	}
+	two := l.rest(2)
+	if k, ok := twoCharOps[two]; ok {
+		l.advanceN(2)
+		return Token{Kind: k, Pos: p}
+	}
+	if k, ok := oneCharOps[c]; ok {
+		l.advance()
+		return Token{Kind: k, Pos: p}
+	}
+
+	l.errorf(p, "unexpected character %q", string(c))
+	l.advance()
+	return l.Next()
+}
+
+var twoCharOps = map[string]Kind{
+	"->": ARROW, "++": INC, "--": DEC, "<<": SHL, ">>": SHR,
+	"<=": LEQ, ">=": GEQ, "==": EQL, "!=": NEQ, "&&": LAND, "||": LOR,
+	"+=": ADDASSIGN, "-=": SUBASSIGN, "*=": MULASSIGN, "/=": QUOASSIGN,
+	"%=": REMASSIGN, "&=": ANDASSIGN, "|=": ORASSIGN, "^=": XORASSIGN,
+	"::": COLONCOLON,
+}
+
+var oneCharOps = map[byte]Kind{
+	'(': LPAREN, ')': RPAREN, '{': LBRACE, '}': RBRACE,
+	'[': LBRACKET, ']': RBRACKET, ';': SEMI, ',': COMMA, '.': DOT,
+	'+': ADD, '-': SUB, '*': MUL, '/': QUO, '%': REM,
+	'&': AND, '|': OR, '^': XOR, '!': NOT, '~': TILD,
+	'<': LSS, '>': GTR, '=': ASSIGN, '?': QUESTION, ':': COLON,
+}
+
+func (l *Lexer) rest(n int) string {
+	if l.pos+n > len(l.src) {
+		return ""
+	}
+	return l.src[l.pos : l.pos+n]
+}
+
+func (l *Lexer) advanceN(n int) {
+	for i := 0; i < n; i++ {
+		l.advance()
+	}
+}
+
+func (l *Lexer) lexNumber(p Pos) Token {
+	start := l.pos
+	isFloat := false
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			next := l.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peekAt(2))) {
+				isFloat = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				for l.pos < len(l.src) && isDigit(l.peek()) {
+					l.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u, l, f in any reasonable combination.
+	for l.pos < len(l.src) {
+		switch l.peek() {
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+			continue
+		case 'f', 'F':
+			isFloat = true
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		return Token{Kind: FLOATLIT, Lit: text, Pos: p}
+	}
+	return Token{Kind: INTLIT, Lit: text, Pos: p}
+}
+
+func (l *Lexer) lexString(p Pos) Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		if c == '"' {
+			return Token{Kind: STRLIT, Lit: sb.String(), Pos: p}
+		}
+		if c == '\\' {
+			sb.WriteByte(unescape(l.advance()))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	l.errorf(p, "unterminated string literal")
+	return Token{Kind: STRLIT, Lit: sb.String(), Pos: p}
+}
+
+func (l *Lexer) lexChar(p Pos) Token {
+	l.advance() // opening quote
+	var val byte
+	if l.peek() == '\\' {
+		l.advance()
+		val = unescape(l.advance())
+	} else {
+		val = l.advance()
+	}
+	if l.peek() == '\'' {
+		l.advance()
+	} else {
+		l.errorf(p, "unterminated character literal")
+	}
+	return Token{Kind: CHARLIT, Lit: string(val), Pos: p}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	return c
+}
+
+// Tokenize lexes all of src and returns the token list terminated by EOF.
+func Tokenize(src string) ([]Token, []error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return toks, l.Errors()
+}

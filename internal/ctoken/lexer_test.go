@@ -1,0 +1,235 @@
+package ctoken
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicDeclaration(t *testing.T) {
+	toks, errs := Tokenize("int x = 42;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []Kind{KwInt, IDENT, ASSIGN, INTLIT, SEMI, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"+": ADD, "-": SUB, "*": MUL, "/": QUO, "%": REM,
+		"<<": SHL, ">>": SHR, "<<=": SHLASSIGN, ">>=": SHRASSIGN,
+		"==": EQL, "!=": NEQ, "<=": LEQ, ">=": GEQ,
+		"&&": LAND, "||": LOR, "->": ARROW, "++": INC, "--": DEC,
+		"+=": ADDASSIGN, "-=": SUBASSIGN, "*=": MULASSIGN, "/=": QUOASSIGN,
+		"::": COLONCOLON, "...": ELLIPSIS, "?": QUESTION, ":": COLON,
+	}
+	for src, want := range cases {
+		toks, errs := Tokenize(src)
+		if len(errs) != 0 {
+			t.Fatalf("%q: errors %v", src, errs)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %s want %s", src, toks[0].Kind, want)
+		}
+		if toks[1].Kind != EOF {
+			t.Errorf("%q: expected single token, got %v", src, kinds(toks))
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, _ := Tokenize("while whiles struct structure")
+	want := []Kind{KwWhile, IDENT, KwStruct, IDENT, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"0", INTLIT}, {"42", INTLIT}, {"0x7f", INTLIT}, {"10u", INTLIT},
+		{"100L", INTLIT}, {"1.5", FLOATLIT}, {"2e10", FLOATLIT},
+		{"3.0f", FLOATLIT}, {".5", FLOATLIT}, {"1e-3", FLOATLIT},
+	}
+	for _, c := range cases {
+		toks, errs := Tokenize(c.src)
+		if len(errs) != 0 {
+			t.Fatalf("%q: errors %v", c.src, errs)
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got %s want %s", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Lit != c.src {
+			t.Errorf("%q: literal text %q", c.src, toks[0].Lit)
+		}
+	}
+}
+
+func TestLexDotNotFloat(t *testing.T) {
+	toks, _ := Tokenize("s.pop()")
+	want := []Kind{IDENT, DOT, IDENT, LPAREN, RPAREN, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %s want %s (all: %v)", i, toks[i].Kind, k, kinds(toks))
+		}
+	}
+}
+
+func TestLexPragma(t *testing.T) {
+	toks, errs := Tokenize("#pragma HLS unroll factor=4\nint x;")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != PRAGMA {
+		t.Fatalf("got %s want PRAGMA", toks[0].Kind)
+	}
+	if toks[0].Lit != "HLS unroll factor=4" {
+		t.Errorf("pragma text %q", toks[0].Lit)
+	}
+	if toks[1].Kind != KwInt {
+		t.Errorf("after pragma: got %s want int", toks[1].Kind)
+	}
+}
+
+func TestLexSkipsIncludes(t *testing.T) {
+	toks, _ := Tokenize("#include <hls_stream.h>\n#define N 10\nint x;")
+	if toks[0].Kind != KwInt {
+		t.Errorf("includes/defines not skipped: %v", kinds(toks))
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, errs := Tokenize("int /* block */ x; // line\nfloat y;")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []Kind{KwInt, IDENT, SEMI, KwFloat, IDENT, SEMI, EOF}
+	got := kinds(toks)
+	for i, k := range want {
+		if got[i] != k {
+			t.Errorf("token %d: got %s want %s", i, got[i], k)
+		}
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	_, errs := Tokenize("int x; /* never closed")
+	if len(errs) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestLexStringsAndChars(t *testing.T) {
+	toks, errs := Tokenize(`"hello\n" 'a' '\n' '\0'`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != STRLIT || toks[0].Lit != "hello\n" {
+		t.Errorf("string: %v %q", toks[0].Kind, toks[0].Lit)
+	}
+	if toks[1].Kind != CHARLIT || toks[1].Lit != "a" {
+		t.Errorf("char: %v %q", toks[1].Kind, toks[1].Lit)
+	}
+	if toks[2].Lit != "\n" {
+		t.Errorf("escaped char: %q", toks[2].Lit)
+	}
+	if toks[3].Lit != "\x00" {
+		t.Errorf("nul char: %q", toks[3].Lit)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Tokenize("int x;\nfloat y;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token pos %v", toks[0].Pos)
+	}
+	if toks[3].Pos.Line != 2 || toks[3].Pos.Col != 1 {
+		t.Errorf("float pos %v", toks[3].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	toks, errs := Tokenize("int x @ y;")
+	if len(errs) == 0 {
+		t.Error("expected error for @")
+	}
+	// Lexing continues past the bad character.
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == IDENT && tok.Lit == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lexer did not recover after bad character")
+	}
+}
+
+// Property: lexing always terminates and always ends with EOF, for any
+// input string.
+func TestLexAlwaysTerminatesWithEOF(t *testing.T) {
+	f := func(src string) bool {
+		toks, _ := Tokenize(src)
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identifier-only inputs round-trip exactly.
+func TestLexIdentifierRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		name := "v"
+		for i := uint8(0); i < n%20; i++ {
+			name += string(rune('a' + i%26))
+		}
+		toks, errs := Tokenize(name)
+		return len(errs) == 0 && toks[0].Kind == IDENT && toks[0].Lit == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringTotal(t *testing.T) {
+	for k := EOF; k <= KwFalse; k++ {
+		if s := k.String(); s == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, ADDASSIGN, SHRASSIGN} {
+		if !k.IsAssignOp() {
+			t.Errorf("%s should be assign op", k)
+		}
+	}
+	for _, k := range []Kind{EQL, ADD, INC} {
+		if k.IsAssignOp() {
+			t.Errorf("%s should not be assign op", k)
+		}
+	}
+}

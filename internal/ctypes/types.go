@@ -1,0 +1,521 @@
+// Package ctypes models the type system shared by the C frontend, the CPU
+// interpreter, and the simulated HLS toolchain.
+//
+// It covers the standard C scalar types, pointers, fixed-size and
+// unknown-size arrays, structs and unions, plus the HLS vendor types the
+// paper's repairs introduce: fpga_uint<N>, fpga_int<N> (arbitrary-bitwidth
+// integers) and fpga_float<E,M> (custom-width floats). Each type answers
+// the two questions the toolchain asks: how many bits does it occupy on
+// the fabric, and is it synthesizable at all.
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the concrete Type implementations.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindInt       // C integer family (char..long long, signed/unsigned)
+	KindFloat     // float, double, long double
+	KindFPGAInt   // fpga_int<N> / fpga_uint<N>
+	KindFPGAFloat // fpga_float<E,M>
+	KindPointer
+	KindArray
+	KindStruct // struct or union
+	KindFunc
+	KindStream // hls::stream<T>
+	KindRef    // C++-style reference T& (HLS-C stream parameters)
+	KindNamed  // typedef reference, resolved during checking
+)
+
+// Type is the interface implemented by all types.
+type Type interface {
+	Kind() Kind
+	// Bits is the bit width occupied by one value of the type on the
+	// fabric (0 for void/function types; arrays multiply element bits).
+	Bits() int
+	// C renders the type as C/HLS-C source for the given declarator name;
+	// name may be empty for abstract types (casts, sizeof).
+	C(name string) string
+	// Equal reports structural type equality.
+	Equal(Type) bool
+}
+
+// ---------------------------------------------------------------------------
+// Void / Bool
+
+// Void is the C void type.
+type Void struct{}
+
+func (Void) Kind() Kind { return KindVoid }
+func (Void) Bits() int  { return 0 }
+func (Void) C(name string) string {
+	return withName("void", name)
+}
+func (Void) Equal(o Type) bool { _, ok := o.(Void); return ok }
+
+// Bool is the C bool type.
+type Bool struct{}
+
+func (Bool) Kind() Kind { return KindBool }
+func (Bool) Bits() int  { return 1 }
+func (Bool) C(name string) string {
+	return withName("bool", name)
+}
+func (Bool) Equal(o Type) bool { _, ok := o.(Bool); return ok }
+
+// ---------------------------------------------------------------------------
+// Integers
+
+// Int is a standard C integer type.
+type Int struct {
+	Width    int  // 8, 16, 32, 64
+	Unsigned bool // true for unsigned variants
+}
+
+func (Int) Kind() Kind  { return KindInt }
+func (t Int) Bits() int { return t.Width }
+
+// C renders the canonical C spelling.
+func (t Int) C(name string) string {
+	var base string
+	switch t.Width {
+	case 8:
+		base = "char"
+	case 16:
+		base = "short"
+	case 32:
+		base = "int"
+	case 64:
+		base = "long long"
+	default:
+		base = fmt.Sprintf("int/*%d*/", t.Width)
+	}
+	if t.Unsigned {
+		base = "unsigned " + base
+	}
+	return withName(base, name)
+}
+
+func (t Int) Equal(o Type) bool {
+	u, ok := o.(Int)
+	return ok && t == u
+}
+
+// Common integer types.
+var (
+	Char     = Int{Width: 8}
+	UChar    = Int{Width: 8, Unsigned: true}
+	Short    = Int{Width: 16}
+	UShort   = Int{Width: 16, Unsigned: true}
+	IntT     = Int{Width: 32}
+	UIntT    = Int{Width: 32, Unsigned: true}
+	Long     = Int{Width: 64}
+	ULong    = Int{Width: 64, Unsigned: true}
+	LongLong = Int{Width: 64}
+)
+
+// ---------------------------------------------------------------------------
+// Floats
+
+// FloatKind distinguishes float sizes.
+type FloatKind int
+
+// Float widths.
+const (
+	F32 FloatKind = iota // float
+	F64                  // double
+	F80                  // long double — NOT synthesizable
+)
+
+// Float is a standard C floating type.
+type Float struct{ FK FloatKind }
+
+func (Float) Kind() Kind { return KindFloat }
+func (t Float) Bits() int {
+	switch t.FK {
+	case F32:
+		return 32
+	case F64:
+		return 64
+	default:
+		return 80
+	}
+}
+func (t Float) C(name string) string {
+	switch t.FK {
+	case F32:
+		return withName("float", name)
+	case F64:
+		return withName("double", name)
+	default:
+		return withName("long double", name)
+	}
+}
+func (t Float) Equal(o Type) bool {
+	u, ok := o.(Float)
+	return ok && t == u
+}
+
+// Convenience float types.
+var (
+	FloatT      = Float{FK: F32}
+	DoubleT     = Float{FK: F64}
+	LongDoubleT = Float{FK: F80}
+)
+
+// ---------------------------------------------------------------------------
+// HLS vendor types
+
+// FPGAInt is the arbitrary-precision HLS integer fpga_int<N>/fpga_uint<N>.
+type FPGAInt struct {
+	Width    int
+	Unsigned bool
+}
+
+func (FPGAInt) Kind() Kind  { return KindFPGAInt }
+func (t FPGAInt) Bits() int { return t.Width }
+func (t FPGAInt) C(name string) string {
+	base := fmt.Sprintf("fpga_int<%d>", t.Width)
+	if t.Unsigned {
+		base = fmt.Sprintf("fpga_uint<%d>", t.Width)
+	}
+	return withName(base, name)
+}
+func (t FPGAInt) Equal(o Type) bool {
+	u, ok := o.(FPGAInt)
+	return ok && t == u
+}
+
+// FPGAFloat is the custom-width HLS float fpga_float<E,M>.
+type FPGAFloat struct {
+	Exp  int // exponent bits
+	Mant int // mantissa bits
+}
+
+func (FPGAFloat) Kind() Kind  { return KindFPGAFloat }
+func (t FPGAFloat) Bits() int { return 1 + t.Exp + t.Mant }
+func (t FPGAFloat) C(name string) string {
+	return withName(fmt.Sprintf("fpga_float<%d,%d>", t.Exp, t.Mant), name)
+}
+func (t FPGAFloat) Equal(o Type) bool {
+	u, ok := o.(FPGAFloat)
+	return ok && t == u
+}
+
+// DefaultFPGAFloat is the replacement the paper uses for long double.
+var DefaultFPGAFloat = FPGAFloat{Exp: 8, Mant: 71}
+
+// ---------------------------------------------------------------------------
+// Pointers, arrays
+
+// Pointer is T*.
+type Pointer struct{ Elem Type }
+
+func (Pointer) Kind() Kind { return KindPointer }
+func (Pointer) Bits() int  { return 64 }
+func (t Pointer) C(name string) string {
+	inner := "*" + name
+	if a, ok := t.Elem.(Array); ok {
+		// Pointer to array needs parens: T (*name)[N].
+		return a.C("(" + inner + ")")
+	}
+	return t.Elem.C(inner)
+}
+func (t Pointer) Equal(o Type) bool {
+	u, ok := o.(Pointer)
+	return ok && t.Elem.Equal(u.Elem)
+}
+
+// Array is T[N]. Len < 0 means the length is unknown at compile time —
+// which is precisely the condition the HLS checker rejects with SYNCHK-61.
+type Array struct {
+	Elem Type
+	Len  int // -1 when unknown at compile time
+}
+
+func (Array) Kind() Kind { return KindArray }
+func (t Array) Bits() int {
+	if t.Len < 0 {
+		return 0
+	}
+	return t.Len * t.Elem.Bits()
+}
+func (t Array) C(name string) string {
+	dim := ""
+	if t.Len >= 0 {
+		dim = fmt.Sprintf("%d", t.Len)
+	}
+	return t.Elem.C(fmt.Sprintf("%s[%s]", name, dim))
+}
+func (t Array) Equal(o Type) bool {
+	u, ok := o.(Array)
+	return ok && t.Len == u.Len && t.Elem.Equal(u.Elem)
+}
+
+// ---------------------------------------------------------------------------
+// Structs and unions
+
+// Field is a struct or union member.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Struct is a struct or union type. Struct identity is by tag name; two
+// structs with the same tag are the same type.
+type Struct struct {
+	Tag     string
+	Fields  []Field
+	IsUnion bool
+}
+
+func (*Struct) Kind() Kind { return KindStruct }
+
+// Bits sums field widths (or takes the max for unions).
+func (t *Struct) Bits() int {
+	total := 0
+	for _, f := range t.Fields {
+		b := f.Type.Bits()
+		if t.IsUnion {
+			if b > total {
+				total = b
+			}
+		} else {
+			total += b
+		}
+	}
+	return total
+}
+
+func (t *Struct) C(name string) string {
+	kw := "struct"
+	if t.IsUnion {
+		kw = "union"
+	}
+	return withName(fmt.Sprintf("%s %s", kw, t.Tag), name)
+}
+
+func (t *Struct) Equal(o Type) bool {
+	u, ok := o.(*Struct)
+	return ok && t.Tag == u.Tag && t.IsUnion == u.IsUnion
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (t *Struct) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Functions
+
+// Func is a function type.
+type Func struct {
+	Ret    Type
+	Params []Type
+}
+
+func (*Func) Kind() Kind { return KindFunc }
+func (*Func) Bits() int  { return 0 }
+func (t *Func) C(name string) string {
+	parts := make([]string, len(t.Params))
+	for i, p := range t.Params {
+		parts[i] = p.C("")
+	}
+	return fmt.Sprintf("%s %s(%s)", t.Ret.C(""), name, strings.Join(parts, ", "))
+}
+func (t *Func) Equal(o Type) bool {
+	u, ok := o.(*Func)
+	if !ok || len(t.Params) != len(u.Params) || !t.Ret.Equal(u.Ret) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Equal(u.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Streams (hls::stream<T>) and named types
+
+// Stream is the hls::stream<T> channel type used by dataflow designs.
+type Stream struct{ Elem Type }
+
+func (Stream) Kind() Kind { return KindStream }
+func (t Stream) Bits() int {
+	return t.Elem.Bits()
+}
+func (t Stream) C(name string) string {
+	return withName(fmt.Sprintf("hls::stream<%s>", t.Elem.C("")), name)
+}
+func (t Stream) Equal(o Type) bool {
+	u, ok := o.(Stream)
+	return ok && t.Elem.Equal(u.Elem)
+}
+
+// Ref is a C++-style reference T&, which HLS-C uses for stream parameters
+// and struct members that alias connecting streams. Semantically the
+// interpreter treats a Ref binding as an alias of the referenced lvalue.
+type Ref struct{ Elem Type }
+
+func (Ref) Kind() Kind  { return KindRef }
+func (t Ref) Bits() int { return t.Elem.Bits() }
+func (t Ref) C(name string) string {
+	return t.Elem.C("&" + name)
+}
+func (t Ref) Equal(o Type) bool {
+	u, ok := o.(Ref)
+	return ok && t.Elem.Equal(u.Elem)
+}
+
+// Named is a typedef reference by name; it is resolved against the unit's
+// typedef table during semantic analysis, but printing preserves the alias.
+type Named struct {
+	Name       string
+	Underlying Type // nil until resolved
+}
+
+func (Named) Kind() Kind { return KindNamed }
+func (t Named) Bits() int {
+	if t.Underlying != nil {
+		return t.Underlying.Bits()
+	}
+	return 0
+}
+func (t Named) C(name string) string { return withName(t.Name, name) }
+func (t Named) Equal(o Type) bool {
+	u, ok := o.(Named)
+	if ok && t.Name == u.Name {
+		return true
+	}
+	if t.Underlying != nil {
+		return t.Underlying.Equal(o)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func withName(base, name string) string {
+	if name == "" {
+		return base
+	}
+	return base + " " + name
+}
+
+// Resolve strips Named and Ref wrappers down to the underlying type.
+func Resolve(t Type) Type {
+	for {
+		switch u := t.(type) {
+		case Named:
+			if u.Underlying == nil {
+				return t
+			}
+			t = u.Underlying
+		case Ref:
+			t = u.Elem
+		default:
+			return t
+		}
+	}
+}
+
+// IsInteger reports whether t behaves as an integer (C int family, bool,
+// char literals, or an HLS fixed-width integer).
+func IsInteger(t Type) bool {
+	switch Resolve(t).(type) {
+	case Int, FPGAInt, Bool:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is any floating type.
+func IsFloat(t Type) bool {
+	switch Resolve(t).(type) {
+	case Float, FPGAFloat:
+		return true
+	}
+	return false
+}
+
+// IsArithmetic reports whether t supports arithmetic operators.
+func IsArithmetic(t Type) bool { return IsInteger(t) || IsFloat(t) }
+
+// IsSynthesizable reports whether a value of type t can be realized on the
+// fabric. long double and unknown-size arrays are the canonical offenders.
+func IsSynthesizable(t Type) bool {
+	switch u := Resolve(t).(type) {
+	case Float:
+		return u.FK != F80
+	case Array:
+		return u.Len >= 0 && IsSynthesizable(u.Elem)
+	case Pointer:
+		// Pointers are generally forbidden; interface pointers are handled
+		// separately by the checker. The type itself is representable.
+		return IsSynthesizable(u.Elem)
+	case *Struct:
+		for _, f := range u.Fields {
+			if !IsSynthesizable(f.Type) {
+				return false
+			}
+		}
+		return true
+	case Stream:
+		return IsSynthesizable(u.Elem)
+	}
+	return true
+}
+
+// MinBitsFor returns the minimum number of bits needed to represent every
+// integer in [lo, hi] (two's complement when lo < 0). This is the core of
+// the paper's bitwidth finitization: a variable whose profile shows a max
+// of 83 needs only fpga_uint<7>.
+func MinBitsFor(lo, hi int64) int {
+	if lo >= 0 {
+		// Unsigned representation.
+		bits := 1
+		for v := hi; v > 1; v >>= 1 {
+			bits++
+		}
+		if hi <= 1 {
+			return 1
+		}
+		return bits
+	}
+	// Signed: need to cover both extremes.
+	bits := 2
+	for {
+		min := int64(-1) << (bits - 1)
+		max := -min - 1
+		if lo >= min && hi <= max {
+			return bits
+		}
+		bits++
+		if bits >= 64 {
+			return 64
+		}
+	}
+}
+
+// FitInteger returns the tightest FPGAInt covering [lo, hi].
+func FitInteger(lo, hi int64) FPGAInt {
+	if lo >= 0 {
+		return FPGAInt{Width: MinBitsFor(lo, hi), Unsigned: true}
+	}
+	return FPGAInt{Width: MinBitsFor(lo, hi)}
+}

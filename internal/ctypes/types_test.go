@@ -1,0 +1,232 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRendering(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		name string
+		want string
+	}{
+		{IntT, "x", "int x"},
+		{UIntT, "x", "unsigned int x"},
+		{Char, "c", "char c"},
+		{LongLong, "v", "long long v"},
+		{FloatT, "f", "float f"},
+		{LongDoubleT, "d", "long double d"},
+		{Pointer{Elem: IntT}, "p", "int *p"},
+		{Pointer{Elem: Pointer{Elem: IntT}}, "pp", "int **pp"},
+		{Array{Elem: IntT, Len: 10}, "a", "int a[10]"},
+		{Array{Elem: Array{Elem: IntT, Len: 3}, Len: 2}, "m", "int m[2][3]"},
+		{Array{Elem: IntT, Len: -1}, "a", "int a[]"},
+		{Pointer{Elem: Array{Elem: IntT, Len: 4}}, "pa", "int (*pa)[4]"},
+		{FPGAInt{Width: 7, Unsigned: true}, "r", "fpga_uint<7> r"},
+		{FPGAInt{Width: 12}, "r", "fpga_int<12> r"},
+		{FPGAFloat{Exp: 8, Mant: 71}, "f", "fpga_float<8,71> f"},
+		{Stream{Elem: UIntT}, "s", "hls::stream<unsigned int> s"},
+		{Ref{Elem: Stream{Elem: UIntT}}, "in", "hls::stream<unsigned int> &in"},
+		{Void{}, "", "void"},
+		{Bool{}, "b", "bool b"},
+	}
+	for _, c := range cases {
+		if got := c.typ.C(c.name); got != c.want {
+			t.Errorf("C(%q): got %q want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStructBits(t *testing.T) {
+	s := &Struct{Tag: "S", Fields: []Field{
+		{Name: "a", Type: IntT},
+		{Name: "b", Type: Char},
+	}}
+	if got := s.Bits(); got != 40 {
+		t.Errorf("struct bits = %d, want 40", got)
+	}
+	u := &Struct{Tag: "U", IsUnion: true, Fields: s.Fields}
+	if got := u.Bits(); got != 32 {
+		t.Errorf("union bits = %d, want 32", got)
+	}
+}
+
+func TestStructFieldIndex(t *testing.T) {
+	s := &Struct{Tag: "S", Fields: []Field{{Name: "x", Type: IntT}, {Name: "y", Type: IntT}}}
+	if s.FieldIndex("y") != 1 {
+		t.Error("FieldIndex(y)")
+	}
+	if s.FieldIndex("z") != -1 {
+		t.Error("FieldIndex(missing) should be -1")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !IntT.Equal(Int{Width: 32}) {
+		t.Error("int == int")
+	}
+	if IntT.Equal(UIntT) {
+		t.Error("int != unsigned")
+	}
+	if !(Pointer{Elem: IntT}).Equal(Pointer{Elem: IntT}) {
+		t.Error("int* == int*")
+	}
+	if (Array{Elem: IntT, Len: 3}).Equal(Array{Elem: IntT, Len: 4}) {
+		t.Error("array lengths differ")
+	}
+	s1 := &Struct{Tag: "S"}
+	s2 := &Struct{Tag: "S"}
+	if !s1.Equal(s2) {
+		t.Error("same-tag structs are equal")
+	}
+	if !(FPGAInt{Width: 7, Unsigned: true}).Equal(FPGAInt{Width: 7, Unsigned: true}) {
+		t.Error("fpga_uint<7> equality")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	n := Named{Name: "Node_ptr", Underlying: Named{Name: "idx", Underlying: IntT}}
+	if !Resolve(n).Equal(IntT) {
+		t.Error("nested typedef resolution")
+	}
+	r := Ref{Elem: Stream{Elem: IntT}}
+	if Resolve(r).Kind() != KindStream {
+		t.Error("ref resolution")
+	}
+	unresolved := Named{Name: "mystery"}
+	if Resolve(unresolved).Kind() != KindNamed {
+		t.Error("unresolved typedef stays named")
+	}
+}
+
+func TestIsSynthesizable(t *testing.T) {
+	if IsSynthesizable(LongDoubleT) {
+		t.Error("long double must be unsynthesizable")
+	}
+	if IsSynthesizable(Array{Elem: IntT, Len: -1}) {
+		t.Error("unknown-size array must be unsynthesizable")
+	}
+	if !IsSynthesizable(Array{Elem: IntT, Len: 64}) {
+		t.Error("sized int array is synthesizable")
+	}
+	bad := &Struct{Tag: "B", Fields: []Field{{Name: "d", Type: LongDoubleT}}}
+	if IsSynthesizable(bad) {
+		t.Error("struct with long double field is unsynthesizable")
+	}
+	if !IsSynthesizable(FPGAFloat{Exp: 8, Mant: 71}) {
+		t.Error("fpga_float is synthesizable")
+	}
+}
+
+func TestMinBitsFor(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		want   int
+	}{
+		{0, 0, 1}, {0, 1, 1}, {0, 2, 2}, {0, 83, 7}, {0, 127, 7},
+		{0, 128, 8}, {0, 255, 8}, {0, 256, 9},
+		{-1, 0, 2}, {-128, 127, 8}, {-129, 0, 9}, {0, 1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := MinBitsFor(c.lo, c.hi); got != c.want {
+			t.Errorf("MinBitsFor(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// Property: MinBitsFor produces a width whose unsigned range actually
+// covers hi (for nonnegative ranges) and is minimal.
+func TestMinBitsForCoversAndMinimal(t *testing.T) {
+	f := func(hi uint32) bool {
+		h := int64(hi)
+		bits := MinBitsFor(0, h)
+		if bits < 1 || bits > 64 {
+			return false
+		}
+		covers := h <= (1<<uint(bits))-1
+		minimal := bits == 1 || h > (1<<uint(bits-1))-1
+		return covers && minimal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FitInteger's type always covers the range and signedness.
+func TestFitIntegerCovers(t *testing.T) {
+	f := func(a, b int32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ft := FitInteger(lo, hi)
+		if lo >= 0 {
+			if !ft.Unsigned {
+				return false
+			}
+			return hi <= (1<<uint(ft.Width))-1
+		}
+		if ft.Unsigned {
+			return false
+		}
+		min := int64(-1) << uint(ft.Width-1)
+		max := -min - 1
+		return lo >= min && hi <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncType(t *testing.T) {
+	ft := &Func{Ret: IntT, Params: []Type{FloatT, Pointer{Elem: Char}}}
+	want := "int f(float, char *)"
+	if got := ft.C("f"); got != want {
+		t.Errorf("func C() = %q want %q", got, want)
+	}
+	same := &Func{Ret: IntT, Params: []Type{FloatT, Pointer{Elem: Char}}}
+	if !ft.Equal(same) {
+		t.Error("structurally equal funcs")
+	}
+	diff := &Func{Ret: IntT, Params: []Type{FloatT}}
+	if ft.Equal(diff) {
+		t.Error("different arity funcs must differ")
+	}
+}
+
+func TestIsIntegerFloatArithmetic(t *testing.T) {
+	if !IsInteger(IntT) || !IsInteger(FPGAInt{Width: 9}) || !IsInteger(Bool{}) {
+		t.Error("IsInteger basics")
+	}
+	if IsInteger(FloatT) {
+		t.Error("float is not integer")
+	}
+	if !IsFloat(DoubleT) || !IsFloat(FPGAFloat{Exp: 8, Mant: 23}) {
+		t.Error("IsFloat basics")
+	}
+	if !IsArithmetic(Named{Name: "t", Underlying: IntT}) {
+		t.Error("typedef of int is arithmetic")
+	}
+	if IsArithmetic(Pointer{Elem: IntT}) {
+		t.Error("pointer is not arithmetic")
+	}
+}
+
+func TestBitsOfCommonTypes(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want int
+	}{
+		{Char, 8}, {Short, 16}, {IntT, 32}, {Long, 64},
+		{FloatT, 32}, {DoubleT, 64}, {LongDoubleT, 80},
+		{FPGAInt{Width: 7}, 7}, {FPGAFloat{Exp: 8, Mant: 71}, 80},
+		{Array{Elem: IntT, Len: 4}, 128}, {Array{Elem: IntT, Len: -1}, 0},
+		{Bool{}, 1}, {Void{}, 0},
+	}
+	for _, c := range cases {
+		if got := c.typ.Bits(); got != c.want {
+			t.Errorf("%s bits = %d want %d", c.typ.C(""), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/interp"
+)
+
+func intCase(vals ...int64) fuzz.TestCase {
+	tc := fuzz.TestCase{}
+	for _, v := range vals {
+		tc.Args = append(tc.Args, fuzz.Arg{Scalar: true, Ints: []int64{v}, Width: 32})
+	}
+	return tc
+}
+
+func arrayCase(n int, scalar int64) fuzz.TestCase {
+	in := fuzz.Arg{Ints: make([]int64, n), Width: 32}
+	for i := range in.Ints {
+		in.Ints[i] = int64(i * 3 % 17)
+	}
+	out := fuzz.Arg{Ints: make([]int64, n), Width: 32}
+	return fuzz.TestCase{Args: []fuzz.Arg{in, out,
+		{Scalar: true, Ints: []int64{scalar}, Width: 32}}}
+}
+
+func TestIdenticalProgramsAgree(t *testing.T) {
+	src := `
+void kernel(int in[8], int out[8], int k) {
+    for (int i = 0; i < 8; i++) { out[i] = in[i] * k; }
+}`
+	u1 := cparser.MustParse(src)
+	u2 := cparser.MustParse(src)
+	rep := Run(u1, u2, "kernel", hls.DefaultConfig("kernel"),
+		[]fuzz.TestCase{arrayCase(8, 3), arrayCase(8, -2)})
+	if !rep.AllPass() {
+		t.Errorf("identical programs must agree: %+v %s", rep, rep.FirstDiff)
+	}
+	if rep.CPUMeanCost <= 0 || rep.FPGAMeanCycles <= 0 {
+		t.Error("cost measurement missing")
+	}
+}
+
+func TestBehaviourDivergenceDetected(t *testing.T) {
+	orig := cparser.MustParse(`
+int kernel(int x) { return x * 2; }`)
+	broken := cparser.MustParse(`
+int kernel(int x) { return x * 2 + 1; }`)
+	rep := Run(orig, broken, "kernel", hls.DefaultConfig("kernel"),
+		[]fuzz.TestCase{intCase(5), intCase(0)})
+	if rep.AllPass() {
+		t.Fatal("divergent programs must not all-pass")
+	}
+	if rep.Passed != 0 {
+		t.Errorf("both tests diverge, passed=%d", rep.Passed)
+	}
+	if !strings.Contains(rep.FirstDiff, "return") {
+		t.Errorf("diff description %q", rep.FirstDiff)
+	}
+}
+
+func TestOutputArrayDivergenceDetected(t *testing.T) {
+	orig := cparser.MustParse(`
+void kernel(int in[8], int out[8], int k) {
+    for (int i = 0; i < 8; i++) { out[i] = in[i] + k; }
+}`)
+	broken := cparser.MustParse(`
+void kernel(int in[8], int out[8], int k) {
+    for (int i = 0; i < 7; i++) { out[i] = in[i] + k; }
+}`)
+	rep := Run(orig, broken, "kernel", hls.DefaultConfig("kernel"),
+		[]fuzz.TestCase{arrayCase(8, 5)})
+	if rep.AllPass() {
+		t.Error("last-element divergence must be caught")
+	}
+}
+
+// The paper's P3 story: an undersized stack silently truncates results on
+// FPGA; more tests expose it.
+func TestUndersizedBufferCaughtByLargerTests(t *testing.T) {
+	orig := cparser.MustParse(`
+int kernel(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) { total += i; }
+    return total;
+}`)
+	undersized := cparser.MustParse(`
+int buf[16];
+int kernel(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        buf[i] = i;
+        total += buf[i];
+    }
+    return total;
+}`)
+	cfg := hls.DefaultConfig("kernel")
+	smallOnly := Run(orig, undersized, "kernel", cfg, []fuzz.TestCase{intCase(8)})
+	if !smallOnly.AllPass() {
+		t.Fatalf("small input should pass: %s", smallOnly.FirstDiff)
+	}
+	withLarge := Run(orig, undersized, "kernel", cfg,
+		[]fuzz.TestCase{intCase(8), intCase(40)})
+	if withLarge.AllPass() {
+		t.Error("overflowing input must expose the undersized buffer")
+	}
+}
+
+func TestFloatToleranceAcceptsNarrowedPrecision(t *testing.T) {
+	orig := cparser.MustParse(`
+float kernel(float x) { return x * 0.333333; }`)
+	same := cparser.MustParse(`
+float kernel(float x) { return x * 0.333333; }`)
+	tc := fuzz.TestCase{Args: []fuzz.Arg{{Scalar: true, IsFloat: true, Floats: []float64{7.5}}}}
+	rep := Run(orig, same, "kernel", hls.DefaultConfig("kernel"), []fuzz.TestCase{tc})
+	if !rep.AllPass() {
+		t.Errorf("float kernels should agree within tolerance: %s", rep.FirstDiff)
+	}
+}
+
+func TestAgreeSemantics(t *testing.T) {
+	a := Outcome{Ret: interp.IntValue(5)}
+	b := Outcome{Ret: interp.IntValue(5)}
+	if !Agree(a, b) {
+		t.Error("equal outcomes agree")
+	}
+	c := Outcome{Ret: interp.IntValue(6)}
+	if Agree(a, c) {
+		t.Error("different returns disagree")
+	}
+	e1 := Outcome{Err: errFake("x")}
+	e2 := Outcome{Err: errFake("y")}
+	if !Agree(e1, e2) {
+		t.Error("two faulting executions agree (no observable behaviour)")
+	}
+	if Agree(a, e1) {
+		t.Error("fault vs success disagree")
+	}
+}
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }
+
+func TestPassRatio(t *testing.T) {
+	r := Report{Total: 4, Passed: 3}
+	if r.PassRatio() != 0.75 {
+		t.Errorf("ratio %f", r.PassRatio())
+	}
+	empty := Report{}
+	if empty.PassRatio() != 1 {
+		t.Error("empty suite ratio should be 1")
+	}
+}

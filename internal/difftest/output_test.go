@@ -1,0 +1,37 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// printf output is part of observable behaviour: two kernels agreeing on
+// return values but printing differently must disagree.
+func TestPrintfOutputCompared(t *testing.T) {
+	orig := cparser.MustParse(`
+int kernel(int x) {
+    printf("value=%d\n", x);
+    return x;
+}`)
+	quiet := cparser.MustParse(`
+int kernel(int x) {
+    return x;
+}`)
+	tc := fuzz.TestCase{Args: []fuzz.Arg{{Scalar: true, Ints: []int64{5}, Width: 32}}}
+	rep := Run(orig, quiet, "kernel", hls.DefaultConfig("kernel"), []fuzz.TestCase{tc})
+	if rep.AllPass() {
+		t.Error("differing printf output must fail differential testing")
+	}
+	same := cparser.MustParse(`
+int kernel(int x) {
+    printf("value=%d\n", x);
+    return x;
+}`)
+	rep = Run(orig, same, "kernel", hls.DefaultConfig("kernel"), []fuzz.TestCase{tc})
+	if !rep.AllPass() {
+		t.Errorf("identical printf output must pass: %s", rep.FirstDiff)
+	}
+}

@@ -1,0 +1,296 @@
+// Package eval is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (§6): Table 3 (conversion
+// effectiveness), Table 4 (test generation), Figure 9 (ablations), Table 5
+// (manual / HeteroRefactor comparison), and Figure 3 (the forum study).
+//
+// Absolute numbers come from the simulated toolchain (virtual compile
+// latency, modelled FPGA cycles), so they will not match the paper's
+// testbed; the shapes — who wins, where performance improves, where the
+// ablations blow up — are the reproduction targets.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hetero/heterogen/internal/baselines"
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/forum"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/profile"
+	"github.com/hetero/heterogen/internal/repair"
+	"github.com/hetero/heterogen/internal/subjects"
+)
+
+// Config tunes harness effort.
+type Config struct {
+	// Quick shrinks fuzzing budgets for fast CI runs; the full
+	// configuration approximates the paper's campaign sizes.
+	Quick bool
+	Seed  int64
+	// ValidationCap bounds the number of tests used for repair fitness
+	// evaluation (the virtual-time accounting still reflects the full
+	// suite; this bounds real execution).
+	ValidationCap int
+}
+
+// DefaultConfig is the full-effort harness configuration.
+func DefaultConfig() Config { return Config{Seed: 1, ValidationCap: 24} }
+
+// QuickConfig is the CI-sized configuration.
+func QuickConfig() Config { return Config{Quick: true, Seed: 1, ValidationCap: 12} }
+
+func (c Config) fuzzOptions() fuzz.Options {
+	o := fuzz.DefaultOptions()
+	o.Seed = c.Seed
+	if c.Quick {
+		o.MaxExecs = 220
+		o.Plateau = 90
+	} else {
+		o.MaxExecs = 2600
+		o.Plateau = 450
+	}
+	return o
+}
+
+// SubjectRun aggregates everything the per-subject tables need.
+type SubjectRun struct {
+	ID, Name    string
+	OriginalLOC int
+
+	// Table 3.
+	Compatible bool
+	BehaviorOK bool
+	Improved   bool
+
+	// Table 4.
+	TestsGenerated   int
+	GenMinutes       float64
+	Coverage         float64
+	ExistingCount    int
+	ExistingCoverage float64 // -1 when the subject ships without tests
+
+	// Table 5.
+	DeltaLOC        int
+	ManualDeltaLOC  int
+	HRSucceeded     bool
+	HRDeltaLOC      int
+	RuntimeOriginMS float64
+	RuntimeManualMS float64
+	RuntimeHRMS     float64 // -1 when HR failed
+	RuntimeHGMS     float64
+
+	// Figure 9 inputs for the main configuration.
+	HGMinutes        float64
+	HGInvocations    int
+	HGCandidates     int
+	HGStyleRejects   int
+	EditLog          []string
+	ValidationsTotal int
+}
+
+// RunSubject executes the full HeteroGen pipeline plus the Table 5
+// comparisons for one subject.
+func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
+	run := SubjectRun{ID: s.ID, Name: s.Name}
+	orig := s.MustParse()
+	run.OriginalLOC = cast.CountLines(orig)
+
+	// --- Test generation (Table 4) -------------------------------------
+	camp, err := fuzz.Run(orig, s.Kernel, cfg.fuzzOptions())
+	if err != nil {
+		return run, fmt.Errorf("%s: fuzz: %w", s.ID, err)
+	}
+	run.TestsGenerated = camp.Execs
+	run.GenMinutes = camp.VirtualMinutes()
+	run.Coverage = camp.Coverage
+	run.ExistingCoverage = -1
+	if s.ExistingTests != nil {
+		existing := s.ExistingTests()
+		run.ExistingCount = len(existing)
+		cov, err := fuzz.Replay(orig, s.Kernel, existing)
+		if err == nil {
+			run.ExistingCoverage = cov
+		}
+	}
+
+	valSuite := validationSuite(orig, s.Kernel, camp.Tests, cfg)
+
+	// --- Initial version + repair (Table 3) ----------------------------
+	initial := cast.CloneUnit(orig)
+	if prof, err := profile.Generate(orig, s.Kernel, valSuite); err == nil {
+		initial = prof.Unit
+	}
+	ropts := repair.DefaultOptions()
+	ropts.Seed = cfg.Seed
+	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
+	run.Compatible = rr.Compatible
+	run.BehaviorOK = rr.BehaviorOK
+	run.Improved = rr.Improved
+	run.DeltaLOC = repair.EditedLines(orig, rr.Unit)
+	run.HGMinutes = rr.Stats.VirtualMinutes()
+	run.HGInvocations = rr.Stats.HLSInvocations
+	run.HGCandidates = rr.Stats.CandidatesTried
+	run.HGStyleRejects = rr.Stats.StyleRejections
+	run.EditLog = rr.Stats.EditLog
+	run.ValidationsTotal = len(valSuite)
+
+	cfgHLS := hls.DefaultConfig(s.Kernel)
+	run.RuntimeOriginMS = rr.Report.CPUMeanMS()
+	run.RuntimeHGMS = rr.Report.FPGAMeanMS()
+
+	// --- Manual version (Table 5) --------------------------------------
+	manual := s.MustParseManual()
+	mrep := difftest.Run(orig, manual, s.Kernel, cfgHLS, valSuite)
+	run.ManualDeltaLOC = manualDelta(orig, manual)
+	if mrep.Total > 0 && mrep.AllPass() {
+		run.RuntimeManualMS = mrep.FPGAMeanMS()
+		if run.RuntimeOriginMS == 0 {
+			run.RuntimeOriginMS = mrep.CPUMeanMS()
+		}
+	}
+
+	// --- HeteroRefactor (Table 5) --------------------------------------
+	var hrTests []fuzz.TestCase
+	if s.ExistingTests != nil {
+		hrTests = s.ExistingTests()
+	}
+	hrRes := baselines.HeteroRefactor(orig, s.Kernel, capSuite(hrTests, cfg.ValidationCap))
+	run.HRSucceeded = hrRes.Compatible && hrRes.BehaviorOK && s.HRSupported
+	run.RuntimeHRMS = -1
+	run.HRDeltaLOC = -1
+	if run.HRSucceeded {
+		hrRep := difftest.Run(orig, hrRes.Unit, s.Kernel, cfgHLS, valSuite)
+		if hrRep.AllPass() {
+			run.RuntimeHRMS = hrRep.FPGAMeanMS()
+			run.HRDeltaLOC = repair.EditedLines(orig, hrRes.Unit)
+		} else {
+			run.HRSucceeded = false
+		}
+	}
+	return run, nil
+}
+
+// manualDelta counts lines changed between original and manual versions:
+// the symmetric difference of their line multisets (a coarse but honest
+// stand-in for the paper's added-line count).
+func manualDelta(orig, manual *cast.Unit) int {
+	a := lineSet(cast.Print(orig))
+	b := lineSet(cast.Print(manual))
+	delta := 0
+	for line, n := range b {
+		if m := a[line]; n > m {
+			delta += n - m
+		}
+	}
+	return delta
+}
+
+func lineSet(src string) map[string]int {
+	out := map[string]int{}
+	for _, l := range strings.Split(src, "\n") {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// validationSuite builds the repair-fitness suite: the corpus minimized
+// to a coverage set cover (so every behaviour class keeps a witness),
+// topped up with an even spread of the remainder to the cap.
+func validationSuite(orig *cast.Unit, kernel string, tests []fuzz.TestCase, cfg Config) []fuzz.TestCase {
+	min, err := fuzz.Minimize(orig, kernel, tests)
+	if err != nil || len(min) == 0 {
+		return capSuite(tests, cfg.ValidationCap)
+	}
+	if len(min) >= cfg.ValidationCap && cfg.ValidationCap > 0 {
+		return capSuite(min, cfg.ValidationCap)
+	}
+	// Top up with spread extras for value diversity beyond pure coverage.
+	extra := capSuite(tests, cfg.ValidationCap-len(min))
+	return append(min, extra...)
+}
+
+// capSuite bounds a test suite, keeping an even spread.
+func capSuite(tests []fuzz.TestCase, cap int) []fuzz.TestCase {
+	if cap <= 0 || len(tests) <= cap {
+		return tests
+	}
+	out := make([]fuzz.TestCase, 0, cap)
+	step := float64(len(tests)) / float64(cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, tests[int(float64(i)*step)])
+	}
+	return out
+}
+
+// RunAll executes all ten subjects, fanning out across CPUs (each
+// subject's pipeline is independent and deterministic for a given seed).
+func RunAll(cfg Config) ([]SubjectRun, error) {
+	subs := subjects.All()
+	runs := make([]SubjectRun, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s subjects.Subject) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunSubject(s, cfg)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return runs, err
+		}
+	}
+	return runs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+
+// Figure3 synthesizes the forum corpus and reports the measured error-type
+// distribution.
+func Figure3(cfg Config) forum.StudyResult {
+	n := 1000
+	if cfg.Quick {
+		n = 300
+	}
+	return forum.Study(forum.Corpus(n, cfg.Seed))
+}
+
+// FormatFigure3 renders the pie-chart data as text.
+func FormatFigure3(res forum.StudyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: HLS compatibility error types (%d posts, %.0f%% classifier agreement)\n",
+		res.Total, 100*res.Accuracy)
+	type row struct {
+		c   hls.ErrorClass
+		pct float64
+	}
+	var rows []row
+	for c, p := range res.Percent {
+		rows = append(rows, row{c, p})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pct > rows[j].pct })
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-26s %5.1f%%  %s\n", r.c, r.pct, bar(r.pct))
+	}
+	return sb.String()
+}
+
+func bar(pct float64) string {
+	n := int(pct / 2)
+	return strings.Repeat("#", n)
+}

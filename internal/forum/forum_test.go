@@ -1,0 +1,100 @@
+package forum
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+func TestCorpusSizeAndProportions(t *testing.T) {
+	posts := Corpus(1000, 1)
+	if len(posts) != 1000 {
+		t.Fatalf("corpus size %d", len(posts))
+	}
+	counts := map[hls.ErrorClass]int{}
+	for _, p := range posts {
+		counts[p.Truth]++
+	}
+	for c, perMille := range Figure3Proportions {
+		want := perMille // of 1000
+		got := counts[c]
+		if got < want-10 || got > want+10 {
+			t.Errorf("%s: %d posts, want ~%d", c, got, want)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(500, 7)
+	b := Corpus(500, 7)
+	for i := range a {
+		if a[i].Body != b[i].Body || a[i].Truth != b[i].Truth {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+	c := Corpus(500, 8)
+	same := 0
+	for i := range a {
+		if a[i].Body == c[i].Body {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusContainsTable1Posts(t *testing.T) {
+	posts := Corpus(300, 1)
+	found := map[int]bool{}
+	for _, p := range posts {
+		found[p.ID] = true
+	}
+	for _, want := range Table1Posts {
+		if !found[want.ID] {
+			t.Errorf("Table 1 post %d missing from corpus", want.ID)
+		}
+	}
+}
+
+func TestStudyClassifierAgreement(t *testing.T) {
+	res := Study(Corpus(1000, 1))
+	if res.Total != 1000 {
+		t.Fatalf("total %d", res.Total)
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("classifier agreement %.2f too low", res.Accuracy)
+	}
+	if res.Unmatched > 50 {
+		t.Errorf("too many unmatched posts: %d", res.Unmatched)
+	}
+	// Percentages sum to ~100.
+	sum := 0.0
+	for _, p := range res.Percent {
+		sum += p
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("percentages sum to %.1f", sum)
+	}
+}
+
+func TestStudyRankingMatchesFigure3(t *testing.T) {
+	res := Study(Corpus(1000, 1))
+	order := []hls.ErrorClass{
+		hls.ClassUnsupportedType, hls.ClassTopFunction,
+		hls.ClassDataflow, hls.ClassStructUnion, hls.ClassDynamicData,
+	}
+	for i := 1; i < len(order); i++ {
+		if res.Percent[order[i-1]] < res.Percent[order[i]]-0.5 {
+			t.Errorf("ranking violated: %s (%.1f%%) should be >= %s (%.1f%%)",
+				order[i-1], res.Percent[order[i-1]], order[i], res.Percent[order[i]])
+		}
+	}
+}
+
+func TestTable1PostsClassifyToTheirTruth(t *testing.T) {
+	res := Study(Table1Posts)
+	if res.Accuracy != 1.0 {
+		t.Errorf("the six Table 1 exemplars must classify perfectly, got %.2f", res.Accuracy)
+	}
+}

@@ -1,0 +1,397 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/interp"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// Seed fixes the mutation RNG for reproducibility.
+	Seed int64
+	// MaxExecs bounds total kernel executions (default 4000).
+	MaxExecs int
+	// Plateau stops the campaign after this many consecutive executions
+	// without new coverage (default 600) — the analog of the paper's
+	// "30 minutes since the last new path" stopping rule.
+	Plateau int
+	// HostMain, when set, is executed first to capture kernel-entry seeds
+	// (Algorithm 1's getKernelSeed). When empty, seeding is random.
+	HostMain string
+	// TypedMutation disables the HLS-type-validity filter when false
+	// (used by the ablation benchmarks).
+	TypedMutation bool
+	// MaxStepsPerExec bounds one kernel execution.
+	MaxStepsPerExec int64
+}
+
+// DefaultOptions returns the standard campaign configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:            1,
+		MaxExecs:        4000,
+		Plateau:         600,
+		TypedMutation:   true,
+		MaxStepsPerExec: 2_000_000,
+	}
+}
+
+// Campaign is the result of a fuzzing run.
+type Campaign struct {
+	Spec  Spec
+	Tests []TestCase
+	// Coverage is covered branch outcomes / total outcomes over the
+	// functions reachable from the kernel, in [0,1].
+	Coverage float64
+	// CoveredOutcomes / TotalOutcomes detail the fraction.
+	CoveredOutcomes int
+	TotalOutcomes   int
+	Execs           int
+	// VirtualSeconds models the wall-clock the paper's Table 4 reports
+	// (each execution has a small fixed virtual cost).
+	VirtualSeconds float64
+	// SeededFromHost reports whether a host run supplied the seed.
+	SeededFromHost bool
+}
+
+// execVirtualSeconds is the simulated cost of one fuzz execution,
+// calibrated so campaigns land in the tens-of-minutes range of Table 4.
+const execVirtualSeconds = 0.9
+
+// Run executes a fuzzing campaign against the kernel of u.
+func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
+	if opts.MaxExecs == 0 {
+		opts.MaxExecs = 4000
+	}
+	if opts.Plateau == 0 {
+		opts.Plateau = 600
+	}
+	if opts.MaxStepsPerExec == 0 {
+		opts.MaxStepsPerExec = 2_000_000
+	}
+	sp, err := SpecOf(u, kernel)
+	if err != nil {
+		return Campaign{}, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	camp := Campaign{Spec: sp}
+	sites := reachableSites(u, kernel)
+	camp.TotalOutcomes = 2 * len(sites)
+	inSites := map[int]bool{}
+	for _, s := range sites {
+		inSites[s] = true
+	}
+
+	in, err := interp.New(u, interp.Options{
+		Coverage: true,
+		MaxSteps: opts.MaxStepsPerExec,
+	})
+	if err != nil {
+		return Campaign{}, err
+	}
+
+	covered := map[int]bool{} // outcome index -> seen
+	newCoverage := func() bool {
+		found := false
+		for idx, hit := range in.CoverageBits {
+			if hit && !covered[idx] && inSites[idx/2] {
+				covered[idx] = true
+				found = true
+			}
+		}
+		return found
+	}
+
+	execute := func(tc TestCase) (bool, error) {
+		// Fresh globals per test, preserving cumulative coverage bits.
+		saved := in.CoverageBits
+		if err := in.Reset(); err != nil {
+			return false, err
+		}
+		copy(in.CoverageBits, saved)
+		camp.Execs++
+		camp.VirtualSeconds += execVirtualSeconds
+		_, runErr := in.CallKernel(kernel, tc.Values())
+		if runErr != nil {
+			// Crashing inputs still contribute coverage but are not
+			// retained: the repair oracle needs clean reference outputs.
+			newCoverage()
+			return false, nil
+		}
+		return newCoverage(), nil
+	}
+
+	// Seed: host capture when available, else type-valid random.
+	var queue []TestCase
+	if opts.HostMain != "" {
+		if seed, ok := captureHostSeed(u, kernel, opts.HostMain, sp); ok {
+			queue = append(queue, seed)
+			camp.SeededFromHost = true
+		}
+	}
+	if len(queue) == 0 {
+		queue = append(queue, randomCase(sp, rng))
+	}
+
+	// Initial corpus entries always count as tests.
+	for _, tc := range queue {
+		gain, err := execute(tc)
+		if err != nil {
+			return camp, err
+		}
+		_ = gain
+		camp.Tests = append(camp.Tests, tc)
+	}
+
+	sinceGain := 0
+	for camp.Execs < opts.MaxExecs && sinceGain < opts.Plateau {
+		// Pop a corpus entry (round-robin over the retained queue).
+		parent := queue[camp.Execs%len(queue)]
+		children := mutate(parent, sp, rng, opts.TypedMutation)
+		for _, child := range children {
+			if camp.Execs >= opts.MaxExecs {
+				break
+			}
+			if !TypeValid(sp, child) {
+				if opts.TypedMutation {
+					// The inserted type checker filters these for free.
+					continue
+				}
+				// Untyped ablation: the invalid input is executed, dies
+				// at the kernel entry, and contributes nothing.
+				camp.Execs++
+				camp.VirtualSeconds += execVirtualSeconds
+				sinceGain++
+				continue
+			}
+			gained, err := execute(child)
+			if err != nil {
+				return camp, err
+			}
+			if gained {
+				queue = append(queue, child)
+				camp.Tests = append(camp.Tests, child)
+				sinceGain = 0
+			} else {
+				sinceGain++
+			}
+		}
+	}
+
+	camp.CoveredOutcomes = len(covered)
+	if camp.TotalOutcomes > 0 {
+		camp.Coverage = float64(len(covered)) / float64(camp.TotalOutcomes)
+	} else {
+		camp.Coverage = 1
+	}
+	return camp, nil
+}
+
+// Replay measures the coverage of a fixed test suite (used to score
+// pre-existing tests for Table 4).
+func Replay(u *cast.Unit, kernel string, tests []TestCase) (float64, error) {
+	sites := reachableSites(u, kernel)
+	if len(sites) == 0 {
+		return 1, nil
+	}
+	inSites := map[int]bool{}
+	for _, s := range sites {
+		inSites[s] = true
+	}
+	in, err := interp.New(u, interp.Options{Coverage: true})
+	if err != nil {
+		return 0, err
+	}
+	for _, tc := range tests {
+		saved := in.CoverageBits
+		if err := in.Reset(); err != nil {
+			return 0, err
+		}
+		copy(in.CoverageBits, saved)
+		if _, err := in.CallKernel(kernel, tc.Values()); err != nil {
+			continue
+		}
+	}
+	n := 0
+	for idx, hit := range in.CoverageBits {
+		if hit && inSites[idx/2] {
+			n++
+		}
+	}
+	return float64(n) / float64(2*len(sites)), nil
+}
+
+// captureHostSeed runs the host entry point and snapshots the first
+// kernel-call arguments.
+func captureHostSeed(u *cast.Unit, kernel, hostMain string, sp Spec) (TestCase, bool) {
+	var captured []interp.Value
+	in, err := interp.New(u, interp.Options{
+		CaptureName: kernel,
+		CaptureCall: func(args []interp.Value) {
+			if captured == nil {
+				captured = args
+			}
+		},
+	})
+	if err != nil {
+		return TestCase{}, false
+	}
+	if _, err := in.CallKernel(hostMain, nil); err != nil && captured == nil {
+		return TestCase{}, false
+	}
+	if captured == nil {
+		return TestCase{}, false
+	}
+	tc := TestCase{Args: make([]Arg, len(sp.Params))}
+	for i := range sp.Params {
+		proto := sp.Params[i].Clone()
+		if i < len(captured) {
+			fillFromValue(&proto, captured[i])
+		}
+		tc.Args[i] = proto
+	}
+	if !TypeValid(sp, tc) {
+		return TestCase{}, false
+	}
+	return tc, true
+}
+
+// fillFromValue copies a captured runtime value into an Arg payload.
+func fillFromValue(a *Arg, v interp.Value) {
+	if a.Scalar {
+		if a.IsFloat {
+			a.Floats[0] = v.AsFloat()
+		} else {
+			a.Ints[0] = interp.WrapInt(v.AsInt(), a.Width, a.Unsigned)
+		}
+		return
+	}
+	if v.Kind != interp.VPtr || v.Obj == nil {
+		return
+	}
+	n := len(v.Obj.Elems)
+	for i := 0; i < a.Len() && i < n; i++ {
+		if a.IsFloat {
+			a.Floats[i] = v.Obj.Elems[i].AsFloat()
+		} else {
+			a.Ints[i] = interp.WrapInt(v.Obj.Elems[i].AsInt(), a.Width, a.Unsigned)
+		}
+	}
+}
+
+// reachableSites returns the branch-site IDs in functions reachable from
+// the kernel.
+func reachableSites(u *cast.Unit, kernel string) []int {
+	reach := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		if reach[name] {
+			return
+		}
+		fn := u.Func(name)
+		if fn == nil {
+			return
+		}
+		reach[name] = true
+		cast.Inspect(fn, func(n cast.Node) bool {
+			if c, ok := n.(*cast.Call); ok {
+				if id, ok := c.Fun.(*cast.Ident); ok {
+					visit(id.Name)
+				}
+				if mem, ok := c.Fun.(*cast.Member); ok {
+					// Struct methods: visit all same-named methods.
+					_ = mem
+					for _, d := range u.Decls {
+						if sd, ok := d.(*cast.StructDecl); ok {
+							for _, m := range sd.Methods {
+								if m.Name == mem.Field {
+									visitMethod(u, m, reach, visit)
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(kernel)
+
+	var sites []int
+	collect := func(fn *cast.FuncDecl) {
+		cast.Inspect(fn, func(n cast.Node) bool {
+			switch x := n.(type) {
+			case *cast.If:
+				sites = append(sites, x.BranchID)
+			case *cast.For:
+				sites = append(sites, x.BranchID)
+			case *cast.While:
+				sites = append(sites, x.BranchID)
+			case *cast.Cond:
+				sites = append(sites, x.BranchID)
+			case *cast.Switch:
+				for i := range x.Cases {
+					sites = append(sites, x.BranchID+i)
+				}
+			}
+			return true
+		})
+	}
+	for _, d := range u.Decls {
+		switch x := d.(type) {
+		case *cast.FuncDecl:
+			if reach[x.Name] {
+				collect(x)
+			}
+		case *cast.StructDecl:
+			for _, m := range x.Methods {
+				if reach[x.Type.Tag+"::"+m.Name] {
+					collect(m)
+				}
+			}
+		}
+	}
+	return sites
+}
+
+func visitMethod(u *cast.Unit, m *cast.FuncDecl, reach map[string]bool, visit func(string)) {
+	key := methodKeyOf(u, m)
+	if reach[key] {
+		return
+	}
+	reach[key] = true
+	cast.Inspect(m, func(n cast.Node) bool {
+		if c, ok := n.(*cast.Call); ok {
+			if id, ok := c.Fun.(*cast.Ident); ok {
+				visit(id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func methodKeyOf(u *cast.Unit, m *cast.FuncDecl) string {
+	for _, d := range u.Decls {
+		if sd, ok := d.(*cast.StructDecl); ok {
+			for _, mm := range sd.Methods {
+				if mm == m {
+					return sd.Type.Tag + "::" + m.Name
+				}
+			}
+		}
+	}
+	return m.Name
+}
+
+// VirtualMinutes renders the campaign's simulated duration.
+func (c Campaign) VirtualMinutes() float64 { return c.VirtualSeconds / 60 }
+
+// Summary is a one-line report.
+func (c Campaign) Summary() string {
+	return fmt.Sprintf("%d tests, %.0f min, %.0f%% branch coverage",
+		len(c.Tests), c.VirtualMinutes(), 100*c.Coverage)
+}

@@ -1,0 +1,277 @@
+package fuzz
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mutate derives a batch of children from a parent test case, AFL-style:
+// a mix of deterministic boundary probes and randomized havoc, always
+// respecting the declared types when materialized by the caller's
+// type-validity filter.
+func mutate(parent TestCase, sp Spec, rng *rand.Rand, typed bool) []TestCase {
+	clamp := clampInt
+	if !typed {
+		// Untyped mutation (the ablation): values roam the full int64
+		// range; type-invalid inputs then die at the kernel entry.
+		clamp = func(v int64, a Arg) int64 { return v }
+	}
+	var out []TestCase
+	emit := func(tc TestCase) { out = append(out, tc) }
+
+	for ai := range parent.Args {
+		if sp.OutParams[ai] {
+			continue // never mutate pure outputs
+		}
+		a := parent.Args[ai]
+		if a.IsFloat {
+			for _, f := range floatProbes(a, rng) {
+				child := parent.Clone()
+				child.Args[ai] = f
+				emit(child)
+			}
+		} else {
+			for _, f := range intProbes(a, rng, clamp) {
+				child := parent.Clone()
+				child.Args[ai] = f
+				emit(child)
+			}
+			// Dictionary probes: program constants defeat equality guards.
+			if len(sp.Dict) > 0 {
+				for k := 0; k < 3; k++ {
+					child := parent.Clone()
+					d := sp.Dict[rng.Intn(len(sp.Dict))]
+					ca := &child.Args[ai]
+					ca.Ints[rng.Intn(len(ca.Ints))] = clamp(d, *ca)
+					emit(child)
+				}
+			}
+		}
+	}
+
+	// Havoc: several multi-site random mutations.
+	for h := 0; h < 4; h++ {
+		child := parent.Clone()
+		hits := 1 + rng.Intn(4)
+		for i := 0; i < hits; i++ {
+			ai := rng.Intn(len(child.Args))
+			if sp.OutParams[ai] {
+				continue
+			}
+			havocOne(&child.Args[ai], rng, clamp)
+		}
+		emit(child)
+	}
+	return out
+}
+
+// intProbes produces deterministic-ish integer mutations: boundary values
+// of the declared width, bit flips, and small arithmetic.
+func intProbes(a Arg, rng *rand.Rand, clamp func(int64, Arg) int64) []Arg {
+	var out []Arg
+	bounds := intBounds(a)
+	if a.Scalar {
+		for _, b := range bounds {
+			c := a.Clone()
+			c.Ints[0] = b
+			out = append(out, c)
+		}
+		for _, d := range []int64{1, -1, 7, -7, 64} {
+			c := a.Clone()
+			c.Ints[0] = clamp(c.Ints[0]+d, a)
+			out = append(out, c)
+		}
+		c := a.Clone()
+		c.Ints[0] = clamp(c.Ints[0]^(1<<uint(rng.Intn(maxBit(a)))), a)
+		out = append(out, c)
+		return out
+	}
+	// Array probes: boundary fill, single-element boundary, random fill,
+	// sorted and reversed ramps (valuable for sorting kernels).
+	for _, b := range bounds[:2] {
+		c := a.Clone()
+		for i := range c.Ints {
+			c.Ints[i] = b
+		}
+		out = append(out, c)
+	}
+	c := a.Clone()
+	c.Ints[rng.Intn(len(c.Ints))] = bounds[len(bounds)-1]
+	out = append(out, c)
+
+	c = a.Clone()
+	for i := range c.Ints {
+		c.Ints[i] = clamp(rng.Int63n(1<<uint(maxBit(a)))-boundOffset(a), a)
+	}
+	out = append(out, c)
+
+	c = a.Clone()
+	for i := range c.Ints {
+		c.Ints[i] = clamp(int64(i), a)
+	}
+	out = append(out, c)
+
+	c = a.Clone()
+	for i := range c.Ints {
+		c.Ints[i] = clamp(int64(len(c.Ints)-i), a)
+	}
+	out = append(out, c)
+	return out
+}
+
+func floatProbes(a Arg, rng *rand.Rand) []Arg {
+	specials := []float64{0, 1, -1, 0.5, 1e6, -1e6, 3.14159}
+	var out []Arg
+	if a.Scalar {
+		for _, s := range specials {
+			c := a.Clone()
+			c.Floats[0] = s
+			out = append(out, c)
+		}
+		c := a.Clone()
+		c.Floats[0] = c.Floats[0]*rng.Float64()*4 - 2
+		out = append(out, c)
+		return out
+	}
+	for _, s := range specials[:3] {
+		c := a.Clone()
+		for i := range c.Floats {
+			c.Floats[i] = s
+		}
+		out = append(out, c)
+	}
+	c := a.Clone()
+	for i := range c.Floats {
+		c.Floats[i] = rng.NormFloat64() * 100
+	}
+	out = append(out, c)
+
+	c = a.Clone()
+	for i := range c.Floats {
+		c.Floats[i] = float64(i) * 0.25
+	}
+	out = append(out, c)
+
+	c = a.Clone()
+	for i := range c.Floats {
+		c.Floats[i] = math.Sin(float64(i))
+	}
+	out = append(out, c)
+	return out
+}
+
+// havocOne applies one random mutation in place.
+func havocOne(a *Arg, rng *rand.Rand, clamp func(int64, Arg) int64) {
+	if a.IsFloat {
+		i := rng.Intn(len(a.Floats))
+		switch rng.Intn(4) {
+		case 0:
+			a.Floats[i] = -a.Floats[i]
+		case 1:
+			a.Floats[i] *= 1 + rng.Float64()
+		case 2:
+			a.Floats[i] = rng.NormFloat64() * 1000
+		case 3:
+			a.Floats[i] = 0
+		}
+		return
+	}
+	i := rng.Intn(len(a.Ints))
+	switch rng.Intn(5) {
+	case 0:
+		a.Ints[i] = clamp(a.Ints[i]+int64(rng.Intn(17)-8), *a)
+	case 1:
+		a.Ints[i] = clamp(a.Ints[i]^(1<<uint(rng.Intn(maxBit(*a)))), *a)
+	case 2:
+		a.Ints[i] = clamp(-a.Ints[i], *a)
+	case 3:
+		a.Ints[i] = 0
+	case 4:
+		bounds := intBounds(*a)
+		a.Ints[i] = bounds[rng.Intn(len(bounds))]
+	}
+}
+
+// intBounds returns the declared type's interesting boundary values.
+func intBounds(a Arg) []int64 {
+	w := a.Width
+	if w <= 0 || w > 63 {
+		w = 63
+	}
+	if a.Unsigned {
+		max := int64(1)<<uint(w) - 1
+		if w >= 63 {
+			max = math.MaxInt64
+		}
+		return []int64{0, 1, max, max / 2}
+	}
+	max := int64(1)<<uint(w-1) - 1
+	min := -max - 1
+	return []int64{0, 1, max, min, -1}
+}
+
+// clampInt wraps a mutated value into the declared type's range so typed
+// mutation always yields valid inputs.
+func clampInt(v int64, a Arg) int64 {
+	w := a.Width
+	if w <= 0 || w >= 64 {
+		return v
+	}
+	if a.Unsigned {
+		m := int64(1)<<uint(w) - 1
+		if v < 0 {
+			v = -v
+		}
+		return v & m
+	}
+	max := int64(1)<<uint(w-1) - 1
+	min := -max - 1
+	if v > max {
+		return max
+	}
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func maxBit(a Arg) int {
+	w := a.Width
+	if w <= 1 {
+		return 1
+	}
+	if w > 62 {
+		return 62
+	}
+	return w - 1
+}
+
+func boundOffset(a Arg) int64 {
+	if a.Unsigned {
+		return 0
+	}
+	w := a.Width
+	if w <= 1 || w > 62 {
+		return 0
+	}
+	return 1 << uint(w-2)
+}
+
+// randomCase builds a type-valid random seed when no host capture exists.
+func randomCase(sp Spec, rng *rand.Rand) TestCase {
+	tc := TestCase{Args: make([]Arg, len(sp.Params))}
+	for i, p := range sp.Params {
+		a := p.Clone()
+		if a.IsFloat {
+			for j := range a.Floats {
+				a.Floats[j] = rng.NormFloat64() * 10
+			}
+		} else {
+			for j := range a.Ints {
+				a.Ints[j] = clampInt(rng.Int63n(256), a)
+			}
+		}
+		tc.Args[i] = a
+	}
+	return tc
+}

@@ -1,0 +1,87 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+func TestCompletePartitionIgnoresFactor(t *testing.T) {
+	// 13 elements cannot be partitioned cyclically by 4, but complete
+	// partitioning registers every element and needs no factor.
+	r := runCheck(t, `
+void kernel(int x) {
+    int A[13];
+#pragma HLS array_partition variable=A type=complete
+    for (int i = 0; i < 13; i++) { A[i] = x; }
+}`, "kernel")
+	if r.HasClass(hls.ClassLoopParallel) {
+		t.Errorf("complete partition should pass: %v", r.Diags)
+	}
+}
+
+func TestPartitionTypeOperandValidated(t *testing.T) {
+	r := runCheck(t, `
+void kernel(int A[16]) {
+#pragma HLS array_partition variable=A type=diagonal factor=4
+    for (int i = 0; i < 16; i++) { A[i] = i; }
+}`, "kernel")
+	wantClass(t, r, hls.ClassLoopParallel, "not one of cyclic, block, complete")
+}
+
+func TestBlockPartitionAccepted(t *testing.T) {
+	r := runCheck(t, `
+void kernel(int A[16]) {
+#pragma HLS array_partition variable=A type=block factor=4
+    for (int i = 0; i < 16; i++) { A[i] = i; }
+}`, "kernel")
+	if !r.OK {
+		t.Errorf("block partition with dividing factor should pass: %v", r.Diags)
+	}
+}
+
+func TestUnionFlagged(t *testing.T) {
+	r := runCheck(t, `
+union Pack {
+    int word;
+    float real;
+};
+int kernel(int x) {
+    union Pack p;
+    p.word = x;
+    return p.word;
+}`, "kernel")
+	wantClass(t, r, hls.ClassStructUnion, "union 'Pack'")
+}
+
+func TestPlainStructNotFlaggedAsUnion(t *testing.T) {
+	r := runCheck(t, `
+struct Pair { int a; int b; };
+int kernel(int x) {
+    struct Pair p;
+    p.a = x;
+    p.b = x + 1;
+    return p.a + p.b;
+}`, "kernel")
+	if r.HasClass(hls.ClassStructUnion) {
+		t.Errorf("plain struct wrongly flagged: %v", r.Diags)
+	}
+}
+
+func TestCompletePartitionSpeedsUnrollFurther(t *testing.T) {
+	// Covered behaviourally in interp tests; here just confirm the
+	// checker accepts the pragma combination used there.
+	r := runCheck(t, `
+void kernel(int a[16], int b[16]) {
+#pragma HLS array_partition variable=a type=complete
+#pragma HLS array_partition variable=b type=complete
+    for (int i = 0; i < 16; i++) {
+#pragma HLS unroll factor=16
+#pragma HLS pipeline II=1
+        b[i] = a[i] * 2;
+    }
+}`, "kernel")
+	if !r.OK {
+		t.Errorf("complete partition + full unroll should pass: %v", r.Diags)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim is the FPGA simulator of the toolchain: it executes an
+// HLS-C design with fabric semantics (fixed-bitwidth arithmetic, no
+// dynamic allocation, bounded call depth), reports simulated kernel
+// latency from the interpreter's pragma-aware cycle model, and estimates
+// fabric resource usage (LUT/FF/DSP/BRAM) from the design's declarations.
+//
+// Latency is what the paper's Table 5 "Runtime" columns report, and the
+// resource estimate quantifies the benefit of bitwidth finitization.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/interp"
+)
+
+// Simulator runs a compiled design.
+type Simulator struct {
+	unit *cast.Unit
+	cfg  hls.Config
+	in   *interp.Interp
+}
+
+// New prepares a simulator for the design. The unit should already have
+// passed the synthesizability check; runtime faults (allocation, deep
+// recursion) still surface as errors.
+func New(u *cast.Unit, cfg hls.Config) (*Simulator, error) {
+	in, err := interp.New(u, interp.Options{Mode: interp.FPGA})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Simulator{unit: u, cfg: cfg, in: in}, nil
+}
+
+// RunResult is one kernel invocation's outcome.
+type RunResult struct {
+	Ret       interp.Value
+	Cycles    int64
+	LatencyMS float64
+	Output    string
+}
+
+// Run invokes the top function with the given arguments.
+func (s *Simulator) Run(args []interp.Value) (RunResult, error) {
+	res, err := s.in.CallKernel(s.cfg.Top, args)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Ret:       res.Ret,
+		Cycles:    res.Cost,
+		LatencyMS: interp.FPGATimeMS(res.Cost),
+		Output:    res.Output,
+	}, nil
+}
+
+// Reset clears globals between independent test vectors.
+func (s *Simulator) Reset() error { return s.in.Reset() }
+
+// ---------------------------------------------------------------------------
+// Resource estimation
+
+// Resources is a fabric utilization estimate.
+type Resources struct {
+	LUT  int
+	FF   int
+	DSP  int
+	BRAM int // 18Kb blocks
+}
+
+// Add accumulates another estimate.
+func (r *Resources) Add(o Resources) {
+	r.LUT += o.LUT
+	r.FF += o.FF
+	r.DSP += o.DSP
+	r.BRAM += o.BRAM
+}
+
+// String renders the estimate.
+func (r Resources) String() string {
+	return fmt.Sprintf("LUT=%d FF=%d DSP=%d BRAM=%d", r.LUT, r.FF, r.DSP, r.BRAM)
+}
+
+// Device is a fabric capacity profile.
+type Device struct {
+	Name string
+	Cap  Resources
+}
+
+// XCVU9P is the evaluation platform's part (Virtex UltraScale+ on the
+// VCU1525 board).
+var XCVU9P = Device{
+	Name: "xcvu9p-flgb2104-2-i",
+	Cap:  Resources{LUT: 1182240, FF: 2364480, DSP: 6840, BRAM: 4320},
+}
+
+// CheckCapacity reports whether the design's estimate fits the device,
+// returning the over-utilized resource names.
+func CheckCapacity(r Resources, d Device) (bool, []string) {
+	var over []string
+	if r.LUT > d.Cap.LUT {
+		over = append(over, "LUT")
+	}
+	if r.FF > d.Cap.FF {
+		over = append(over, "FF")
+	}
+	if r.DSP > d.Cap.DSP {
+		over = append(over, "DSP")
+	}
+	if r.BRAM > d.Cap.BRAM {
+		over = append(over, "BRAM")
+	}
+	return len(over) == 0, over
+}
+
+// Utilization renders the estimate as percentages of the device.
+func Utilization(r Resources, d Device) string {
+	pct := func(used, cap int) float64 {
+		if cap == 0 {
+			return 0
+		}
+		return 100 * float64(used) / float64(cap)
+	}
+	return fmt.Sprintf("LUT %.1f%% FF %.1f%% DSP %.1f%% BRAM %.1f%%",
+		pct(r.LUT, d.Cap.LUT), pct(r.FF, d.Cap.FF),
+		pct(r.DSP, d.Cap.DSP), pct(r.BRAM, d.Cap.BRAM))
+}
+
+// Estimate walks the design and derives a resource estimate:
+//
+//   - every scalar register costs FF equal to its bit width and LUTs for
+//     its datapath (about half the width);
+//   - arrays cost BRAM blocks of 18Kb each (partitioning multiplies block
+//     count by the factor since each bank needs its own ports);
+//   - every multiplication of width >10 bits maps to a DSP48;
+//   - floating-point operators cost bundles of LUT+DSP.
+//
+// The absolute numbers are synthetic, but the estimate is monotonic in
+// bitwidths and array sizes, which is the property the bitwidth-
+// finitization experiments need.
+func Estimate(u *cast.Unit) Resources {
+	var r Resources
+	addScalar := func(bits int) {
+		r.FF += bits
+		r.LUT += (bits + 1) / 2
+	}
+	addArray := func(totalBits, partitions int) {
+		if partitions < 1 {
+			partitions = 1
+		}
+		blocks := (totalBits + 18*1024 - 1) / (18 * 1024)
+		if blocks < 1 {
+			blocks = 1
+		}
+		r.BRAM += blocks * partitions
+	}
+
+	partitions := map[string]int{}
+	cast.Inspect(u, func(n cast.Node) bool {
+		if p, ok := n.(*cast.Pragma); ok {
+			d := interp.ParsePragma(p.Text)
+			if d.Kind == interp.PragmaArrayPartition && d.Variable != "" {
+				f := d.Factor
+				if f <= 0 {
+					f = 4
+				}
+				partitions[d.Variable] = f
+			}
+		}
+		return true
+	})
+	for _, d := range u.Decls {
+		if f, ok := d.(*cast.FuncDecl); ok {
+			for _, p := range f.Pragmas {
+				dir := interp.ParsePragma(p.Text)
+				if dir.Kind == interp.PragmaArrayPartition && dir.Variable != "" {
+					fac := dir.Factor
+					if fac <= 0 {
+						fac = 4
+					}
+					partitions[dir.Variable] = fac
+				}
+			}
+		}
+	}
+
+	seenDecl := func(name string, t ctypes.Type) {
+		rt := ctypes.Resolve(t)
+		switch x := rt.(type) {
+		case ctypes.Array:
+			bits := x.Bits()
+			if bits <= 0 {
+				bits = 32 * 64 // unknown size: charge a default buffer
+			}
+			addArray(bits, partitions[name])
+		case *ctypes.Struct:
+			addScalar(x.Bits())
+		default:
+			b := rt.Bits()
+			if b > 0 {
+				addScalar(b)
+			}
+		}
+	}
+
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.VarDecl:
+			seenDecl(x.Name, x.Type)
+		case *cast.DeclStmt:
+			seenDecl(x.Name, x.Type)
+		case *cast.Binary:
+			switch x.Op {
+			case ctoken.MUL:
+				r.DSP++
+			case ctoken.QUO, ctoken.REM:
+				r.DSP += 2
+				r.LUT += 150
+			}
+		}
+		return true
+	})
+
+	// Floating point usage adds operator bundles.
+	floats := 0
+	cast.Inspect(u, func(n cast.Node) bool {
+		if d, ok := n.(*cast.DeclStmt); ok {
+			if ctypes.IsFloat(d.Type) {
+				floats++
+			}
+		}
+		return true
+	})
+	r.LUT += floats * 120
+	r.DSP += floats
+
+	return r
+}

@@ -1,0 +1,146 @@
+package stylecheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+func runStyle(t *testing.T, src string) hls.Report {
+	t.Helper()
+	u := cparser.MustParse(src)
+	return Run(u, hls.DefaultConfig("kernel"))
+}
+
+func TestCleanStylePasses(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[16], int b[16]) {
+#pragma HLS array_partition variable=a factor=4
+    for (int i = 0; i < 16; i++) {
+#pragma HLS unroll factor=4
+#pragma HLS pipeline II=1
+        b[i] = a[i];
+    }
+}`)
+	if !r.OK {
+		t.Errorf("clean style rejected: %v", r.Diags)
+	}
+}
+
+func TestUnrollAtFunctionHeadRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[16]) {
+#pragma HLS unroll factor=4
+    a[0] = 1;
+}`)
+	if r.OK {
+		t.Fatal("unroll at function head should fail style check")
+	}
+	if !strings.Contains(r.Diags[0].Message, "within a loop body") {
+		t.Errorf("message %q", r.Diags[0].Message)
+	}
+}
+
+func TestUnrollInPlainStatementPositionRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[16]) {
+    a[0] = 1;
+#pragma HLS unroll factor=2
+    a[1] = 2;
+}`)
+	if r.OK {
+		t.Fatal("floating unroll pragma should fail style check")
+	}
+}
+
+func TestDataflowOnLoopRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[8], int b[8]) {
+    for (int i = 0; i < 8; i++) {
+#pragma HLS dataflow
+        b[i] = a[i];
+    }
+}`)
+	if r.OK {
+		t.Fatal("dataflow on a loop should fail style check")
+	}
+}
+
+func TestPartitionUnknownVariableRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[16]) {
+#pragma HLS array_partition variable=nosuch factor=2
+    a[0] = 1;
+}`)
+	if r.OK {
+		t.Fatal("partition of unknown array should fail")
+	}
+	if !strings.Contains(r.Diags[0].Message, "nosuch") {
+		t.Errorf("message should name the variable: %q", r.Diags[0].Message)
+	}
+}
+
+func TestPartitionBadFactorRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int x) {
+    int A[13];
+#pragma HLS array_partition variable=A factor=4
+    A[0] = x;
+}`)
+	if r.OK {
+		t.Fatal("13 % 4 != 0 should fail style check")
+	}
+}
+
+func TestDuplicateLoopPragmaRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[8], int b[8]) {
+    for (int i = 0; i < 8; i++) {
+#pragma HLS unroll factor=2
+#pragma HLS unroll factor=4
+        b[i] = a[i];
+    }
+}`)
+	if r.OK {
+		t.Fatal("duplicate unroll should fail style check")
+	}
+}
+
+func TestUnknownDirectiveRejected(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[8]) {
+#pragma HLS frobnicate hard
+    a[0] = 1;
+}`)
+	if r.OK {
+		t.Fatal("unknown directive should fail style check")
+	}
+}
+
+func TestNonHLSPragmasIgnored(t *testing.T) {
+	r := runStyle(t, `
+void kernel(int a[8]) {
+#pragma once
+    a[0] = 1;
+}`)
+	if !r.OK {
+		t.Errorf("non-HLS pragma should be ignored: %v", r.Diags)
+	}
+}
+
+func TestStructMethodsStyled(t *testing.T) {
+	r := runStyle(t, `
+struct W {
+    int buf[8];
+    void go() {
+#pragma HLS unroll factor=2
+        buf[0] = 1;
+    }
+};
+void kernel() { }`)
+	if r.OK {
+		t.Fatal("unroll at method head should fail style check")
+	}
+}

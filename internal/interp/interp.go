@@ -1,0 +1,453 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// Mode selects execution semantics.
+type Mode int
+
+// Execution modes.
+const (
+	// CPU runs the program with software semantics: unbounded heap,
+	// native recursion, 32/64-bit arithmetic.
+	CPU Mode = iota
+	// FPGA runs with fabric semantics: fpga_int arithmetic wraps at its
+	// declared width, dynamic allocation faults, the call stack is small,
+	// and the cycle model honors HLS pragmas.
+	FPGA
+)
+
+// Options configures an interpreter.
+type Options struct {
+	Mode Mode
+	// MaxSteps bounds total executed statements/expressions (0 = default).
+	MaxSteps int64
+	// MaxDepth bounds the call stack (0 = default for the mode).
+	MaxDepth int
+	// Profile enables value-range tracking of integer variables.
+	Profile bool
+	// Coverage enables branch coverage recording.
+	Coverage bool
+	// CaptureName, when set with CaptureCall, snapshots the argument
+	// values of every call to the named function — how the fuzzer
+	// harvests kernel-entry seeds from a host-program run (Algorithm 1's
+	// getKernelSeed).
+	CaptureName string
+	CaptureCall func(args []Value)
+}
+
+// Range is a profiled value range for one variable.
+type Range struct {
+	Min, Max int64
+	Seen     bool
+}
+
+// Note extends a range with a new observation.
+func (r *Range) Note(v int64) {
+	if !r.Seen {
+		r.Min, r.Max, r.Seen = v, v, true
+		return
+	}
+	if v < r.Min {
+		r.Min = v
+	}
+	if v > r.Max {
+		r.Max = v
+	}
+}
+
+// RuntimeError is any error raised during execution: out-of-bounds access,
+// null dereference, allocation faults in FPGA mode, step-limit exhaustion.
+type RuntimeError struct {
+	Msg string
+	Pos ctoken.Pos
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+// Result is the outcome of a kernel invocation.
+type Result struct {
+	Ret    Value
+	Cost   int64 // accumulated cost units (cycles in FPGA mode, ops in CPU)
+	Steps  int64
+	Output string
+}
+
+// Interp executes a translation unit.
+type Interp struct {
+	unit *cast.Unit
+	opts Options
+
+	globals map[string]*binding
+	methods map[string]map[string]*cast.FuncDecl
+	frames  []*frame
+
+	steps int64
+	cost  int64
+	// rawCost accumulates like cost but is never rescaled by pragma
+	// modelling; the ratio cost/rawCost bounds how much parallelism the
+	// model may claim for a whole kernel.
+	rawCost int64
+	out     strings.Builder
+
+	// CoverageBits has two slots per branch site: [2k] = false outcome,
+	// [2k+1] = true outcome.
+	CoverageBits []bool
+	// Profiles maps "func.var" to observed integer ranges.
+	Profiles map[string]*Range
+
+	// partitions maps array variable name -> array_partition factor for
+	// the function currently executing (FPGA cycle model input).
+	partitions map[string]int
+	mallocSeq  int
+}
+
+// New builds an interpreter over u and initializes global storage.
+func New(u *cast.Unit, opts Options) (*Interp, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 4_000_000
+	}
+	if opts.MaxDepth == 0 {
+		if opts.Mode == FPGA {
+			opts.MaxDepth = 256
+		} else {
+			opts.MaxDepth = 4096
+		}
+	}
+	in := &Interp{unit: u, opts: opts}
+	if err := in.Reset(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Reset reinitializes globals, coverage, cost, and output; profiles
+// persist across runs (they accumulate over a test suite).
+func (in *Interp) Reset() error {
+	in.globals = map[string]*binding{}
+	in.methods = map[string]map[string]*cast.FuncDecl{}
+	in.frames = nil
+	in.steps = 0
+	in.cost = 0
+	in.rawCost = 0
+	in.out.Reset()
+	in.CoverageBits = make([]bool, 2*in.unit.NumBranches)
+	if in.Profiles == nil {
+		in.Profiles = map[string]*Range{}
+	}
+	in.partitions = map[string]int{}
+
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if re, ok := r.(*RuntimeError); ok {
+					err = re
+					return
+				}
+				panic(r)
+			}
+		}()
+		for _, d := range in.unit.Decls {
+			switch x := d.(type) {
+			case *cast.VarDecl:
+				in.defineGlobal(x)
+			case *cast.StructDecl:
+				m := map[string]*cast.FuncDecl{}
+				for _, fn := range x.Methods {
+					m[fn.Name] = fn
+				}
+				in.methods[x.Type.Tag] = m
+			}
+		}
+	}()
+	return err
+}
+
+// Output returns everything printed so far.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Cost returns accumulated cost units.
+func (in *Interp) Cost() int64 { return in.cost }
+
+func (in *Interp) defineGlobal(d *cast.VarDecl) {
+	b := in.makeStorage(d.Name, d.Type, d.Init, true)
+	in.globals[d.Name] = b
+}
+
+// makeStorage allocates storage for a declaration and evaluates its
+// initializer. Array declarations create multi-element objects.
+func (in *Interp) makeStorage(name string, t ctypes.Type, init cast.Expr, global bool) *binding {
+	rt := ctypes.Resolve(t)
+	if arr, ok := rt.(ctypes.Array); ok {
+		n := arr.Len
+		if n < 0 {
+			in.fail(ctoken.Pos{}, "array %q has unknown size at allocation", name)
+		}
+		total, elem := flattenArray(arr)
+		obj := &Object{Name: name, Elem: elem, Elems: make([]Value, total)}
+		zero := ZeroValue(elem)
+		for i := range obj.Elems {
+			obj.Elems[i] = zero.DeepCopy()
+		}
+		if il, ok := init.(*cast.InitList); ok {
+			in.fillArray(obj, il)
+		}
+		_ = n
+		return &binding{typ: t, obj: obj}
+	}
+	obj := &Object{Name: name, Elem: rt, Elems: []Value{ZeroValue(rt)}}
+	b := &binding{lv: lvalue{obj: obj, declared: rt}, typ: t, isLV: true}
+	if init != nil {
+		v := in.evalInit(init, rt)
+		b.lv.store(in.coerce(v, rt).DeepCopy())
+	}
+	return b
+}
+
+// flattenArray flattens nested array types to (total length, element type):
+// int[2][3] becomes (6, int) with row-major addressing.
+func flattenArray(a ctypes.Array) (int, ctypes.Type) {
+	total := a.Len
+	elem := ctypes.Resolve(a.Elem)
+	for {
+		inner, ok := elem.(ctypes.Array)
+		if !ok {
+			return total, elem
+		}
+		if inner.Len < 0 {
+			return total, elem
+		}
+		total *= inner.Len
+		elem = ctypes.Resolve(inner.Elem)
+	}
+}
+
+func (in *Interp) fillArray(obj *Object, il *cast.InitList) {
+	idx := 0
+	var fill func(e cast.Expr)
+	fill = func(e cast.Expr) {
+		if sub, ok := e.(*cast.InitList); ok {
+			for _, el := range sub.Elems {
+				fill(el)
+			}
+			return
+		}
+		if idx < len(obj.Elems) {
+			obj.Elems[idx] = in.coerce(in.eval(e), obj.Elem).DeepCopy()
+			idx++
+		}
+	}
+	for _, el := range il.Elems {
+		fill(el)
+	}
+}
+
+// evalInit evaluates an initializer expression in the context of type t
+// (struct InitLists construct struct values).
+func (in *Interp) evalInit(e cast.Expr, t ctypes.Type) Value {
+	if il, ok := e.(*cast.InitList); ok {
+		if st, ok := ctypes.Resolve(t).(*ctypes.Struct); ok {
+			return in.structFromInitList(st, il)
+		}
+	}
+	return in.eval(e)
+}
+
+// structFromInitList builds a struct value, invoking the explicit
+// constructor when one exists with matching arity.
+func (in *Interp) structFromInitList(st *ctypes.Struct, il *cast.InitList) Value {
+	v := ZeroValue(st)
+	if ms, ok := in.methods[st.Tag]; ok {
+		if ctor, ok := ms[st.Tag]; ok && len(ctor.Params) == len(il.Elems) {
+			obj := &Object{Name: "tmp." + st.Tag, Elem: st, Elems: []Value{v}}
+			lv := lvalue{obj: obj, declared: st}
+			in.callMethod(ctor, lv, st, il.Elems, il.P)
+			return obj.Elems[0]
+		}
+	}
+	for i, el := range il.Elems {
+		if i >= len(st.Fields) {
+			break
+		}
+		v.Fields[i] = in.coerce(in.eval(el), st.Fields[i].Type).DeepCopy()
+	}
+	return v
+}
+
+// fail raises a runtime error.
+func (in *Interp) fail(p ctoken.Pos, format string, args ...any) {
+	panic(&RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: p})
+}
+
+func (in *Interp) step(p ctoken.Pos) {
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		in.fail(p, "step limit exceeded (%d)", in.opts.MaxSteps)
+	}
+}
+
+// CallKernel invokes the named function with the given argument values,
+// catching runtime errors. Array arguments must be pointer values created
+// with NewArrayObject.
+func (in *Interp) CallKernel(name string, args []Value) (res Result, err error) {
+	fn := in.unit.Func(name)
+	if fn == nil {
+		return Result{}, fmt.Errorf("interp: no function %q", name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				res.Output = in.out.String()
+				return
+			}
+			panic(r)
+		}
+	}()
+	startCost := in.cost
+	startRaw := in.rawCost
+	ret := in.callFunction(fn, args, fn.P)
+	cost := in.cost - startCost
+	if in.opts.Mode == FPGA {
+		if floor := (in.rawCost - startRaw) / KernelSpeedupCap; cost < floor {
+			cost = floor
+		}
+	}
+	return Result{Ret: ret, Cost: cost, Steps: in.steps, Output: in.out.String()}, nil
+}
+
+// NewArrayObject creates array storage holding the given element values
+// and returns a pointer to it (the natural representation of an array
+// kernel argument).
+func NewArrayObject(name string, elem ctypes.Type, vals []Value) Value {
+	obj := &Object{Name: name, Elem: ctypes.Resolve(elem), Elems: make([]Value, len(vals))}
+	copy(obj.Elems, vals)
+	return Value{Kind: VPtr, Obj: obj}
+}
+
+// callFunction executes fn with evaluated argument values.
+func (in *Interp) callFunction(fn *cast.FuncDecl, args []Value, p ctoken.Pos) Value {
+	if len(in.frames) >= in.opts.MaxDepth {
+		in.fail(p, "call depth limit exceeded (%d) in %q", in.opts.MaxDepth, fn.Name)
+	}
+	if fn.Body == nil {
+		in.fail(p, "call to undefined function %q", fn.Name)
+	}
+	if in.opts.CaptureCall != nil && fn.Name == in.opts.CaptureName {
+		snap := make([]Value, len(args))
+		for i, a := range args {
+			snap[i] = a.DeepCopy()
+		}
+		in.opts.CaptureCall(snap)
+	}
+	fr := newFrame(fn.Name)
+	in.bindParams(fr, fn, args, p)
+	in.frames = append(in.frames, fr)
+	prevPart := in.partitions
+	in.partitions = gatherPartitions(fn)
+	in.addCost(costCall)
+
+	dataflow := hasDataflow(fn)
+	if dataflow && in.opts.Mode == FPGA {
+		in.execDataflowBody(fn.Body)
+	} else {
+		in.execBlock(fn.Body)
+	}
+
+	in.partitions = prevPart
+	ret := fr.retVal
+	in.frames = in.frames[:len(in.frames)-1]
+	return ret
+}
+
+// bindParams defines parameter bindings in the new frame.
+func (in *Interp) bindParams(fr *frame, fn *cast.FuncDecl, args []Value, p ctoken.Pos) {
+	if len(args) != len(fn.Params) {
+		in.fail(p, "call to %q with %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	for i, prm := range fn.Params {
+		rt := ctypes.Resolve(prm.Type)
+		v := args[i]
+		if _, isArr := rt.(ctypes.Array); isArr {
+			// Array parameters are pointers under the hood.
+			rt = ctypes.Pointer{Elem: rt.(ctypes.Array).Elem}
+		}
+		obj := &Object{Name: prm.Name, Elem: rt, Elems: []Value{in.coerce(v, rt)}}
+		fr.define(prm.Name, &binding{lv: lvalue{obj: obj, declared: rt}, typ: prm.Type, isLV: true})
+		if in.opts.Profile {
+			if v.Kind == VInt {
+				in.noteProfile(fn.Name, prm.Name, v.Int)
+			}
+		}
+	}
+}
+
+// callMethod executes a struct member function with the given receiver
+// storage. Field names resolve against the receiver.
+func (in *Interp) callMethod(fn *cast.FuncDecl, recv lvalue, st *ctypes.Struct, argExprs []cast.Expr, p ctoken.Pos) Value {
+	args := make([]Value, len(argExprs))
+	for i, a := range argExprs {
+		args[i] = in.evalArg(a, fn.Params[i].Type)
+	}
+	if len(in.frames) >= in.opts.MaxDepth {
+		in.fail(p, "call depth limit exceeded in method %q", fn.Name)
+	}
+	fr := newFrame(st.Tag + "::" + fn.Name)
+	fr.receiver = &recv
+	fr.recvType = st
+	in.bindParams(fr, fn, args, p)
+	in.frames = append(in.frames, fr)
+	in.addCost(costCall)
+	in.execBlock(fn.Body)
+	ret := fr.retVal
+	in.frames = in.frames[:len(in.frames)-1]
+	return ret
+}
+
+func (in *Interp) top() *frame { return in.frames[len(in.frames)-1] }
+
+// noteProfile records an observed integer value for func.var.
+func (in *Interp) noteProfile(fn, name string, v int64) {
+	key := fn + "." + name
+	r, ok := in.Profiles[key]
+	if !ok {
+		r = &Range{}
+		in.Profiles[key] = r
+	}
+	r.Note(v)
+}
+
+// recordBranch notes a (site, outcome) coverage event.
+func (in *Interp) recordBranch(site int, taken bool) {
+	if !in.opts.Coverage || site < 0 || 2*site+1 >= len(in.CoverageBits) {
+		return
+	}
+	idx := 2 * site
+	if taken {
+		idx++
+	}
+	in.CoverageBits[idx] = true
+}
+
+// CoverageCount returns the number of covered branch outcomes.
+func (in *Interp) CoverageCount() int {
+	n := 0
+	for _, b := range in.CoverageBits {
+		if b {
+			n++
+		}
+	}
+	return n
+}

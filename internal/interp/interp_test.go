@@ -1,0 +1,683 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// run parses src and calls fn with the given int arguments, failing the
+// test on any error.
+func run(t *testing.T, src, fn string, args ...int64) Value {
+	t.Helper()
+	u := cparser.MustParse(src)
+	in, err := New(u, Options{})
+	if err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = IntValue(a)
+	}
+	res, err := in.CallKernel(fn, vals)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Ret
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `int f(int a, int b) { return a * b + a - b / 2; }`
+	if got := run(t, src, "f", 7, 4).AsInt(); got != 33 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestControlFlowSemantics(t *testing.T) {
+	src := `
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}`
+	if got := run(t, src, "collatz", 27).AsInt(); got != 111 {
+		t.Errorf("collatz(27) = %d, want 111", got)
+	}
+}
+
+func TestForLoopAndArrays(t *testing.T) {
+	src := `
+int sumsq(int n) {
+    int a[100];
+    for (int i = 0; i < n; i++) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}`
+	if got := run(t, src, "sumsq", 10).AsInt(); got != 285 {
+		t.Errorf("got %d, want 285", got)
+	}
+}
+
+func TestMultiDimensionalArrays(t *testing.T) {
+	src := `
+int mm() {
+    int a[2][3];
+    int k = 0;
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 3; j++) { a[i][j] = k; k++; }
+    }
+    return a[1][2] * 10 + a[0][1];
+}`
+	if got := run(t, src, "mm").AsInt(); got != 51 {
+		t.Errorf("got %d, want 51", got)
+	}
+}
+
+func TestPointersAndMalloc(t *testing.T) {
+	src := `
+struct Node { int val; struct Node *next; };
+int f(int n) {
+    struct Node *head = 0;
+    for (int i = 0; i < n; i++) {
+        struct Node *nn = (struct Node *)malloc(sizeof(struct Node));
+        nn->val = i;
+        nn->next = head;
+        head = nn;
+    }
+    int s = 0;
+    struct Node *p = head;
+    while (p != 0) { s += p->val; p = p->next; }
+    return s;
+}`
+	if got := run(t, src, "f", 10).AsInt(); got != 45 {
+		t.Errorf("got %d, want 45", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}`
+	if got := run(t, src, "fib", 15).AsInt(); got != 610 {
+		t.Errorf("fib(15) = %d", got)
+	}
+}
+
+func TestBinaryTreeRecursion(t *testing.T) {
+	src := `
+struct Node { int val; struct Node *left; struct Node *right; };
+struct Node *insert(struct Node *root, int v) {
+    if (root == 0) {
+        struct Node *n = (struct Node *)malloc(sizeof(struct Node));
+        n->val = v;
+        n->left = 0;
+        n->right = 0;
+        return n;
+    }
+    if (v < root->val) { root->left = insert(root->left, v); }
+    else { root->right = insert(root->right, v); }
+    return root;
+}
+int sum(struct Node *root) {
+    if (root == 0) { return 0; }
+    return root->val + sum(root->left) + sum(root->right);
+}
+int kernel(int n) {
+    struct Node *root = 0;
+    for (int i = 0; i < n; i++) {
+        root = insert(root, (i * 37) % 101);
+    }
+    return sum(root);
+}`
+	// sum of (i*37)%101 for i in 0..19
+	want := int64(0)
+	for i := int64(0); i < 20; i++ {
+		want += (i * 37) % 101
+	}
+	if got := run(t, src, "kernel", 20).AsInt(); got != want {
+		t.Errorf("got %d want %d", got, want)
+	}
+}
+
+func TestGlobalsPersistAcrossCalls(t *testing.T) {
+	src := `
+int counter;
+int bump() { counter++; return counter; }`
+	u := cparser.MustParse(src)
+	in, err := New(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := int64(1); want <= 3; want++ {
+		res, err := in.CallKernel("bump", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret.AsInt() != want {
+			t.Errorf("call %d: got %d", want, res.Ret.AsInt())
+		}
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	src := `
+float mix(float a, float b) {
+    return a * 0.5 + b * 0.25;
+}`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{})
+	res, err := in.CallKernel("mix", []Value{FloatValue(2.0), FloatValue(4.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ret.AsFloat(); got != 2.0 {
+		t.Errorf("got %g", got)
+	}
+}
+
+func TestCharAndCasts(t *testing.T) {
+	src := `
+int f() {
+    char c = 'A';
+    int i = (int)c + 1;
+    float g = (float)i / 2;
+    return (int)g;
+}`
+	if got := run(t, src, "f").AsInt(); got != 33 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+int f(int x) {
+    int r = 0;
+    switch (x) {
+    case 1:
+        r += 1;
+    case 2:
+        r += 2;
+        break;
+    case 3:
+        r += 100;
+        break;
+    default:
+        r = -1;
+    }
+    return r;
+}`
+	cases := map[int64]int64{1: 3, 2: 2, 3: 100, 9: -1}
+	for in, want := range cases {
+		if got := run(t, `
+int f(int x) {
+    int r = 0;
+    switch (x) {
+    case 1:
+        r += 1;
+    case 2:
+        r += 2;
+        break;
+    case 3:
+        r += 100;
+        break;
+    default:
+        r = -1;
+    }
+    return r;
+}`, "f", in).AsInt(); got != want {
+			t.Errorf("f(%d) = %d, want %d", in, got, want)
+		}
+	}
+	_ = src
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    int m = a > b ? a : b;
+    if (a > 0 && b > 0) { m += 100; }
+    if (a < 0 || b < 0) { m -= 1000; }
+    return m;
+}`
+	if got := run(t, src, "f", 3, 8).AsInt(); got != 108 {
+		t.Errorf("got %d", got)
+	}
+	if got := run(t, src, "f", -3, 8).AsInt(); got != -992 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestShortCircuitNoSideEffects(t *testing.T) {
+	src := `
+int g;
+int bump() { g++; return 1; }
+int f(int a) {
+    g = 0;
+    if (a > 0 || bump()) { }
+    if (a > 0 && bump()) { }
+    return g;
+}`
+	// a>0: || short-circuits (no bump), && evaluates bump once -> g=1.
+	if got := run(t, src, "f", 5).AsInt(); got != 1 {
+		t.Errorf("got %d want 1", got)
+	}
+	// a<=0: || evaluates bump, && short-circuits -> g=1.
+	if got := run(t, src, "f", -5).AsInt(); got != 1 {
+		t.Errorf("got %d want 1", got)
+	}
+}
+
+func TestOutParamArrays(t *testing.T) {
+	src := `
+void scale(float in[4], float out[4], float k) {
+    for (int i = 0; i < 4; i++) { out[i] = in[i] * k; }
+}`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{})
+	inArr := NewArrayObject("in", ctypes.FloatT, []Value{
+		FloatValue(1), FloatValue(2), FloatValue(3), FloatValue(4)})
+	outArr := NewArrayObject("out", ctypes.FloatT, make([]Value, 4))
+	_, err := in.CallKernel("scale", []Value{inArr, outArr, FloatValue(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 4, 6, 8} {
+		if got := outArr.Obj.Elems[i].AsFloat(); got != want {
+			t.Errorf("out[%d] = %g want %g", i, got, want)
+		}
+	}
+}
+
+func TestStructValueSemantics(t *testing.T) {
+	src := `
+struct P { int x; int y; };
+int f() {
+    struct P a;
+    a.x = 1;
+    a.y = 2;
+    struct P b = a;
+    b.x = 100;
+    return a.x * 1000 + b.x;
+}`
+	if got := run(t, src, "f").AsInt(); got != 1100 {
+		t.Errorf("got %d, want 1100 (struct assign must copy)", got)
+	}
+}
+
+func TestStructMethodsAndStreams(t *testing.T) {
+	src := `
+struct If2 {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    If2(hls::stream<unsigned> &i, hls::stream<unsigned> &o) : in(i), out(o) {}
+    void do1() {
+        while (!in.empty()) {
+            out.write(in.read() + 1);
+        }
+    }
+};
+unsigned top(unsigned v) {
+    hls::stream<unsigned> a;
+    hls::stream<unsigned> b;
+    hls::stream<unsigned> c;
+    a.write(v);
+    a.write(v + 10);
+    If2{ a, b }.do1();
+    If2{ b, c }.do1();
+    unsigned r = c.read();
+    unsigned r2 = c.read();
+    return r * 1000 + r2;
+}`
+	if got := run(t, src, "top", 5).AsInt(); got != 7017 {
+		t.Errorf("got %d, want 7017", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, fn string
+		wantErr       string
+	}{
+		{"oob", `int f() { int a[4]; return a[9]; }`, "f", "out of bounds"},
+		{"null", `int f() { int *p = 0; return *p; }`, "f", "null"},
+		{"divzero", `int f(int x) { return 10 / (x - x); }`, "f", "division by zero"},
+		{"useafterfree", `
+int f() {
+    int *p = (int *)malloc(sizeof(int));
+    free(p);
+    return *p;
+}`, "f", "use after free"},
+		{"infinite", `int f() { int i = 0; while (1) { i++; } return i; }`, "f", "step limit"},
+		{"deep", `int f(int n) { return f(n); }`, "f", "depth limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := cparser.MustParse(c.src)
+			in, err := New(u, Options{MaxSteps: 100000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var args []Value
+			if strings.Contains(c.src, "int f(int") {
+				args = []Value{IntValue(1)}
+			}
+			_, err = in.CallKernel(c.fn, args)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestFPGAModeRejectsMalloc(t *testing.T) {
+	src := `int f() { int *p = (int *)malloc(4); return 0; }`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{Mode: FPGA})
+	_, err := in.CallKernel("f", nil)
+	if err == nil || !strings.Contains(err.Error(), "dynamic memory") {
+		t.Errorf("FPGA malloc should fail, got %v", err)
+	}
+}
+
+func TestFPGAWrapping(t *testing.T) {
+	src := `
+fpga_uint<7> g;
+int f(int x) {
+    g = x;
+    return (int)g;
+}`
+	u := cparser.MustParse(src)
+	fp, _ := New(u, Options{Mode: FPGA})
+	res, err := fp.CallKernel("f", []Value{IntValue(130)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ret.AsInt(); got != 2 { // 130 mod 128
+		t.Errorf("FPGA fpga_uint<7> store of 130 = %d, want 2", got)
+	}
+	cpu, _ := New(u, Options{Mode: CPU})
+	res, err = cpu.CallKernel("f", []Value{IntValue(130)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Ret.AsInt(); got != 130 {
+		t.Errorf("CPU mode must not wrap: got %d", got)
+	}
+}
+
+func TestCoverageRecording(t *testing.T) {
+	src := `
+int f(int x) {
+    if (x > 0) { return 1; }
+    return 0;
+}`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{Coverage: true})
+	if _, err := in.CallKernel("f", []Value{IntValue(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if in.CoverageCount() != 1 {
+		t.Errorf("one outcome after positive input, got %d", in.CoverageCount())
+	}
+	if _, err := in.CallKernel("f", []Value{IntValue(-5)}); err != nil {
+		t.Fatal(err)
+	}
+	if in.CoverageCount() != 2 {
+		t.Errorf("both outcomes after both inputs, got %d", in.CoverageCount())
+	}
+}
+
+func TestProfileRanges(t *testing.T) {
+	src := `
+int visit(int v) { int ret = v * 2 + 3; return ret; }
+int kernel(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) { total += visit(i); }
+    return total;
+}`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{Profile: true})
+	if _, err := in.CallKernel("kernel", []Value{IntValue(41)}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := in.Profiles["visit.ret"]
+	if !ok {
+		t.Fatal("no profile for visit.ret")
+	}
+	if r.Max != 83 || r.Min != 3 {
+		t.Errorf("visit.ret range [%d,%d], want [3,83]", r.Min, r.Max)
+	}
+	// The paper's example: max 83 fits in fpga_uint<7>.
+	ft := ctypes.FitInteger(r.Min, r.Max)
+	if ft.Width != 7 || !ft.Unsigned {
+		t.Errorf("fitted type %v, want fpga_uint<7>", ft)
+	}
+}
+
+func TestPrintfOutput(t *testing.T) {
+	src := `
+void f(int x) {
+    printf("x=%d y=%f c=%c%%\n", x, 1.5, 65);
+}`
+	u := cparser.MustParse(src)
+	in, _ := New(u, Options{})
+	res, err := in.CallKernel("f", []Value{IntValue(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x=7 y=1.500000 c=A%\n"
+	if res.Output != want {
+		t.Errorf("output %q want %q", res.Output, want)
+	}
+}
+
+func TestCostAccumulates(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i * i; }
+    return s;
+}`
+	u := cparser.MustParse(src)
+	small, _ := New(u, Options{})
+	rs, _ := small.CallKernel("f", []Value{IntValue(10)})
+	big, _ := New(u, Options{})
+	rb, _ := big.CallKernel("f", []Value{IntValue(1000)})
+	if rb.Cost <= rs.Cost*10 {
+		t.Errorf("cost should scale with work: %d vs %d", rs.Cost, rb.Cost)
+	}
+}
+
+func TestPragmaSpeedsUpFPGALoop(t *testing.T) {
+	plain := `
+void k(int a[64], int b[64]) {
+    for (int i = 0; i < 64; i++) {
+        b[i] = a[i] * 3 + 1;
+    }
+}`
+	pragma := `
+void k(int a[64], int b[64]) {
+#pragma HLS array_partition variable=a factor=8
+#pragma HLS array_partition variable=b factor=8
+    for (int i = 0; i < 64; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+        b[i] = a[i] * 3 + 1;
+    }
+}`
+	runFPGA := func(src string) int64 {
+		u := cparser.MustParse(src)
+		in, _ := New(u, Options{Mode: FPGA})
+		a := NewArrayObject("a", ctypes.IntT, make([]Value, 64))
+		b := NewArrayObject("b", ctypes.IntT, make([]Value, 64))
+		res, err := in.CallKernel("k", []Value{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	cp, cf := runFPGA(plain), runFPGA(pragma)
+	if cf*4 > cp {
+		t.Errorf("pragmas should cut cycles substantially: plain=%d pragma=%d", cp, cf)
+	}
+}
+
+func TestDataflowOverlapsCalls(t *testing.T) {
+	seq := `
+void stage(int a[32], int b[32]) {
+    for (int i = 0; i < 32; i++) { b[i] = a[i] + 1; }
+}
+void top(int a[32], int b[32], int c[32]) {
+    stage(a, b);
+    stage(b, c);
+}`
+	flow := `
+void stage(int a[32], int b[32]) {
+    for (int i = 0; i < 32; i++) { b[i] = a[i] + 1; }
+}
+void top(int a[32], int b[32], int c[32]) {
+#pragma HLS dataflow
+    stage(a, b);
+    stage(b, c);
+}`
+	runTop := func(src string) int64 {
+		u := cparser.MustParse(src)
+		in, _ := New(u, Options{Mode: FPGA})
+		mk := func() Value { return NewArrayObject("x", ctypes.IntT, make([]Value, 32)) }
+		res, err := in.CallKernel("top", []Value{mk(), mk(), mk()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	cs, cf := runTop(seq), runTop(flow)
+	if cf >= cs {
+		t.Errorf("dataflow should overlap stages: seq=%d flow=%d", cs, cf)
+	}
+}
+
+// Property: interpreter integer arithmetic matches Go's int64 semantics
+// for + - * on arbitrary inputs (CPU mode, no wrapping).
+func TestArithmeticMatchesGo(t *testing.T) {
+	u := cparser.MustParse(`
+long long f(long long a, long long b) { return a * 3 + b - (a ^ b); }`)
+	f := func(a, b int32) bool {
+		in, _ := New(u, Options{})
+		av, bv := int64(a), int64(b)
+		res, err := in.CallKernel("f", []Value{
+			{Kind: VInt, Int: av, Width: 64}, {Kind: VInt, Int: bv, Width: 64}})
+		if err != nil {
+			return false
+		}
+		return res.Ret.AsInt() == av*3+bv-(av^bv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WrapInt agrees with Go's masking semantics for unsigned widths.
+func TestWrapIntProperty(t *testing.T) {
+	f := func(v int64, w uint8) bool {
+		width := int(w%63) + 1
+		got := WrapInt(v, width, true)
+		want := int64(uint64(v) & ((1 << uint(width)) - 1))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed WrapInt stays within [-2^(w-1), 2^(w-1)-1] and is a
+// fixed point for in-range values.
+func TestWrapIntSignedProperty(t *testing.T) {
+	f := func(v int64, w uint8) bool {
+		width := int(w%62) + 2
+		got := WrapInt(v, width, false)
+		min := int64(-1) << uint(width-1)
+		max := -min - 1
+		if got < min || got > max {
+			return false
+		}
+		if v >= min && v <= max && got != v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+int f(int n) {
+    int c = 0;
+    do { c++; n--; } while (n > 0);
+    return c;
+}`
+	if got := run(t, src, "f", 5).AsInt(); got != 5 {
+		t.Errorf("got %d", got)
+	}
+	// Body runs at least once.
+	if got := run(t, src, "f", -3).AsInt(); got != 1 {
+		t.Errorf("do-while with false cond ran %d times", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int f() {
+    int s = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s += i;
+    }
+    return s;
+}`
+	if got := run(t, src, "f").AsInt(); got != 25 { // 1+3+5+7+9
+		t.Errorf("got %d, want 25", got)
+	}
+}
+
+func TestStaticLocal(t *testing.T) {
+	src := `
+int f() {
+    static int calls = 0;
+    calls++;
+    return calls;
+}
+int g() { f(); f(); return f(); }`
+	if got := run(t, src, "g").AsInt(); got != 3 {
+		t.Errorf("static local: got %d want 3", got)
+	}
+}
+
+func TestValueEqualTolerance(t *testing.T) {
+	if !Equal(FloatValue(1.0), FloatValue(1.0+1e-9), 1e-6) {
+		t.Error("close floats should compare equal")
+	}
+	if Equal(FloatValue(1.0), FloatValue(1.1), 1e-6) {
+		t.Error("distant floats should differ")
+	}
+	if !Equal(IntValue(5), IntValue(5), 0) {
+		t.Error("equal ints")
+	}
+	if Equal(IntValue(5), IntValue(6), 0) {
+		t.Error("unequal ints")
+	}
+}

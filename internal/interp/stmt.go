@@ -1,0 +1,521 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// control reports whether a break/continue unwound out of a statement.
+type control int
+
+const (
+	ctlNone control = iota
+	ctlBreak
+	ctlContinue
+)
+
+// execBlock executes statements in a fresh scope.
+func (in *Interp) execBlock(b *cast.Block) control {
+	fr := in.top()
+	fr.push()
+	defer fr.pop()
+	for _, s := range b.Stmts {
+		if c := in.execStmt(s); c != ctlNone || fr.returned {
+			return c
+		}
+	}
+	return ctlNone
+}
+
+// execDataflowBody executes a function body under #pragma HLS dataflow:
+// semantics are unchanged, but the cycle accounting of its top-level call
+// statements is overlapped (max instead of sum), the fabric's task-level
+// pipelining.
+func (in *Interp) execDataflowBody(b *cast.Block) {
+	fr := in.top()
+	fr.push()
+	defer fr.pop()
+	// Call statements overlap: only the longest contributes. Everything
+	// else keeps its sequential cost.
+	var maxCall int64
+	for _, s := range b.Stmts {
+		before := in.cost
+		c := in.execStmt(s)
+		if isCallStmt(s) {
+			delta := in.cost - before
+			in.cost = before
+			if delta > maxCall {
+				maxCall = delta
+			}
+		}
+		if c != ctlNone || fr.returned {
+			break
+		}
+	}
+	in.cost += maxCall
+}
+
+func isCallStmt(s cast.Stmt) bool {
+	es, ok := s.(*cast.ExprStmt)
+	if !ok {
+		return false
+	}
+	_, isCall := es.X.(*cast.Call)
+	return isCall
+}
+
+func (in *Interp) execStmt(s cast.Stmt) control {
+	in.step(s.Pos())
+	switch x := s.(type) {
+	case *cast.ExprStmt:
+		in.eval(x.X)
+		return ctlNone
+	case *cast.DeclStmt:
+		in.execDecl(x)
+		return ctlNone
+	case *cast.Block:
+		return in.execBlock(x)
+	case *cast.If:
+		in.addCost(costBranch)
+		cond := in.eval(x.Cond).Truthy()
+		in.recordBranch(x.BranchID, cond)
+		if cond {
+			return in.execStmt(x.Then)
+		}
+		if x.Else != nil {
+			return in.execStmt(x.Else)
+		}
+		return ctlNone
+	case *cast.For:
+		return in.execFor(x)
+	case *cast.While:
+		return in.execWhile(x)
+	case *cast.Return:
+		fr := in.top()
+		if x.X != nil {
+			fr.retVal = in.eval(x.X)
+		}
+		fr.returned = true
+		in.addCost(costReturn)
+		return ctlNone
+	case *cast.Break:
+		return ctlBreak
+	case *cast.Continue:
+		return ctlContinue
+	case *cast.Switch:
+		return in.execSwitch(x)
+	case *cast.Pragma:
+		// Free-standing pragma inside a body: record array partitions.
+		in.notePartition(x.Text)
+		return ctlNone
+	case *cast.Label:
+		return ctlNone
+	case *cast.Goto:
+		in.fail(x.P, "goto is not supported by the interpreter")
+	}
+	return ctlNone
+}
+
+func (in *Interp) execDecl(d *cast.DeclStmt) {
+	fr := in.top()
+	// Statics keep one storage per declaration site, keyed by name within
+	// the function; a simple emulation sufficient for the subset.
+	if d.Static {
+		key := fr.fn + ".static." + d.Name
+		if g, ok := in.globals[key]; ok {
+			fr.define(d.Name, g)
+			return
+		}
+		b := in.makeStorage(d.Name, d.Type, d.Init, true)
+		in.globals[key] = b
+		fr.define(d.Name, b)
+		return
+	}
+	typ := d.Type
+	if len(d.VLADims) > 0 && in.opts.Mode == CPU {
+		// Variable-length array: evaluate runtime dimensions (software
+		// semantics only; the fabric has no VLAs).
+		typ = in.concretizeVLA(d)
+	}
+	b := in.makeStorage(d.Name, typ, d.Init, false)
+	fr.define(d.Name, b)
+	if in.opts.Profile && b.isLV {
+		if v := b.lv.load(); v.Kind == VInt {
+			in.noteProfile(fr.fn, d.Name, v.Int)
+		}
+	}
+	in.addCost(costStore)
+}
+
+// concretizeVLA resolves a VLA declaration's unknown dimensions by
+// evaluating their runtime expressions.
+func (in *Interp) concretizeVLA(d *cast.DeclStmt) ctypes.Type {
+	dims := make([]int, 0, len(d.VLADims))
+	for _, e := range d.VLADims {
+		n := in.eval(e).AsInt()
+		if n < 0 || n > 1<<22 {
+			in.fail(d.P, "invalid VLA dimension %d for %q", n, d.Name)
+		}
+		dims = append(dims, int(n))
+	}
+	next := 0
+	var fill func(t ctypes.Type) ctypes.Type
+	fill = func(t ctypes.Type) ctypes.Type {
+		a, ok := t.(ctypes.Array)
+		if !ok {
+			return t
+		}
+		ln := a.Len
+		if ln < 0 && next < len(dims) {
+			ln = dims[next]
+			next++
+		}
+		return ctypes.Array{Elem: fill(a.Elem), Len: ln}
+	}
+	return fill(d.Type)
+}
+
+func (in *Interp) execFor(f *cast.For) control {
+	fr := in.top()
+	fr.push()
+	defer fr.pop()
+	if f.Init != nil {
+		in.execStmt(f.Init)
+	}
+	startCost := in.cost
+	iterations := int64(0)
+	for {
+		in.step(f.P)
+		cond := true
+		if f.Cond != nil {
+			in.addCost(costBranch)
+			cond = in.eval(f.Cond).Truthy()
+		}
+		in.recordBranch(f.BranchID, cond)
+		if !cond {
+			break
+		}
+		iterations++
+		c := in.execStmt(f.Body)
+		if fr.returned || c == ctlBreak {
+			if c == ctlBreak {
+				c = ctlNone
+			}
+			in.scaleLoopCost(startCost, iterations, 1, f.Pragmas, f.Body)
+			return ctlNone
+		}
+		if f.Post != nil {
+			in.eval(f.Post)
+		}
+	}
+	in.scaleLoopCost(startCost, iterations, 1, f.Pragmas, f.Body)
+	return ctlNone
+}
+
+func (in *Interp) execWhile(w *cast.While) control {
+	fr := in.top()
+	startCost := in.cost
+	first := true
+	iterations := int64(0)
+	for {
+		in.step(w.P)
+		if !w.DoWhile || !first {
+			in.addCost(costBranch)
+			cond := in.eval(w.Cond).Truthy()
+			in.recordBranch(w.BranchID, cond)
+			if !cond {
+				break
+			}
+		}
+		iterations++
+		c := in.execStmt(w.Body)
+		if fr.returned || c == ctlBreak {
+			break
+		}
+		if w.DoWhile && first {
+			// Condition of a do-while runs after the first body pass.
+			in.addCost(costBranch)
+			cond := in.eval(w.Cond).Truthy()
+			in.recordBranch(w.BranchID, cond)
+			if !cond {
+				break
+			}
+		}
+		first = false
+	}
+	// While loops carry loop-borne dependences more often than counted
+	// loops; the pipeline model charges them a higher initiation interval.
+	in.scaleLoopCost(startCost, iterations, whileMinII, w.Pragmas, w.Body)
+	return ctlNone
+}
+
+func (in *Interp) execSwitch(sw *cast.Switch) control {
+	v := in.eval(sw.X).AsInt()
+	in.addCost(costBranch)
+	matched := -1
+	for i, c := range sw.Cases {
+		if c.IsDefault {
+			continue
+		}
+		if in.eval(c.Value).AsInt() == v {
+			matched = i
+			break
+		}
+	}
+	if matched < 0 {
+		for i, c := range sw.Cases {
+			if c.IsDefault {
+				matched = i
+				break
+			}
+		}
+	}
+	if matched < 0 {
+		return ctlNone
+	}
+	in.recordBranch(sw.BranchID+matched, true)
+	fr := in.top()
+	// Execute from the matched arm with C fall-through semantics.
+	for i := matched; i < len(sw.Cases); i++ {
+		for _, s := range sw.Cases[i].Body {
+			c := in.execStmt(s)
+			if fr.returned {
+				return ctlNone
+			}
+			if c == ctlBreak {
+				return ctlNone
+			}
+			if c == ctlContinue {
+				return ctlContinue
+			}
+		}
+	}
+	return ctlNone
+}
+
+// ---------------------------------------------------------------------------
+// FPGA cycle scaling for pragmas
+
+// Cycle-model constants for pragma-driven loop acceleration.
+const (
+	// pipelineDepth is the fill/flush latency of a pipelined loop.
+	pipelineDepth = 12
+	// maxLoopSpeedup caps the combined benefit of pipelining + unrolling
+	// one loop (resource- and port-limited in practice).
+	maxLoopSpeedup = 64
+	// whileMinII is the initiation interval floor for while loops, whose
+	// exit condition usually carries a loop dependence.
+	whileMinII = 2
+)
+
+// scaleLoopCost rescales the cycles consumed by a finished loop according
+// to its HLS pragmas (FPGA mode only):
+//
+//   - pipeline II=n retires one iteration every n cycles once the pipeline
+//     fills, so the loop costs about iterations*n/unroll + depth instead
+//     of iterations * bodyCycles;
+//   - unroll factor F divides the iteration count, bounded by the memory
+//     ports available (2 per partition bank of the arrays the body
+//     touches);
+//   - the combined speedup is capped at maxLoopSpeedup.
+func (in *Interp) scaleLoopCost(startCost, iterations int64, minII int, pragmas []*cast.Pragma, body cast.Stmt) {
+	if in.opts.Mode != FPGA || len(pragmas) == 0 || iterations <= 0 {
+		return
+	}
+	delta := in.cost - startCost
+	if delta <= 0 {
+		return
+	}
+	pipelined := false
+	ii := minII
+	unroll := 1
+	for _, p := range pragmas {
+		d := ParsePragma(p.Text)
+		switch d.Kind {
+		case PragmaPipeline:
+			pipelined = true
+			if d.Factor > ii {
+				ii = d.Factor
+			}
+		case PragmaUnroll:
+			f := d.Factor
+			if f <= 0 {
+				f = 8 // full unroll default benefit
+			}
+			ports := 2 * in.maxPartitionOf(body)
+			if f > ports {
+				f = ports
+			}
+			if f > unroll {
+				unroll = f
+			}
+		}
+	}
+	scaled := delta
+	if unroll > 1 {
+		scaled = delta / int64(unroll)
+	}
+	if pipelined {
+		// II cycles per (unroll-group of) iteration(s), plus fill/flush.
+		piped := iterations*int64(ii)/int64(unroll) + pipelineDepth
+		if piped < scaled {
+			scaled = piped
+		}
+	}
+	if floor := delta / maxLoopSpeedup; scaled < floor {
+		scaled = floor
+	}
+	if scaled >= delta {
+		return
+	}
+	in.cost = startCost + scaled + costLoopOverhead
+}
+
+// maxPartitionOf returns the largest partition factor among arrays
+// referenced in the loop body (1 when none are partitioned).
+func (in *Interp) maxPartitionOf(body cast.Stmt) int {
+	max := 1
+	cast.Inspect(body, func(n cast.Node) bool {
+		if ix, ok := n.(*cast.Index); ok {
+			if id, ok := ix.X.(*cast.Ident); ok {
+				if f, ok := in.partitions[id.Name]; ok && f > max {
+					max = f
+				}
+			}
+		}
+		return true
+	})
+	return max
+}
+
+// partitionBanks derives the effective bank count of a partition
+// directive: the factor for cyclic/block partitions, or "fully
+// registered" for type=complete.
+func partitionBanks(d PragmaDirective) int {
+	if d.PartitionType == "complete" {
+		return 64 // every element independently addressable
+	}
+	if d.Factor <= 0 {
+		return 4
+	}
+	return d.Factor
+}
+
+// notePartition records an array_partition pragma's banking.
+func (in *Interp) notePartition(text string) {
+	d := ParsePragma(text)
+	if d.Kind == PragmaArrayPartition && d.Variable != "" {
+		in.partitions[d.Variable] = partitionBanks(d)
+	}
+}
+
+// gatherPartitions collects array_partition pragmas at a function's head.
+func gatherPartitions(fn *cast.FuncDecl) map[string]int {
+	out := map[string]int{}
+	for _, p := range fn.Pragmas {
+		d := ParsePragma(p.Text)
+		if d.Kind == PragmaArrayPartition && d.Variable != "" {
+			out[d.Variable] = partitionBanks(d)
+		}
+	}
+	return out
+}
+
+// hasDataflow reports whether the function carries #pragma HLS dataflow.
+func hasDataflow(fn *cast.FuncDecl) bool {
+	for _, p := range fn.Pragmas {
+		if ParsePragma(p.Text).Kind == PragmaDataflow {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Pragma parsing (shared with the HLS checker via this package)
+
+// PragmaKind classifies an HLS pragma directive.
+type PragmaKind int
+
+// HLS pragma kinds.
+const (
+	PragmaUnknown PragmaKind = iota
+	PragmaUnroll
+	PragmaPipeline
+	PragmaDataflow
+	PragmaArrayPartition
+	PragmaInterface
+	PragmaInline
+	PragmaTop
+	PragmaStream
+)
+
+// PragmaDirective is a parsed "#pragma HLS ..." line.
+type PragmaDirective struct {
+	Kind     PragmaKind
+	Raw      string
+	Factor   int    // unroll/partition factor, II for pipeline
+	Variable string // variable= operand
+	IsHLS    bool
+	Name     string // interface/top name operands
+	// PartitionType is the array_partition type= operand: "cyclic"
+	// (default), "block", or "complete" (full registerization — every
+	// element gets its own ports).
+	PartitionType string
+}
+
+// ParsePragma parses the text after "#pragma".
+func ParsePragma(text string) PragmaDirective {
+	d := PragmaDirective{Raw: text}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return d
+	}
+	if !strings.EqualFold(fields[0], "HLS") {
+		return d
+	}
+	d.IsHLS = true
+	if len(fields) < 2 {
+		return d
+	}
+	switch strings.ToLower(fields[1]) {
+	case "unroll":
+		d.Kind = PragmaUnroll
+	case "pipeline":
+		d.Kind = PragmaPipeline
+	case "dataflow":
+		d.Kind = PragmaDataflow
+	case "array_partition":
+		d.Kind = PragmaArrayPartition
+	case "interface":
+		d.Kind = PragmaInterface
+	case "inline":
+		d.Kind = PragmaInline
+	case "top":
+		d.Kind = PragmaTop
+	case "stream":
+		d.Kind = PragmaStream
+	}
+	for _, f := range fields[2:] {
+		if eq := strings.IndexByte(f, '='); eq > 0 {
+			key := strings.ToLower(f[:eq])
+			val := f[eq+1:]
+			switch key {
+			case "factor", "ii":
+				if n, err := strconv.Atoi(val); err == nil {
+					d.Factor = n
+				}
+			case "variable":
+				d.Variable = val
+			case "name":
+				d.Name = val
+			case "type":
+				d.PartitionType = val
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/ctypes"
+	"github.com/hetero/heterogen/internal/fuzz"
+)
+
+func scalarTests(vals ...int64) []fuzz.TestCase {
+	var out []fuzz.TestCase
+	for _, v := range vals {
+		out = append(out, fuzz.TestCase{Args: []fuzz.Arg{
+			{Scalar: true, Ints: []int64{v}, Width: 32},
+		}})
+	}
+	return out
+}
+
+func TestBitwidthNarrowing(t *testing.T) {
+	// The paper's working example: ret peaks at 83, fitting fpga_uint<7>
+	// (plus the safety margin bit -> 8).
+	u := cparser.MustParse(`
+int visit(int v) { int ret = v * 2 + 3; return ret; }
+int kernel(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) { total += visit(i); }
+    return total;
+}`)
+	res, err := Generate(u, "kernel", scalarTests(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retDecl *cast.DeclStmt
+	cast.Inspect(res.Unit.Func("visit"), func(n cast.Node) bool {
+		if d, ok := n.(*cast.DeclStmt); ok && d.Name == "ret" {
+			retDecl = d
+		}
+		return true
+	})
+	if retDecl == nil {
+		t.Fatal("ret declaration missing")
+	}
+	ft, ok := retDecl.Type.(ctypes.FPGAInt)
+	if !ok {
+		t.Fatalf("ret not retyped: %s", retDecl.Type.C(""))
+	}
+	if !ft.Unsigned || ft.Width != 7+SafetyMarginBits {
+		t.Errorf("ret type %s, want fpga_uint<%d>", ft.C(""), 7+SafetyMarginBits)
+	}
+	if len(res.Retyped) == 0 || !strings.Contains(res.Retyped[0], "ret") {
+		t.Errorf("retype log %v", res.Retyped)
+	}
+}
+
+func TestOriginalUnitUntouched(t *testing.T) {
+	u := cparser.MustParse(`
+int kernel(int n) { int small = n % 4; return small; }`)
+	before := cast.Print(u)
+	if _, err := Generate(u, "kernel", scalarTests(3, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if cast.Print(u) != before {
+		t.Error("Generate mutated its input unit")
+	}
+}
+
+func TestLongDoubleRetyped(t *testing.T) {
+	u := cparser.MustParse(`
+int kernel(int in) {
+    long double in_ld = in;
+    in_ld = in_ld + 1;
+    return (int)in_ld;
+}`)
+	res, err := Generate(u, "kernel", scalarTests(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decl *cast.DeclStmt
+	cast.Inspect(res.Unit, func(n cast.Node) bool {
+		if d, ok := n.(*cast.DeclStmt); ok && d.Name == "in_ld" {
+			decl = d
+		}
+		return true
+	})
+	if decl == nil {
+		t.Fatal("in_ld missing")
+	}
+	if !decl.Type.Equal(ctypes.DefaultFPGAFloat) {
+		t.Errorf("in_ld type %s, want fpga_float<8,71>", decl.Type.C(""))
+	}
+}
+
+func TestNegativeRangesGetSignedTypes(t *testing.T) {
+	u := cparser.MustParse(`
+int kernel(int n) {
+    int delta = -n;
+    return delta;
+}`)
+	res, err := Generate(u, "kernel", scalarTests(100, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decl *cast.DeclStmt
+	cast.Inspect(res.Unit, func(n cast.Node) bool {
+		if d, ok := n.(*cast.DeclStmt); ok && d.Name == "delta" {
+			decl = d
+		}
+		return true
+	})
+	ft, ok := decl.Type.(ctypes.FPGAInt)
+	if !ok {
+		t.Fatalf("delta not retyped: %s", decl.Type.C(""))
+	}
+	if ft.Unsigned {
+		t.Errorf("delta saw negative values, must be signed: %s", ft.C(""))
+	}
+}
+
+func TestWideRangesKeepOriginalType(t *testing.T) {
+	u := cparser.MustParse(`
+int kernel(int n) {
+    int big = n * 1000000;
+    return big;
+}`)
+	res, err := Generate(u, "kernel", scalarTests(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decl *cast.DeclStmt
+	cast.Inspect(res.Unit, func(n cast.Node) bool {
+		if d, ok := n.(*cast.DeclStmt); ok && d.Name == "big" {
+			decl = d
+		}
+		return true
+	})
+	if _, ok := decl.Type.(ctypes.FPGAInt); ok {
+		if decl.Type.Bits() >= 32 {
+			return // retype with no saving did not happen, fine
+		}
+		t.Errorf("big (range ~2e9) narrowed to %s", decl.Type.C(""))
+	}
+}
+
+func TestCrashingTestsSkipped(t *testing.T) {
+	u := cparser.MustParse(`
+int kernel(int n) {
+    int q = 100 / n;
+    return q;
+}`)
+	// First test divides by zero; profiling should still succeed from the
+	// second.
+	res, err := Generate(u, "kernel", scalarTests(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranges["kernel.q"] == nil {
+		t.Error("range for q missing despite one clean test")
+	}
+}

@@ -1,0 +1,82 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls/sim"
+)
+
+// With a capacity-gated device, the search must back off from resource-
+// hungry pragma configurations instead of accepting the fastest one.
+func TestSearchRespectsDeviceCapacity(t *testing.T) {
+	src := `
+void kernel(int a[64], int b[64]) {
+    for (int i = 0; i < 64; i++) {
+        b[i] = a[i] * 3 + 1;
+    }
+}`
+	mk := func() fuzz.TestCase {
+		in := fuzz.Arg{Ints: make([]int64, 64), Width: 32}
+		for i := range in.Ints {
+			in.Ints[i] = int64(i % 9)
+		}
+		return fuzz.TestCase{Args: []fuzz.Arg{in, {Ints: make([]int64, 64), Width: 32}}}
+	}
+	tests := []fuzz.TestCase{mk()}
+
+	// Unconstrained: partitions freely.
+	free := Search(cparser.MustParse(src), cparser.MustParse(src), "kernel", tests, DefaultOptions())
+	if !free.Compatible || !free.BehaviorOK {
+		t.Fatalf("unconstrained search failed: %v", free.Remaining)
+	}
+	freeRes := sim.Estimate(free.Unit)
+
+	// Tiny device: whatever the search accepts must fit.
+	tiny := sim.Device{Name: "tiny", Cap: sim.Resources{LUT: 5000, FF: 20000, DSP: 64, BRAM: 12}}
+	opts := DefaultOptions()
+	opts.Device = tiny
+	gated := Search(cparser.MustParse(src), cparser.MustParse(src), "kernel", tests, opts)
+	if !gated.Compatible || !gated.BehaviorOK {
+		t.Fatalf("gated search failed: %v / %v", gated.Remaining, gated.Stats.EditLog)
+	}
+	gatedRes := sim.Estimate(gated.Unit)
+	if ok, over := sim.CheckCapacity(gatedRes, tiny); !ok {
+		t.Errorf("accepted design over-utilizes the device: %v (%s)", over, gatedRes)
+	}
+	if gatedRes.BRAM > freeRes.BRAM {
+		t.Errorf("gated design should not use more BRAM than the free one: %d vs %d",
+			gatedRes.BRAM, freeRes.BRAM)
+	}
+}
+
+// An initial design that already exceeds the device fails with the
+// implementation diagnostic.
+func TestCapacityDiagnosticSurfaces(t *testing.T) {
+	src := `
+int huge[1000000];
+int kernel(int x) {
+    huge[0] = x;
+    return huge[0];
+}`
+	tiny := sim.Device{Name: "tiny", Cap: sim.Resources{LUT: 5000, FF: 20000, DSP: 64, BRAM: 12}}
+	opts := DefaultOptions()
+	opts.Device = tiny
+	opts.MaxIterations = 4
+	res := Search(cparser.MustParse(src), cparser.MustParse(src), "kernel",
+		[]fuzz.TestCase{{Args: []fuzz.Arg{{Scalar: true, Ints: []int64{1}, Width: 32}}}}, opts)
+	if res.Compatible {
+		t.Fatal("a megaword array cannot fit the tiny device")
+	}
+	found := false
+	for _, d := range res.Remaining {
+		if strings.Contains(d.Message, "over-utilizes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("implementation diagnostic missing: %v", res.Remaining)
+	}
+}

@@ -1,0 +1,511 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// Initial size guesses for finitization edits. Deliberately small: the
+// resize template grows them geometrically until differential testing
+// passes, reproducing the paper's "experimentation with different array
+// sizes" (and its P3 stack-size story).
+const (
+	initialArraySize = 64
+	initialPoolSize  = 256
+	initialStackSize = 32
+	maxFinitizedSize = 1 << 20
+)
+
+// ---------------------------------------------------------------------------
+// array_static($a1:arr, $i1:int): give an unknown-size array a constant size.
+
+func instArrayStatic(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	if d.Subject == "" {
+		return nil
+	}
+	name := d.Subject
+	if !hasUnknownArray(u, name) {
+		return nil
+	}
+	size := st.Sizes["array:"+name]
+	if size == 0 {
+		size = initialArraySize
+	}
+	key := "array:" + name
+	return []Edit{{
+		Template: "array_static",
+		Class:    hls.ClassDynamicData,
+		Target:   name,
+		Note:     fmt.Sprintf("size=%d", size),
+		Apply: func(u *cast.Unit) error {
+			if !setArraySize(u, name, size) {
+				return fmt.Errorf("array_static: no unknown-size array %q", name)
+			}
+			return nil
+		},
+		OnAccept: func(s *State) { s.Sizes[key] = size },
+	}}
+}
+
+func hasUnknownArray(u *cast.Unit, name string) bool {
+	found := false
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok && unknownDim(a) {
+					found = true
+				}
+			}
+		case *cast.VarDecl:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok && unknownDim(a) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func unknownDim(a ctypes.Array) bool {
+	if a.Len < 0 {
+		return true
+	}
+	if inner, ok := ctypes.Resolve(a.Elem).(ctypes.Array); ok {
+		return unknownDim(inner)
+	}
+	return false
+}
+
+// setArraySize rewrites all unknown dimensions of the named array to size
+// and clears any VLA dimension expressions.
+func setArraySize(u *cast.Unit, name string, size int) bool {
+	done := false
+	var fix func(t ctypes.Type) ctypes.Type
+	fix = func(t ctypes.Type) ctypes.Type {
+		a, ok := t.(ctypes.Array)
+		if !ok {
+			return t
+		}
+		ln := a.Len
+		if ln < 0 {
+			ln = size
+		}
+		return ctypes.Array{Elem: fix(a.Elem), Len: ln}
+	}
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok && unknownDim(a) {
+					x.Type = fix(a)
+					x.VLADims = nil
+					done = true
+				}
+			}
+		case *cast.VarDecl:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok && unknownDim(a) {
+					x.Type = fix(a)
+					done = true
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// ---------------------------------------------------------------------------
+// resize($a1:arr): grow a previously finitized array geometrically.
+
+func instResize(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	var keys []string
+	for k := range st.Sizes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Edit
+	// Geometric size exploration: a single doubling may not flip any test
+	// (a deep recursion can need 8x the current stack), so each resizable
+	// entity gets several growth factors as independent candidates.
+	for _, key := range keys {
+		key := key
+		old := st.Sizes[key]
+		name := arrayNameForSizeKey(key)
+		for _, mult := range []int{2, 4, 8, 16} {
+			size := old * mult
+			if size > maxFinitizedSize {
+				continue
+			}
+			out = append(out, Edit{
+				Template: "resize",
+				Class:    hls.ClassDynamicData,
+				Target:   name,
+				Note:     fmt.Sprintf("size=%d", size),
+				Apply: func(u *cast.Unit) error {
+					if !resizeNamedArray(u, name, size) {
+						return fmt.Errorf("resize: no sized array %q", name)
+					}
+					return nil
+				},
+				OnAccept: func(s *State) { s.Sizes[key] = size },
+			})
+		}
+	}
+	return out
+}
+
+// arrayNameForSizeKey maps a size-bookkeeping key to the declared array
+// it controls: "stack:traverse" sizes traverse_stack, "pool:Node" sizes
+// Node_arr, "array:buf" sizes buf itself.
+func arrayNameForSizeKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == ':' {
+			prefix, name := key[:i], key[i+1:]
+			switch prefix {
+			case "stack":
+				return name + "_stack"
+			case "pool":
+				return name + "_arr"
+			}
+			return name
+		}
+	}
+	return key
+}
+
+// resizeNamedArray sets the outer dimension of every array declaration
+// with the given name.
+func resizeNamedArray(u *cast.Unit, name string, size int) bool {
+	done := false
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok {
+					x.Type = ctypes.Array{Elem: a.Elem, Len: size}
+					done = true
+				}
+			}
+		case *cast.VarDecl:
+			if x.Name == name {
+				if a, ok := ctypes.Resolve(x.Type).(ctypes.Array); ok {
+					x.Type = ctypes.Array{Elem: a.Elem, Len: size}
+					done = true
+				}
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// ---------------------------------------------------------------------------
+// insert($a1:arr, $d1:dyn): replace dynamic allocation of a struct with a
+// static pool + index allocator (Figure 2b's Node_arr / Node_malloc).
+
+func instPoolInsert(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	tags := mallocTags(u)
+	var out []Edit
+	for _, tag := range tags {
+		tag := tag
+		if st.applied("insert", tag) {
+			continue
+		}
+		size := st.Sizes["pool:"+tag]
+		if size == 0 {
+			size = initialPoolSize
+		}
+		key := "pool:" + tag
+		out = append(out, Edit{
+			Template: "insert",
+			Class:    hls.ClassDynamicData,
+			Target:   tag,
+			Note:     fmt.Sprintf("%s_arr size=%d", tag, size),
+			Apply:    func(u *cast.Unit) error { return applyPoolInsert(u, tag, size) },
+			OnAccept: func(s *State) { s.Sizes[key] = size },
+		})
+	}
+	return out
+}
+
+// mallocTags returns struct tags allocated via (struct T*)malloc casts,
+// in deterministic order.
+func mallocTags(u *cast.Unit) []string {
+	seen := map[string]bool{}
+	var tags []string
+	cast.Inspect(u, func(n cast.Node) bool {
+		c, ok := n.(*cast.Cast)
+		if !ok {
+			return true
+		}
+		call, ok := c.X.(*cast.Call)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*cast.Ident)
+		if !ok || id.Name != "malloc" {
+			return true
+		}
+		if p, ok := ctypes.Resolve(c.To).(ctypes.Pointer); ok {
+			if stct, ok := ctypes.Resolve(p.Elem).(*ctypes.Struct); ok && !seen[stct.Tag] {
+				seen[stct.Tag] = true
+				tags = append(tags, stct.Tag)
+			}
+		}
+		return true
+	})
+	return tags
+}
+
+func applyPoolInsert(u *cast.Unit, tag string, size int) error {
+	sd := u.StructOf(tag)
+	if sd == nil {
+		return fmt.Errorf("insert: struct %q not found", tag)
+	}
+	stct := sd.Type
+	ptrName := tag + "_ptr"
+	arrName := tag + "_arr"
+	nextName := tag + "_next"
+
+	ptrType := ctypes.Named{Name: ptrName, Underlying: ctypes.IntT}
+
+	// typedef int T_ptr;
+	td := &cast.TypedefDecl{Name: ptrName, Type: ctypes.IntT}
+	u.Typedefs[ptrName] = ctypes.IntT
+
+	// struct T T_arr[size]; int T_next = 1; (index 0 is the null element)
+	arr := &cast.VarDecl{Name: arrName, Type: ctypes.Array{Elem: stct, Len: size}}
+	next := &cast.VarDecl{Name: nextName, Type: ctypes.IntT, Init: &cast.IntLit{Value: 1, Text: "1"}}
+
+	// T_ptr T_malloc(int sz) { T_ptr p = T_next; T_next = T_next + 1; return p; }
+	mallocFn := &cast.FuncDecl{
+		Name:   tag + "_malloc",
+		Ret:    ptrType,
+		Params: []cast.Param{{Name: "sz", Type: ctypes.IntT}},
+		Body: &cast.Block{Stmts: []cast.Stmt{
+			&cast.DeclStmt{Name: "p", Type: ptrType, Init: &cast.Ident{Name: nextName}},
+			&cast.ExprStmt{X: &cast.Assign{Op: ctoken.ASSIGN,
+				L: &cast.Ident{Name: nextName},
+				R: &cast.Binary{Op: ctoken.ADD, L: &cast.Ident{Name: nextName},
+					R: &cast.IntLit{Value: 1, Text: "1"}}}},
+			&cast.Return{X: &cast.Ident{Name: "p"}},
+		}},
+	}
+	// void T_free(T_ptr p) { } — pool storage is static; free is a no-op.
+	freeFn := &cast.FuncDecl{
+		Name:   tag + "_free",
+		Ret:    ctypes.Void{},
+		Params: []cast.Param{{Name: "p", Type: ptrType}},
+		Body:   &cast.Block{},
+	}
+
+	// The typedef precedes the struct (its fields will refer to T_ptr
+	// after pointer removal); the pool and allocator follow the struct.
+	u.InsertDeclBefore(td, sd)
+	idx := -1
+	for i, d := range u.Decls {
+		if d == cast.Decl(sd) {
+			idx = i
+			break
+		}
+	}
+	newDecls := []cast.Decl{arr, next, mallocFn, freeFn}
+	if idx < 0 {
+		u.Decls = append(newDecls, u.Decls...)
+	} else {
+		rest := append([]cast.Decl{}, u.Decls[idx+1:]...)
+		u.Decls = append(append(u.Decls[:idx+1], newDecls...), rest...)
+	}
+
+	// Rewrite (struct T*)malloc(...) -> T_malloc(...) and free(p) ->
+	// T_free(p) for pointers to T.
+	eachFunction(u, func(fn *cast.FuncDecl) {
+		if fn == mallocFn || fn == freeFn {
+			return
+		}
+		rewriteExprsTyped(u, fn, func(env *typeEnv, e cast.Expr) cast.Expr {
+			switch x := e.(type) {
+			case *cast.Cast:
+				if call, ok := x.X.(*cast.Call); ok {
+					if id, ok := call.Fun.(*cast.Ident); ok && id.Name == "malloc" && isPointerTo(x.To, tag) {
+						return &cast.Call{P: x.P, Fun: &cast.Ident{P: x.P, Name: tag + "_malloc"}, Args: call.Args}
+					}
+				}
+			case *cast.Call:
+				if id, ok := x.Fun.(*cast.Ident); ok && id.Name == "free" && len(x.Args) == 1 {
+					at := env.typeOf(x.Args[0])
+					if at != nil && (isPointerTo(at, tag) || isNamed(at, ptrName)) {
+						return &cast.Call{P: x.P, Fun: &cast.Ident{P: x.P, Name: tag + "_free"}, Args: x.Args}
+					}
+				}
+			}
+			return e
+		})
+	})
+	return nil
+}
+
+func isNamed(t ctypes.Type, name string) bool {
+	n, ok := t.(ctypes.Named)
+	return ok && n.Name == name
+}
+
+// ---------------------------------------------------------------------------
+// pointer($v1:ptr): replace struct pointers with pool indices
+// (Figure 2b's Node* -> Node_ptr).
+
+func instPointerRemoval(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	// Applicable to every pooled struct (insert applied) that still has
+	// pointer uses.
+	var out []Edit
+	for _, sd := range structDecls(u) {
+		tag := sd.Type.Tag
+		if _, ok := u.Typedefs[tag+"_ptr"]; !ok {
+			continue // pool not inserted yet (dependence unmet)
+		}
+		if !hasPointerTo(u, tag) {
+			continue
+		}
+		out = append(out, Edit{
+			Template: "pointer",
+			Class:    hls.ClassDynamicData,
+			Target:   tag,
+			Note:     tag + "* -> " + tag + "_ptr",
+			Apply:    func(u *cast.Unit) error { return applyPointerRemoval(u, tag) },
+		})
+	}
+	return out
+}
+
+func structDecls(u *cast.Unit) []*cast.StructDecl {
+	var out []*cast.StructDecl
+	for _, d := range u.Decls {
+		if sd, ok := d.(*cast.StructDecl); ok {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+func hasPointerTo(u *cast.Unit, tag string) bool {
+	found := false
+	check := func(t ctypes.Type) {
+		if t == nil {
+			return
+		}
+		for {
+			switch x := t.(type) {
+			case ctypes.Pointer:
+				if st, ok := ctypes.Resolve(x.Elem).(*ctypes.Struct); ok && st.Tag == tag {
+					found = true
+					return
+				}
+				t = x.Elem
+			case ctypes.Array:
+				t = x.Elem
+			case ctypes.Ref:
+				t = x.Elem
+			default:
+				return
+			}
+		}
+	}
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			check(x.Type)
+		case *cast.VarDecl:
+			check(x.Type)
+		case *cast.Cast:
+			check(x.To)
+		case *cast.FuncDecl:
+			check(x.Ret)
+			for _, p := range x.Params {
+				check(p.Type)
+			}
+		case *cast.StructDecl:
+			for _, f := range x.Type.Fields {
+				check(f.Type)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func applyPointerRemoval(u *cast.Unit, tag string) error {
+	ptrName := tag + "_ptr"
+	arrName := tag + "_arr"
+	under, ok := u.Typedefs[ptrName]
+	if !ok {
+		return fmt.Errorf("pointer: pool typedef %s missing (apply insert first)", ptrName)
+	}
+	ptrType := ctypes.Named{Name: ptrName, Underlying: under}
+
+	// Expression rewrites first (they rely on the original pointer types).
+	var rewriteErr error
+	eachFunction(u, func(fn *cast.FuncDecl) {
+		rewriteExprsTyped(u, fn, func(env *typeEnv, e cast.Expr) cast.Expr {
+			switch x := e.(type) {
+			case *cast.Member:
+				if x.Arrow {
+					bt := env.typeOf(x.X)
+					if bt != nil && isPointerTo(bt, tag) {
+						return &cast.Member{P: x.P, Field: x.Field, X: &cast.Index{
+							P: x.P, X: &cast.Ident{P: x.P, Name: arrName}, Idx: x.X}}
+					}
+				}
+			case *cast.Unary:
+				switch x.Op {
+				case ctoken.MUL:
+					bt := env.typeOf(x.X)
+					if bt != nil && isPointerTo(bt, tag) {
+						return &cast.Index{P: x.P, X: &cast.Ident{P: x.P, Name: arrName}, Idx: x.X}
+					}
+				case ctoken.AND:
+					xt := env.typeOf(x.X)
+					if st, ok := ctypes.Resolve(orNil(xt)).(*ctypes.Struct); ok && st.Tag == tag {
+						// &T_arr[i] -> i; anything else is out of scope.
+						if ix, ok := x.X.(*cast.Index); ok {
+							if id, ok := ix.X.(*cast.Ident); ok && id.Name == arrName {
+								return ix.Idx
+							}
+						}
+						rewriteErr = fmt.Errorf("pointer: unsupported address-of struct %s", tag)
+					}
+				}
+			}
+			return e
+		})
+	})
+	if rewriteErr != nil {
+		return rewriteErr
+	}
+
+	// Then retype every Pointer{struct T} declaration site to T_ptr.
+	rewriteTypes(u, func(t ctypes.Type) (ctypes.Type, bool) {
+		if p, ok := t.(ctypes.Pointer); ok {
+			if st, ok := ctypes.Resolve(p.Elem).(*ctypes.Struct); ok && st.Tag == tag {
+				return ptrType, true
+			}
+		}
+		return t, false
+	})
+	return nil
+}
+
+func orNil(t ctypes.Type) ctypes.Type {
+	if t == nil {
+		return ctypes.Void{}
+	}
+	return t
+}

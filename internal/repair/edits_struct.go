@@ -1,0 +1,355 @@
+package repair
+
+import (
+	"fmt"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// ---------------------------------------------------------------------------
+// constructor($s1:struct): insert an explicit constructor (Figure 5b, ➊).
+
+func instConstructor(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	tag := d.Subject
+	sd := u.StructOf(tag)
+	if sd == nil || sd.HasCtor {
+		return nil
+	}
+	return []Edit{{
+		Template: "constructor",
+		Class:    hls.ClassStructUnion,
+		Target:   tag,
+		Note:     "insert explicit constructor",
+		Apply:    func(u *cast.Unit) error { return applyConstructor(u, tag) },
+	}}
+}
+
+func applyConstructor(u *cast.Unit, tag string) error {
+	sd := u.StructOf(tag)
+	if sd == nil {
+		return fmt.Errorf("constructor: struct %q not found", tag)
+	}
+	if sd.HasCtor {
+		return fmt.Errorf("constructor: %q already has one", tag)
+	}
+	ctor := &cast.FuncDecl{Name: tag, Ret: ctypes.Void{}}
+	for i, f := range sd.Type.Fields {
+		pname := fmt.Sprintf("a%d", i)
+		ptype := f.Type
+		// Stream and struct fields are bound by reference.
+		switch ctypes.Resolve(f.Type).(type) {
+		case ctypes.Stream:
+			if _, isRef := f.Type.(ctypes.Ref); !isRef {
+				ptype = ctypes.Ref{Elem: f.Type}
+			}
+		}
+		ctor.Params = append(ctor.Params, cast.Param{Name: pname, Type: ptype})
+		ctor.Body = ensureBlock(ctor.Body)
+		ctor.Body.Stmts = append(ctor.Body.Stmts, &cast.ExprStmt{
+			X: &cast.Assign{Op: ctoken.ASSIGN,
+				L: &cast.Ident{Name: f.Name},
+				R: &cast.Ident{Name: pname}},
+		})
+	}
+	ctor.Body = ensureBlock(ctor.Body)
+	sd.Methods = append([]*cast.FuncDecl{ctor}, sd.Methods...)
+	sd.HasCtor = true
+	return nil
+}
+
+func ensureBlock(b *cast.Block) *cast.Block {
+	if b == nil {
+		return &cast.Block{}
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// stream_static($f1:stream, $s1:struct): make the connecting stream static
+// (Figure 5b, ➌). Depends on constructor.
+
+func instStreamStatic(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	name := d.Subject
+	if name == "" {
+		return nil
+	}
+	return []Edit{{
+		Template: "stream_static",
+		Class:    hls.ClassStructUnion,
+		Target:   name,
+		Note:     "declare stream static",
+		Apply: func(u *cast.Unit) error {
+			done := false
+			cast.Inspect(u, func(n cast.Node) bool {
+				ds, ok := n.(*cast.DeclStmt)
+				if !ok || ds.Name != name || ds.Static {
+					return true
+				}
+				if _, isStream := ctypes.Resolve(ds.Type).(ctypes.Stream); isStream {
+					ds.Static = true
+					done = true
+				}
+				return true
+			})
+			if !done {
+				return fmt.Errorf("stream_static: no non-static stream %q", name)
+			}
+			return nil
+		},
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// flatten($s1:struct): lift methods to standalone functions taking the
+// fields as parameters (Figure 7b, ➋).
+
+func instFlatten(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	tag := d.Subject
+	sd := u.StructOf(tag)
+	if sd == nil || len(sd.Methods) == 0 {
+		return nil
+	}
+	return []Edit{{
+		Template: "flatten",
+		Class:    hls.ClassStructUnion,
+		Target:   tag,
+		Note:     "lift methods to standalone functions",
+		Apply:    func(u *cast.Unit) error { return applyFlatten(u, tag) },
+	}}
+}
+
+func applyFlatten(u *cast.Unit, tag string) error {
+	sd := u.StructOf(tag)
+	if sd == nil {
+		return fmt.Errorf("flatten: struct %q not found", tag)
+	}
+	fields := sd.Type.Fields
+	methodNames := map[string]bool{}
+	for _, m := range sd.Methods {
+		methodNames[m.Name] = true
+	}
+	var lifted []cast.Decl
+	for _, m := range sd.Methods {
+		if m.Name == tag {
+			continue // constructors dissolve with the struct
+		}
+		nf := cast.CloneFunc(m)
+		nf.Name = tag + "_" + m.Name
+		var fieldParams []cast.Param
+		for _, f := range fields {
+			pt := f.Type
+			switch ctypes.Resolve(f.Type).(type) {
+			case ctypes.Stream:
+				if _, isRef := f.Type.(ctypes.Ref); !isRef {
+					pt = ctypes.Ref{Elem: f.Type}
+				}
+			}
+			fieldParams = append(fieldParams, cast.Param{Name: f.Name, Type: pt})
+		}
+		nf.Params = append(fieldParams, nf.Params...)
+		// Rewrite sibling-method calls: doRead() -> S_doRead(fields...).
+		cast.Inspect(nf, func(n cast.Node) bool {
+			call, ok := n.(*cast.Call)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*cast.Ident); ok && methodNames[id.Name] && id.Name != tag {
+				id.Name = tag + "_" + id.Name
+				var fieldArgs []cast.Expr
+				for _, f := range fields {
+					fieldArgs = append(fieldArgs, &cast.Ident{Name: f.Name})
+				}
+				call.Args = append(fieldArgs, call.Args...)
+			}
+			return true
+		})
+		lifted = append(lifted, nf)
+	}
+	for i := len(lifted) - 1; i >= 0; i-- {
+		u.InsertDeclBefore(lifted[i], sd)
+	}
+	// The struct keeps its fields until inst_update retargets the call
+	// sites; mark it method-less so the lifted functions are canonical.
+	sd.Methods = nil
+	sd.HasCtor = false
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// inst_update($s1:struct): rewrite instance-method calls to the lifted
+// functions and remove the struct (Figure 7b, ➍). Depends on flatten.
+
+func instInstUpdate(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	tag := d.Subject
+	if tag == "" {
+		return nil
+	}
+	return []Edit{{
+		Template: "inst_update",
+		Class:    hls.ClassStructUnion,
+		Target:   tag,
+		Note:     "retarget instance calls",
+		Apply:    func(u *cast.Unit) error { return applyInstUpdate(u, tag) },
+	}}
+}
+
+func applyInstUpdate(u *cast.Unit, tag string) error {
+	sd := u.StructOf(tag)
+	if sd == nil {
+		return fmt.Errorf("inst_update: struct %q not found", tag)
+	}
+	updated := 0
+	eachFunction(u, func(fn *cast.FuncDecl) {
+		rewriteExprsTyped(u, fn, func(env *typeEnv, e cast.Expr) cast.Expr {
+			call, ok := e.(*cast.Call)
+			if !ok {
+				return e
+			}
+			mem, ok := call.Fun.(*cast.Member)
+			if !ok {
+				return e
+			}
+			il, ok := mem.X.(*cast.InitList)
+			if !ok || il.Type == nil {
+				return e
+			}
+			stct, ok := il.Type.(*ctypes.Struct)
+			if !ok || stct.Tag != tag {
+				return e
+			}
+			updated++
+			return &cast.Call{P: call.P,
+				Fun:  &cast.Ident{P: call.P, Name: tag + "_" + mem.Field},
+				Args: append(append([]cast.Expr{}, il.Elems...), call.Args...)}
+		})
+	})
+	if updated == 0 {
+		return fmt.Errorf("inst_update: no %s temporaries to retarget", tag)
+	}
+	// Remove the struct declaration when nothing references its type.
+	if !typeStillUsed(u, tag) {
+		u.RemoveDecl(sd)
+		delete(u.Structs, tag)
+	}
+	return nil
+}
+
+func typeStillUsed(u *cast.Unit, tag string) bool {
+	used := false
+	check := func(t ctypes.Type) {
+		for t != nil {
+			if st, ok := t.(*ctypes.Struct); ok {
+				if st.Tag == tag {
+					used = true
+				}
+				return
+			}
+			switch x := t.(type) {
+			case ctypes.Pointer:
+				t = x.Elem
+			case ctypes.Array:
+				t = x.Elem
+			case ctypes.Ref:
+				t = x.Elem
+			case ctypes.Named:
+				t = x.Underlying
+			default:
+				return
+			}
+		}
+	}
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			check(x.Type)
+		case *cast.VarDecl:
+			check(x.Type)
+		case *cast.Cast:
+			check(x.To)
+		case *cast.FuncDecl:
+			check(x.Ret)
+			for _, p := range x.Params {
+				check(p.Type)
+			}
+		case *cast.InitList:
+			check(x.Type)
+		}
+		return true
+	})
+	return used
+}
+
+// ---------------------------------------------------------------------------
+// inst_static($s1:struct, $v1:name): replace struct temporaries with named
+// static instances. An alternative tail for the constructor branch.
+
+func instInstStatic(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	tag := d.Subject
+	sd := u.StructOf(tag)
+	if sd == nil || !sd.HasCtor {
+		return nil
+	}
+	return []Edit{{
+		Template: "inst_static",
+		Class:    hls.ClassStructUnion,
+		Target:   tag,
+		Note:     "hoist temporaries to static instances",
+		Apply:    func(u *cast.Unit) error { return applyInstStatic(u, tag) },
+	}}
+}
+
+func applyInstStatic(u *cast.Unit, tag string) error {
+	sd := u.StructOf(tag)
+	if sd == nil {
+		return fmt.Errorf("inst_static: struct %q not found", tag)
+	}
+	count := 0
+	eachFunction(u, func(fn *cast.FuncDecl) {
+		if fn.Body == nil {
+			return
+		}
+		var rewritten []cast.Stmt
+		for _, s := range fn.Body.Stmts {
+			es, ok := s.(*cast.ExprStmt)
+			if !ok {
+				rewritten = append(rewritten, s)
+				continue
+			}
+			call, ok := es.X.(*cast.Call)
+			if !ok {
+				rewritten = append(rewritten, s)
+				continue
+			}
+			mem, ok := call.Fun.(*cast.Member)
+			if !ok {
+				rewritten = append(rewritten, s)
+				continue
+			}
+			il, ok := mem.X.(*cast.InitList)
+			if !ok || il.Type == nil {
+				rewritten = append(rewritten, s)
+				continue
+			}
+			stct, ok := il.Type.(*ctypes.Struct)
+			if !ok || stct.Tag != tag {
+				rewritten = append(rewritten, s)
+				continue
+			}
+			count++
+			instName := fmt.Sprintf("%s_inst%d", tag, count)
+			rewritten = append(rewritten,
+				&cast.DeclStmt{P: es.P, Name: instName, Type: stct, Init: il, Static: true},
+				&cast.ExprStmt{P: es.P, X: &cast.Call{P: call.P,
+					Fun:  &cast.Member{P: call.P, X: &cast.Ident{P: call.P, Name: instName}, Field: mem.Field},
+					Args: call.Args}})
+		}
+		fn.Body.Stmts = rewritten
+	})
+	if count == 0 {
+		return fmt.Errorf("inst_static: no %s temporaries found", tag)
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package repair
+
+import (
+	"fmt"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctoken"
+	"github.com/hetero/heterogen/internal/ctypes"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// ---------------------------------------------------------------------------
+// type_trans($v1:var): replace an unsupported type (long double) with a
+// custom-width HLS float — the Figure 4 repair.
+
+func instTypeTrans(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	if !hasLongDouble(u) {
+		return nil
+	}
+	return []Edit{{
+		Template: "type_trans",
+		Class:    hls.ClassUnsupportedType,
+		Target:   "long double",
+		Note:     "-> " + ctypes.DefaultFPGAFloat.C(""),
+		Apply: func(u *cast.Unit) error {
+			if !hasLongDouble(u) {
+				return fmt.Errorf("type_trans: no long double left")
+			}
+			rewriteTypes(u, func(t ctypes.Type) (ctypes.Type, bool) {
+				if f, ok := t.(ctypes.Float); ok && f.FK == ctypes.F80 {
+					return ctypes.DefaultFPGAFloat, true
+				}
+				return t, false
+			})
+			return nil
+		},
+	}}
+}
+
+func hasLongDouble(u *cast.Unit) bool {
+	found := false
+	check := func(t ctypes.Type) {
+		for t != nil {
+			if f, ok := t.(ctypes.Float); ok && f.FK == ctypes.F80 {
+				found = true
+				return
+			}
+			switch x := t.(type) {
+			case ctypes.Pointer:
+				t = x.Elem
+			case ctypes.Array:
+				t = x.Elem
+			case ctypes.Ref:
+				t = x.Elem
+			default:
+				return
+			}
+		}
+	}
+	cast.Inspect(u, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.DeclStmt:
+			check(x.Type)
+		case *cast.VarDecl:
+			check(x.Type)
+		case *cast.Cast:
+			check(x.To)
+		case *cast.FuncDecl:
+			check(x.Ret)
+			for _, p := range x.Params {
+				check(p.Type)
+			}
+		case *cast.StructDecl:
+			for _, f := range x.Type.Fields {
+				check(f.Type)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// type_casting($v1:var): insert explicit casts on mixed fpga_float /
+// integer arithmetic — implicit conversion is poorly supported in HLS
+// (Figure 4b line 6). Depends on type_trans having introduced the custom
+// float type.
+func instTypeCasting(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	return []Edit{{
+		Template: "type_casting",
+		Class:    hls.ClassUnsupportedType,
+		Target:   "mixed arithmetic",
+		Note:     "explicit casts on fpga_float operands",
+		Apply: func(u *cast.Unit) error {
+			changed := 0
+			eachFunction(u, func(fn *cast.FuncDecl) {
+				rewriteExprsTyped(u, fn, func(env *typeEnv, e cast.Expr) cast.Expr {
+					b, ok := e.(*cast.Binary)
+					if !ok || !isArith(b.Op) {
+						return e
+					}
+					lt, rt := env.typeOf(b.L), env.typeOf(b.R)
+					lf := isFPGAFloat(lt)
+					rf := isFPGAFloat(rt)
+					if lf && !rf && rt != nil && ctypes.IsInteger(rt) {
+						if _, already := b.R.(*cast.Cast); !already {
+							b.R = &cast.Cast{P: b.P, To: ctypes.Resolve(lt), X: b.R}
+							changed++
+						}
+					}
+					if rf && !lf && lt != nil && ctypes.IsInteger(lt) {
+						if _, already := b.L.(*cast.Cast); !already {
+							b.L = &cast.Cast{P: b.P, To: ctypes.Resolve(rt), X: b.L}
+							changed++
+						}
+					}
+					return e
+				})
+			})
+			if changed == 0 {
+				return fmt.Errorf("type_casting: no mixed fpga_float arithmetic found")
+			}
+			return nil
+		},
+	}}
+}
+
+func isFPGAFloat(t ctypes.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := ctypes.Resolve(t).(ctypes.FPGAFloat)
+	return ok
+}
+
+func isArith(op ctoken.Kind) bool {
+	switch op {
+	case ctoken.ADD, ctoken.SUB, ctoken.MUL, ctoken.QUO:
+		return true
+	}
+	return false
+}
+
+// pointer_var($v1:ptr): remove a scalar pointer local by inlining it as a
+// direct alias of its (array-element or variable) target. Handles the
+// common "cursor" idiom:  int *p = &a[k]; ... *p ... p[i] ...
+func instPointerVarRemoval(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
+	name := d.Subject
+	if name == "" {
+		return nil
+	}
+	return []Edit{{
+		Template: "pointer_var",
+		Class:    hls.ClassUnsupportedType,
+		Target:   name,
+		Note:     "inline pointer alias",
+		Apply:    func(u *cast.Unit) error { return applyPointerVarRemoval(u, name) },
+	}}
+}
+
+// applyPointerVarRemoval removes a local of pointer type initialized to
+// &expr (or an array name) by substituting its uses.
+func applyPointerVarRemoval(u *cast.Unit, name string) error {
+	applied := false
+	var applyErr error
+	eachFunction(u, func(fn *cast.FuncDecl) {
+		if applied || fn.Body == nil {
+			return
+		}
+		// Locate the declaration at any block level.
+		var target cast.Expr // the aliased lvalue expression
+		var declBlock *cast.Block
+		var declIdx int
+		var find func(b *cast.Block) bool
+		var findIn func(s cast.Stmt) bool
+		findIn = func(s cast.Stmt) bool {
+			switch x := s.(type) {
+			case *cast.Block:
+				return find(x)
+			case *cast.For:
+				return findIn(x.Body)
+			case *cast.While:
+				return findIn(x.Body)
+			case *cast.If:
+				if findIn(x.Then) {
+					return true
+				}
+				return x.Else != nil && findIn(x.Else)
+			}
+			return false
+		}
+		find = func(b *cast.Block) bool {
+			for i, s := range b.Stmts {
+				if ds, ok := s.(*cast.DeclStmt); ok && ds.Name == name {
+					if _, isPtr := ctypes.Resolve(ds.Type).(ctypes.Pointer); !isPtr {
+						continue
+					}
+					switch init := ds.Init.(type) {
+					case *cast.Unary:
+						if init.Op == ctoken.AND {
+							target = init.X
+						}
+					case *cast.Ident:
+						target = &cast.Index{X: init, Idx: &cast.IntLit{Value: 0, Text: "0"}}
+					}
+					if target == nil {
+						applyErr = fmt.Errorf("pointer_var: %q has no inlinable initializer", name)
+						return true
+					}
+					declBlock, declIdx = b, i
+					return true
+				}
+				if findIn(s) {
+					return true
+				}
+			}
+			return false
+		}
+		if !find(fn.Body) {
+			return
+		}
+		if applyErr != nil || declBlock == nil {
+			return
+		}
+		// Reject reassignment of the pointer itself.
+		bad := false
+		cast.Inspect(fn, func(n cast.Node) bool {
+			if as, ok := n.(*cast.Assign); ok {
+				if id, ok := as.L.(*cast.Ident); ok && id.Name == name {
+					bad = true
+				}
+			}
+			return true
+		})
+		if bad {
+			applyErr = fmt.Errorf("pointer_var: %q is reassigned; cannot inline", name)
+			return
+		}
+		// Substitute uses: *p -> target, p[i] -> (&target)[i] flattened to
+		// index arithmetic when target is itself an index expression.
+		rewriteExprsTyped(u, fn, func(env *typeEnv, e cast.Expr) cast.Expr {
+			switch x := e.(type) {
+			case *cast.Unary:
+				if x.Op == ctoken.MUL {
+					if id, ok := x.X.(*cast.Ident); ok && id.Name == name {
+						return cast.CloneExpr(target)
+					}
+				}
+			case *cast.Index:
+				if id, ok := x.X.(*cast.Ident); ok && id.Name == name {
+					if ti, ok := target.(*cast.Index); ok {
+						return &cast.Index{P: x.P, X: cast.CloneExpr(ti.X),
+							Idx: &cast.Binary{Op: ctoken.ADD,
+								L: cast.CloneExpr(ti.Idx), R: x.Idx}}
+					}
+				}
+			}
+			return e
+		})
+		// The inlining is only sound if every use was rewritten: a bare
+		// reference left behind (e.g. free(p)) would dangle once the
+		// declaration is gone.
+		remaining := 0
+		cast.Inspect(fn, func(n cast.Node) bool {
+			if d, ok := n.(*cast.DeclStmt); ok && d.Name == name {
+				return false // the declaration itself
+			}
+			if id, ok := n.(*cast.Ident); ok && id.Name == name {
+				remaining++
+			}
+			return true
+		})
+		if remaining > 0 {
+			applyErr = fmt.Errorf("pointer_var: %d unrewritable uses of %q remain", remaining, name)
+			return
+		}
+		declBlock.Stmts = append(declBlock.Stmts[:declIdx], declBlock.Stmts[declIdx+1:]...)
+		applied = true
+	})
+	if applyErr != nil {
+		return applyErr
+	}
+	if !applied {
+		return fmt.Errorf("pointer_var: no inlinable pointer %q", name)
+	}
+	return nil
+}

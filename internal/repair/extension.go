@@ -1,0 +1,148 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// The paper emphasizes extensibility (§5.2): "this repair localization
+// module is designed for extensibility — for a new HLS error type, a user
+// can add a new corresponding repair localization module." This file is
+// that surface: downstream users register custom keyword classifiers and
+// custom edit templates without touching the built-in registry.
+
+var (
+	extMu          sync.RWMutex
+	extClassifiers []func(msg string) hls.ErrorClass
+	extTemplates   []Template
+)
+
+// RegisterClassifier adds a keyword classifier consulted before the
+// built-in one; returning hls.ClassNone passes to the next classifier.
+func RegisterClassifier(f func(msg string) hls.ErrorClass) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	extClassifiers = append(extClassifiers, f)
+}
+
+// RegisterTemplate adds a custom edit template to the search. The
+// template's Class may be one of the six built-in classes or any value a
+// registered classifier produces. Returns an error when the ID collides
+// with an existing template.
+func RegisterTemplate(t Template) error {
+	if t.ID == "" || t.Instantiate == nil {
+		return fmt.Errorf("repair: template needs an ID and an Instantiate function")
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	for _, existing := range builtinRegistry() {
+		if existing.ID == t.ID {
+			return fmt.Errorf("repair: template %q already registered (built-in)", t.ID)
+		}
+	}
+	for _, existing := range extTemplates {
+		if existing.ID == t.ID {
+			return fmt.Errorf("repair: template %q already registered", t.ID)
+		}
+	}
+	for _, req := range t.Requires {
+		if _, ok := templateByIDLocked(req); !ok {
+			return fmt.Errorf("repair: template %q requires unknown template %q", t.ID, req)
+		}
+	}
+	extTemplates = append(extTemplates, t)
+	return nil
+}
+
+// UnregisterTemplate removes a previously registered custom template
+// (built-ins cannot be removed). Mainly for tests.
+func UnregisterTemplate(id string) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	for i, t := range extTemplates {
+		if t.ID == id {
+			extTemplates = append(extTemplates[:i], extTemplates[i+1:]...)
+			return
+		}
+	}
+}
+
+// ResetExtensions drops all custom classifiers and templates.
+func ResetExtensions() {
+	extMu.Lock()
+	defer extMu.Unlock()
+	extClassifiers = nil
+	extTemplates = nil
+}
+
+func templateByIDLocked(id string) (Template, bool) {
+	for _, t := range builtinRegistry() {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	for _, t := range extTemplates {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Template{}, false
+}
+
+// classifyExtended runs registered classifiers before the built-in one.
+func classifyExtended(msg string) hls.ErrorClass {
+	extMu.RLock()
+	classifiers := append([]func(string) hls.ErrorClass{}, extClassifiers...)
+	extMu.RUnlock()
+	for _, f := range classifiers {
+		if c := f(msg); c != hls.ClassNone {
+			return c
+		}
+	}
+	return builtinClassify(msg)
+}
+
+// extendedTemplates appends registered templates to the built-in catalog.
+func extendedTemplates() []Template {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	if len(extTemplates) == 0 {
+		return builtinRegistry()
+	}
+	out := append([]Template{}, builtinRegistry()...)
+	out = append(out, extTemplates...)
+	return out
+}
+
+// DescribeRegistry renders the active template catalog (built-in plus
+// extensions) grouped by class — the Table 2 view of the running system.
+func DescribeRegistry() string {
+	byClass := map[hls.ErrorClass][]Template{}
+	for _, t := range extendedTemplates() {
+		byClass[t.Class] = append(byClass[t.Class], t)
+	}
+	var classes []hls.ErrorClass
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var sb strings.Builder
+	for _, c := range classes {
+		fmt.Fprintf(&sb, "%s:\n", c)
+		for _, t := range byClass[c] {
+			fmt.Fprintf(&sb, "  %s", t.ID)
+			if len(t.Requires) > 0 {
+				fmt.Fprintf(&sb, " (after %s)", strings.Join(t.Requires, ", "))
+			}
+			if len(t.Alternatives) > 0 {
+				fmt.Fprintf(&sb, " (alternative to %s)", strings.Join(t.Alternatives, ", "))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

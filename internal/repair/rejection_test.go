@@ -1,0 +1,154 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+)
+
+// The transforms must refuse shapes they cannot handle soundly, returning
+// errors (dropped candidates) rather than corrupting programs.
+
+func TestStackTransRejectsValueReturningRecursion(t *testing.T) {
+	u := cparser.MustParse(`
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}`)
+	err := applyStackTrans(u, "fib", 32)
+	if err == nil || !strings.Contains(err.Error(), "void") {
+		t.Errorf("want void-only rejection, got %v", err)
+	}
+}
+
+func TestStackTransRejectsNestedRecursiveCalls(t *testing.T) {
+	u := cparser.MustParse(`
+int g;
+void walk(int n) {
+    if (n <= 0) { return; }
+    for (int i = 0; i < 2; i++) {
+        walk(n - 1);
+    }
+}`)
+	err := applyStackTrans(u, "walk", 32)
+	if err == nil || !strings.Contains(err.Error(), "top-level") {
+		t.Errorf("want nested-call rejection, got %v", err)
+	}
+}
+
+func TestStackTransRejectsReturnInsideLoop(t *testing.T) {
+	u := cparser.MustParse(`
+int g;
+void walk(int n) {
+    for (int i = 0; i < 3; i++) {
+        if (i == n) { return; }
+    }
+    g = g + 1;
+    walk(n - 1);
+}`)
+	err := applyStackTrans(u, "walk", 32)
+	if err == nil || !strings.Contains(err.Error(), "inside a loop") {
+		t.Errorf("want return-in-loop rejection, got %v", err)
+	}
+}
+
+func TestStackTransRejectsMutatedArrayParam(t *testing.T) {
+	u := cparser.MustParse(`
+void walk(int a[8], int n) {
+    if (n <= 0) { return; }
+    walk(a, n - 1);
+}
+void other(int a[8], int b[8], int n) {
+    if (n <= 0) { return; }
+    other(b, a, n - 1);
+}`)
+	if err := applyStackTrans(u, "walk", 32); err != nil {
+		t.Errorf("pass-through array param should be accepted: %v", err)
+	}
+	err := applyStackTrans(u, "other", 32)
+	if err == nil || !strings.Contains(err.Error(), "passed through unchanged") {
+		t.Errorf("want swapped-array rejection, got %v", err)
+	}
+}
+
+func TestStackTransRejectsNonRecursiveFunction(t *testing.T) {
+	u := cparser.MustParse(`void f(int x) { x = x + 1; }`)
+	if err := applyStackTrans(u, "f", 32); err == nil {
+		t.Error("non-recursive function must be rejected")
+	}
+	if err := applyStackTrans(u, "missing", 32); err == nil {
+		t.Error("unknown function must be rejected")
+	}
+}
+
+func TestPointerRemovalRequiresPool(t *testing.T) {
+	u := cparser.MustParse(`
+struct Node { int v; struct Node *next; };
+struct Node *head;
+void f() { head = 0; }`)
+	err := applyPointerRemoval(u, "Node")
+	if err == nil || !strings.Contains(err.Error(), "insert first") {
+		t.Errorf("want missing-pool rejection, got %v", err)
+	}
+}
+
+func TestPointerVarRejectsReassignedCursor(t *testing.T) {
+	u := cparser.MustParse(`
+void f(int a[8]) {
+    int *p = &a[0];
+    p = &a[4];
+    p[0] = 1;
+}`)
+	err := applyPointerVarRemoval(u, "p")
+	if err == nil || !strings.Contains(err.Error(), "reassigned") {
+		t.Errorf("want reassignment rejection, got %v", err)
+	}
+}
+
+func TestPointerVarRejectsEscapingUse(t *testing.T) {
+	u := cparser.MustParse(`
+void sink(int *q) { q[0] = 1; }
+void f(int a[8]) {
+    int *p = &a[0];
+    sink(p);
+}`)
+	err := applyPointerVarRemoval(u, "p")
+	if err == nil || !strings.Contains(err.Error(), "unrewritable") {
+		t.Errorf("want escaping-use rejection, got %v", err)
+	}
+}
+
+func TestSegmentRequiresDataflowDoubleConsumer(t *testing.T) {
+	u := cparser.MustParse(`
+void f(int a[8], int b[8]) {
+    for (int i = 0; i < 8; i++) { b[i] = a[i]; }
+}`)
+	err := applySegmentBuffer(u, "a")
+	if err == nil || !strings.Contains(err.Error(), "dataflow") {
+		t.Errorf("want no-dataflow rejection, got %v", err)
+	}
+}
+
+func TestConstructorRejectsDuplicate(t *testing.T) {
+	u := cparser.MustParse(`
+struct S {
+    int x;
+    S(int a) : x(a) {}
+};
+void f() { }`)
+	err := applyConstructor(u, "S")
+	if err == nil || !strings.Contains(err.Error(), "already") {
+		t.Errorf("want duplicate-ctor rejection, got %v", err)
+	}
+}
+
+func TestFlattenUnknownStruct(t *testing.T) {
+	u := cparser.MustParse(`void f() { }`)
+	if err := applyFlatten(u, "Ghost"); err == nil {
+		t.Error("unknown struct must be rejected")
+	}
+	if err := applyInstUpdate(u, "Ghost"); err == nil {
+		t.Error("inst_update on unknown struct must be rejected")
+	}
+}

@@ -1,0 +1,233 @@
+package repair
+
+import (
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/ctypes"
+)
+
+// rewriteTypes applies f to every declared type in the unit (globals,
+// locals, parameters, returns, struct fields, casts, sizeofs, typedefs),
+// mapping through pointer/array/ref wrappers.
+func rewriteTypes(u *cast.Unit, f func(ctypes.Type) (ctypes.Type, bool)) {
+	var deep func(t ctypes.Type) (ctypes.Type, bool)
+	deep = func(t ctypes.Type) (ctypes.Type, bool) {
+		if t == nil {
+			return t, false
+		}
+		if nt, ok := f(t); ok {
+			return nt, true
+		}
+		switch x := t.(type) {
+		case ctypes.Pointer:
+			if e, ok := deep(x.Elem); ok {
+				return ctypes.Pointer{Elem: e}, true
+			}
+		case ctypes.Array:
+			if e, ok := deep(x.Elem); ok {
+				return ctypes.Array{Elem: e, Len: x.Len}, true
+			}
+		case ctypes.Ref:
+			if e, ok := deep(x.Elem); ok {
+				return ctypes.Ref{Elem: e}, true
+			}
+		case ctypes.Stream:
+			if e, ok := deep(x.Elem); ok {
+				return ctypes.Stream{Elem: e}, true
+			}
+		}
+		return t, false
+	}
+
+	apply := func(t ctypes.Type) ctypes.Type {
+		if nt, ok := deep(t); ok {
+			return nt
+		}
+		return t
+	}
+
+	rewriteFn := func(fn *cast.FuncDecl) {
+		fn.Ret = apply(fn.Ret)
+		for i := range fn.Params {
+			fn.Params[i].Type = apply(fn.Params[i].Type)
+		}
+		cast.Inspect(fn, func(n cast.Node) bool {
+			switch x := n.(type) {
+			case *cast.DeclStmt:
+				x.Type = apply(x.Type)
+			case *cast.Cast:
+				x.To = apply(x.To)
+			case *cast.SizeofType:
+				x.T = apply(x.T)
+			}
+			return true
+		})
+	}
+
+	for _, d := range u.Decls {
+		switch x := d.(type) {
+		case *cast.VarDecl:
+			x.Type = apply(x.Type)
+		case *cast.FuncDecl:
+			rewriteFn(x)
+		case *cast.TypedefDecl:
+			x.Type = apply(x.Type)
+		case *cast.StructDecl:
+			for i := range x.Type.Fields {
+				x.Type.Fields[i].Type = apply(x.Type.Fields[i].Type)
+			}
+			for _, m := range x.Methods {
+				rewriteFn(m)
+			}
+		}
+	}
+	for k, v := range u.Typedefs {
+		u.Typedefs[k] = apply(v)
+	}
+}
+
+// rewriteExprsTyped rebuilds every expression of fn bottom-up with scope-
+// aware typing: visit receives each (already child-rewritten) expression
+// together with the type environment at that point and returns its
+// replacement (or the node unchanged).
+func rewriteExprsTyped(u *cast.Unit, fn *cast.FuncDecl, visit func(env *typeEnv, e cast.Expr) cast.Expr) {
+	env := newTypeEnv(u)
+	env.push()
+	for _, p := range fn.Params {
+		env.define(p.Name, p.Type)
+	}
+
+	var rewrite func(x cast.Expr) cast.Expr
+	rewrite = func(x cast.Expr) cast.Expr {
+		if x == nil {
+			return nil
+		}
+		switch n := x.(type) {
+		case *cast.Unary:
+			n.X = rewrite(n.X)
+		case *cast.Postfix:
+			n.X = rewrite(n.X)
+		case *cast.Binary:
+			n.L = rewrite(n.L)
+			n.R = rewrite(n.R)
+		case *cast.Assign:
+			n.L = rewrite(n.L)
+			n.R = rewrite(n.R)
+		case *cast.Cond:
+			n.C = rewrite(n.C)
+			n.T = rewrite(n.T)
+			n.F = rewrite(n.F)
+		case *cast.Call:
+			n.Fun = rewrite(n.Fun)
+			for i := range n.Args {
+				n.Args[i] = rewrite(n.Args[i])
+			}
+		case *cast.Index:
+			n.X = rewrite(n.X)
+			n.Idx = rewrite(n.Idx)
+		case *cast.Member:
+			n.X = rewrite(n.X)
+		case *cast.Cast:
+			n.X = rewrite(n.X)
+		case *cast.SizeofExpr:
+			n.X = rewrite(n.X)
+		case *cast.InitList:
+			for i := range n.Elems {
+				n.Elems[i] = rewrite(n.Elems[i])
+			}
+		}
+		return visit(env, x)
+	}
+
+	var walkStmt func(s cast.Stmt)
+	walkStmt = func(s cast.Stmt) {
+		switch n := s.(type) {
+		case *cast.ExprStmt:
+			n.X = rewrite(n.X)
+		case *cast.DeclStmt:
+			if n.Init != nil {
+				n.Init = rewrite(n.Init)
+			}
+			for i := range n.VLADims {
+				n.VLADims[i] = rewrite(n.VLADims[i])
+			}
+			env.define(n.Name, n.Type)
+		case *cast.Block:
+			env.push()
+			for _, st := range n.Stmts {
+				walkStmt(st)
+			}
+			env.pop()
+		case *cast.If:
+			n.Cond = rewrite(n.Cond)
+			walkStmt(n.Then)
+			if n.Else != nil {
+				walkStmt(n.Else)
+			}
+		case *cast.For:
+			env.push()
+			if n.Init != nil {
+				walkStmt(n.Init)
+			}
+			if n.Cond != nil {
+				n.Cond = rewrite(n.Cond)
+			}
+			if n.Post != nil {
+				n.Post = rewrite(n.Post)
+			}
+			walkStmt(n.Body)
+			env.pop()
+		case *cast.While:
+			n.Cond = rewrite(n.Cond)
+			walkStmt(n.Body)
+		case *cast.Return:
+			if n.X != nil {
+				n.X = rewrite(n.X)
+			}
+		case *cast.Switch:
+			n.X = rewrite(n.X)
+			for _, c := range n.Cases {
+				if c.Value != nil {
+					c.Value = rewrite(c.Value)
+				}
+				for _, st := range c.Body {
+					walkStmt(st)
+				}
+			}
+		}
+	}
+	if fn.Body != nil {
+		env.push()
+		for _, s := range fn.Body.Stmts {
+			walkStmt(s)
+		}
+		env.pop()
+	}
+}
+
+// eachFunction visits every function and struct method with a body.
+func eachFunction(u *cast.Unit, f func(*cast.FuncDecl)) {
+	for _, d := range u.Decls {
+		switch x := d.(type) {
+		case *cast.FuncDecl:
+			if x.Body != nil {
+				f(x)
+			}
+		case *cast.StructDecl:
+			for _, m := range x.Methods {
+				if m.Body != nil {
+					f(m)
+				}
+			}
+		}
+	}
+}
+
+// isPointerTo reports whether t is Pointer{struct tag}.
+func isPointerTo(t ctypes.Type, tag string) bool {
+	p, ok := ctypes.Resolve(t).(ctypes.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ctypes.Resolve(p.Elem).(*ctypes.Struct)
+	return ok && st.Tag == tag
+}

@@ -1,0 +1,439 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+	"github.com/hetero/heterogen/internal/hls/sim"
+	"github.com/hetero/heterogen/internal/hls/stylecheck"
+)
+
+// Options configures the repair search.
+type Options struct {
+	// Budget is the virtual wall-clock limit in seconds (the paper uses a
+	// three-hour limit; WithoutDependence gets twelve before it is
+	// declared failed).
+	Budget hls.VirtualCost
+	// UseStyleChecker enables early rejection via the lightweight
+	// frontend (§5.3). Disabling it is the WithoutChecker ablation.
+	UseStyleChecker bool
+	// UseDependence enables dependence-ordered chain enumeration.
+	// Disabling it is the WithoutDependence ablation (random order).
+	UseDependence bool
+	// PerfExploration keeps searching for performance edits after all
+	// compatibility errors are fixed.
+	PerfExploration bool
+	// Seed drives the random order in the WithoutDependence ablation.
+	Seed int64
+	// MaxIterations is a safety bound on accepted edits.
+	MaxIterations int
+	// ClassFilter, when non-nil, restricts the search to templates of the
+	// allowed error classes — how the HeteroRefactor baseline's
+	// dynamic-data-only scope is modelled.
+	ClassFilter map[hls.ErrorClass]bool
+	// Device, when set, gates candidates on fabric capacity: a candidate
+	// whose resource estimate over-utilizes the device fails evaluation
+	// like any other diagnostic (so the search backs off to cheaper
+	// partition factors). Zero value disables the gate.
+	Device sim.Device
+}
+
+// allows reports whether the options permit templates of class c.
+func (o Options) allows(c hls.ErrorClass) bool {
+	return o.ClassFilter == nil || o.ClassFilter[c]
+}
+
+// DefaultOptions is the full HeteroGen configuration.
+func DefaultOptions() Options {
+	return Options{
+		Budget:          3 * 3600,
+		UseStyleChecker: true,
+		UseDependence:   true,
+		PerfExploration: true,
+		Seed:            1,
+		MaxIterations:   64,
+	}
+}
+
+// Stats records search effort, in both attempts and virtual time.
+type Stats struct {
+	VirtualSeconds float64
+	// SecondsToCompatible is the virtual time at which the search first
+	// reached a compilable, behaviour-preserving version (0 when never) —
+	// the repair-task wall-clock Figure 9 compares.
+	SecondsToCompatible float64
+	HLSInvocations      int // full compile+simulate invocations
+	StyleChecks         int
+	StyleRejections     int
+	CandidatesTried     int
+	Iterations          int
+	EditLog             []string
+}
+
+// VirtualMinutes converts the virtual time for reporting.
+func (s Stats) VirtualMinutes() float64 { return s.VirtualSeconds / 60 }
+
+// Result is the search outcome.
+type Result struct {
+	Unit *cast.Unit
+	// Compatible reports zero HLS errors.
+	Compatible bool
+	// BehaviorOK reports that all tests agree with the original program.
+	BehaviorOK bool
+	// Improved reports simulated FPGA latency below the original CPU time.
+	Improved bool
+	// Report is the final differential-test report (when run).
+	Report difftest.Report
+	Stats  Stats
+	// Remaining lists unfixed diagnostics when the search failed.
+	Remaining []hls.Diagnostic
+}
+
+// EditedLines counts the lines of the repaired program that do not appear
+// in the original (a line-multiset difference) — the paper's ΔLOC metric.
+// In-place retypings count (the line changed) as well as insertions.
+func EditedLines(original, repaired *cast.Unit) int {
+	origLines := map[string]int{}
+	for _, l := range strings.Split(cast.Print(original), "\n") {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			origLines[l]++
+		}
+	}
+	delta := 0
+	for _, l := range strings.Split(cast.Print(repaired), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		if origLines[l] > 0 {
+			origLines[l]--
+			continue
+		}
+		delta++
+	}
+	return delta
+}
+
+// searcher carries the loop state.
+type searcher struct {
+	original *cast.Unit
+	kernel   string
+	cfg      hls.Config
+	tests    []fuzz.TestCase
+	opts     Options
+	rng      *rand.Rand
+	stats    Stats
+	state    *State
+	// triedPerf remembers performance candidates already evaluated and
+	// rejected, so successive perfSteps do not pay repeated compilations
+	// for the same configuration.
+	triedPerf map[string]bool
+}
+
+// Search runs HeteroGen's iterative repair from the initial version
+// (normally the bitwidth-profiled P_broken) against the original program
+// as behaviour oracle.
+func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, opts Options) Result {
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 64
+	}
+	if opts.Budget == 0 {
+		opts.Budget = 3 * 3600
+	}
+	s := &searcher{
+		original:  original,
+		kernel:    kernel,
+		cfg:       hls.DefaultConfig(kernel),
+		tests:     tests,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		state:     NewState(),
+		triedPerf: map[string]bool{},
+	}
+	s.state.TestCount = len(tests)
+
+	cur := cast.CloneUnit(initial)
+	curScore := s.evaluate(cur)
+
+	for s.stats.VirtualSeconds < float64(opts.Budget) && s.stats.Iterations < opts.MaxIterations {
+		s.stats.Iterations++
+
+		if curScore.errors == 0 && curScore.behaviorOK {
+			if s.stats.SecondsToCompatible == 0 {
+				s.stats.SecondsToCompatible = s.stats.VirtualSeconds
+			}
+			if !opts.PerfExploration {
+				break
+			}
+			// Performance phase: accept only strict latency improvements.
+			improved := s.perfStep(&cur, &curScore)
+			if !improved {
+				break
+			}
+			continue
+		}
+
+		accepted := s.repairStep(&cur, &curScore)
+		if !accepted {
+			break // no candidate improves the current program
+		}
+	}
+
+	if curScore.errors == 0 && curScore.behaviorOK && s.stats.SecondsToCompatible == 0 {
+		s.stats.SecondsToCompatible = s.stats.VirtualSeconds
+	}
+	res := Result{
+		Unit:       cur,
+		Compatible: curScore.errors == 0,
+		BehaviorOK: curScore.behaviorOK,
+		Report:     curScore.report,
+		Stats:      s.stats,
+		Remaining:  curScore.diags,
+	}
+	if curScore.errors == 0 && curScore.behaviorOK {
+		res.Improved = curScore.report.FPGAMeanMS() < curScore.report.CPUMeanMS()
+	}
+	return res
+}
+
+// score is the lexicographic fitness of a program version.
+type score struct {
+	errors     int
+	behaviorOK bool
+	passRatio  float64
+	latencyMS  float64
+	diags      []hls.Diagnostic
+	report     difftest.Report
+}
+
+// better implements the unified objective: compatibility is the hard
+// constraint (error count), behaviour preservation next, latency last.
+func (a score) better(b score) bool {
+	if a.errors != b.errors {
+		return a.errors < b.errors
+	}
+	if a.errors > 0 {
+		return false // same error count and still broken: no progress
+	}
+	if a.passRatio != b.passRatio {
+		return a.passRatio > b.passRatio
+	}
+	if !a.behaviorOK || !b.behaviorOK {
+		return false
+	}
+	return a.latencyMS < b.latencyMS-1e-12
+}
+
+// evaluate pays for a full HLS compilation (and simulation when
+// compilable) of u and returns its fitness.
+func (s *searcher) evaluate(u *cast.Unit) score {
+	lines := cast.CountLines(u)
+	s.stats.VirtualSeconds += float64(hls.CompileCost(lines))
+	s.stats.HLSInvocations++
+	rep := check.Run(u, s.cfg)
+	sc := score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
+	if sc.errors > 0 {
+		return sc
+	}
+	if s.opts.Device.Name != "" {
+		if ok, over := sim.CheckCapacity(sim.Estimate(u), s.opts.Device); !ok {
+			d := hls.Diagnostic{
+				Code: "IMPL 200-1",
+				Message: fmt.Sprintf(
+					"implementation failed: design over-utilizes %s on %s",
+					strings.Join(over, ", "), s.opts.Device.Name),
+				Class: hls.ClassLoopParallel,
+			}
+			sc.errors = 1
+			sc.diags = []hls.Diagnostic{d}
+			return sc
+		}
+	}
+	s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+	dt := difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
+	sc.report = dt
+	sc.passRatio = dt.PassRatio()
+	sc.behaviorOK = dt.AllPass()
+	sc.latencyMS = dt.FPGAMeanMS()
+	return sc
+}
+
+// styleOK pays for a style check, when enabled.
+func (s *searcher) styleOK(u *cast.Unit) bool {
+	if !s.opts.UseStyleChecker {
+		return true
+	}
+	s.stats.StyleChecks++
+	s.stats.VirtualSeconds += float64(hls.StyleCheckSeconds)
+	if rep := stylecheck.Run(u, s.cfg); !rep.OK {
+		s.stats.StyleRejections++
+		return false
+	}
+	return true
+}
+
+// repairStep tries candidates for the current diagnostics and accepts the
+// first one that improves the score. Returns false when stuck.
+func (s *searcher) repairStep(cur **cast.Unit, curScore *score) bool {
+	diags := curScore.diags
+	if len(diags) == 0 && !curScore.behaviorOK {
+		// Compilable but behaviour-diverging: the finitization sizes are
+		// wrong. Synthesize a dynamic-data diagnostic so sizing templates
+		// (resize) instantiate.
+		diags = []hls.Diagnostic{{
+			Code:    "DIFF-1",
+			Message: fmt.Sprintf("behavior divergence: %d of %d tests disagree (%s): dynamic memory finitization suspected", curScore.report.Total-curScore.report.Passed, curScore.report.Total, curScore.report.FirstDiff),
+			Class:   hls.ClassDynamicData,
+		}}
+	}
+
+	var candidates []Candidate
+	if s.opts.UseDependence {
+		// Dependence-guided: chains per diagnostic, in diagnostic order.
+		for _, d := range diags {
+			candidates = append(candidates, CandidatesFor(*cur, d, s.state)...)
+		}
+		candidates = dedupeCandidates(candidates)
+	} else {
+		// WithoutDependence: each attempt picks any applicable edit at
+		// random, with replacement — re-trying a configuration pays for
+		// its compilation again, which is exactly what the dependence
+		// structure exists to avoid (the paper's "naive probability of
+		// selecting ➌ given ➊ is 10%" argument).
+		pool := s.filterByClass(RandomCandidates(*cur, diags, s.state))
+		if len(pool) == 0 {
+			return false
+		}
+		attempts := 6 * len(pool)
+		for a := 0; a < attempts; a++ {
+			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+				return false
+			}
+			cand := pool[s.rng.Intn(len(pool))]
+			s.stats.CandidatesTried++
+			if !s.styleOK(cand.Unit) {
+				continue
+			}
+			candScore := s.evaluate(cand.Unit)
+			if candScore.better(*curScore) {
+				s.accept(cand)
+				*cur = cand.Unit
+				*curScore = candScore
+				return true
+			}
+		}
+		return false
+	}
+
+	if s.tryCandidates(s.filterByClass(candidates), cur, curScore) {
+		return true
+	}
+	if s.opts.UseDependence {
+		// Cross-class repairs (e.g. a recursion fix blocked until struct
+		// pointers become pool indices) are reached by widening to the
+		// whole registry once per-class chains are exhausted.
+		fallback := s.filterByClass(RandomCandidates(*cur, diags, s.state))
+		return s.tryCandidates(fallback, cur, curScore)
+	}
+	return false
+}
+
+// filterByClass drops candidates containing edits outside the configured
+// class filter.
+func (s *searcher) filterByClass(cands []Candidate) []Candidate {
+	if s.opts.ClassFilter == nil {
+		return cands
+	}
+	var out []Candidate
+	for _, c := range cands {
+		ok := true
+		for _, e := range c.Edits {
+			if !s.opts.allows(e.Class) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// tryCandidates evaluates candidates in order, accepting the first
+// improvement.
+func (s *searcher) tryCandidates(candidates []Candidate, cur **cast.Unit, curScore *score) bool {
+	for _, cand := range candidates {
+		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+			return false
+		}
+		s.stats.CandidatesTried++
+		if !s.styleOK(cand.Unit) {
+			continue
+		}
+		candScore := s.evaluate(cand.Unit)
+		if candScore.better(*curScore) {
+			s.accept(cand)
+			*cur = cand.Unit
+			*curScore = candScore
+			return true
+		}
+	}
+	return false
+}
+
+// perfStep explores performance edits on an already-correct program.
+// Rejected configurations are remembered so each costs one compilation
+// over the whole search.
+func (s *searcher) perfStep(cur **cast.Unit, curScore *score) bool {
+	for _, cand := range PerfCandidates(*cur, s.state) {
+		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+			return false
+		}
+		key := cand.Describe()
+		if s.triedPerf[key] {
+			continue
+		}
+		s.triedPerf[key] = true
+		s.stats.CandidatesTried++
+		if !s.styleOK(cand.Unit) {
+			continue
+		}
+		candScore := s.evaluate(cand.Unit)
+		if candScore.better(*curScore) {
+			s.accept(cand)
+			*cur = cand.Unit
+			*curScore = candScore
+			return true
+		}
+	}
+	return false
+}
+
+func (s *searcher) accept(cand Candidate) {
+	for _, e := range cand.Edits {
+		s.state.MarkApplied(e)
+		if e.OnAccept != nil {
+			e.OnAccept(s.state)
+		}
+		s.stats.EditLog = append(s.stats.EditLog, e.String())
+	}
+}
+
+// Summary renders a human-readable result line.
+func (r Result) Summary() string {
+	status := "incomplete"
+	if r.Compatible && r.BehaviorOK {
+		status = "compatible"
+	}
+	return fmt.Sprintf("%s: %d edits, %d HLS invocations, %.0f virtual min [%s]",
+		status, len(r.Stats.EditLog), r.Stats.HLSInvocations,
+		r.Stats.VirtualMinutes(), strings.Join(r.Stats.EditLog, "; "))
+}

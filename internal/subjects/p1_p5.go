@@ -1,0 +1,450 @@
+package subjects
+
+import (
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// ---------------------------------------------------------------------------
+// P1 — signal transmission: 3-dimensional RGB -> YUV conversion via basic
+// arithmetic. No loops or arrays to parallelize, so the FPGA version is
+// never faster (Table 3's one ✗). Error class: unsupported data types
+// (long double intermediates).
+
+func P1() Subject {
+	return Subject{
+		ID:     "P1",
+		Name:   "signal transmission",
+		Kernel: "rgb2yuv",
+		Source: `
+void rgb2yuv(int r, int g, int b, int yuv[3]) {
+    long double y = 0.299 * r + 0.587 * g + 0.114 * b;
+    long double u = 0.436 * b - 0.147 * r - 0.289 * g;
+    long double v = 0.615 * r - 0.515 * g - 0.100 * b;
+    yuv[0] = (int)y;
+    yuv[1] = (int)u;
+    yuv[2] = (int)v;
+}`,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassUnsupportedType},
+		ExpectImproved:  false,
+		HRSupported:     false,
+		ExpectedEdits:   []string{},
+		ManualSource: `
+void rgb2yuv(int r, int g, int b, int yuv[3]) {
+    fpga_float<8,23> y = 0.299 * r + 0.587 * g + 0.114 * b;
+    fpga_float<8,23> u = 0.436 * b - 0.147 * r - 0.289 * g;
+    fpga_float<8,23> v = 0.615 * r - 0.515 * g - 0.100 * b;
+    yuv[0] = (int)y;
+    yuv[1] = (int)u;
+    yuv[2] = (int)v;
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P2 — arithmetic computation: fixed-coefficient polynomial evaluation
+// (Horner) over a block of samples, accumulating in long double. Error
+// class: unsupported data types. The counted loop makes the FPGA version
+// faster once pragmas land.
+
+func P2() Subject {
+	return Subject{
+		ID:     "P2",
+		Name:   "arithmetic computation",
+		Kernel: "poly",
+		Source: `
+float coef0;
+void poly(float in[1024], float out[1024]) {
+    for (int i = 0; i < 1024; i++) {
+        long double acc = 0.0031;
+        long double x = in[i];
+        acc = acc * x + 0.0625;
+        acc = acc * x + 0.1250;
+        acc = acc * x + 0.2500;
+        acc = acc * x + 0.5000;
+        acc = acc * x + 1.0000;
+        acc = acc * x + 2.0000;
+        acc = acc * x + 4.0000;
+        acc = acc * x + 0.7500;
+        out[i] = (float)acc;
+    }
+}`,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassUnsupportedType},
+		ExpectImproved:  true,
+		HRSupported:     false,
+		ExpectedEdits:   []string{"explore"},
+		ManualSource: `
+void poly(float in[1024], float out[1024]) {
+#pragma HLS array_partition variable=in factor=16
+#pragma HLS array_partition variable=out factor=16
+    for (int i = 0; i < 1024; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=16
+        fpga_float<8,47> acc = 0.0031;
+        fpga_float<8,47> x = in[i];
+        acc = acc * x + 0.0625;
+        acc = acc * x + 0.1250;
+        acc = acc * x + 0.2500;
+        acc = acc * x + 0.5000;
+        acc = acc * x + 1.0000;
+        acc = acc * x + 2.0000;
+        acc = acc * x + 4.0000;
+        acc = acc * x + 0.7500;
+        out[i] = (float)acc;
+    }
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P3 — merge sort: recursive divide-and-conquer over a global buffer.
+// Error class: dynamic data structures (recursion), HeteroRefactor's home
+// turf (Table 5 shows HR succeeding here). Ships with ten weak tests that
+// reach only part of the branches (Table 4's 25%).
+
+const p3Source = `
+int data[512];
+void msort(int lo, int hi) {
+    if (hi - lo < 2) { return; }
+    int mid = (lo + hi) / 2;
+    msort(lo, mid);
+    msort(mid, hi);
+    int tmp[512];
+    int i = lo;
+    int j = mid;
+    int k = 0;
+    while (i < mid && j < hi) {
+        if (data[i] <= data[j]) { tmp[k] = data[i]; i++; }
+        else { tmp[k] = data[j]; j++; }
+        k++;
+    }
+    while (i < mid) { tmp[k] = data[i]; i++; k++; }
+    while (j < hi) { tmp[k] = data[j]; j++; k++; }
+    for (int m = 0; m < k; m++) { data[lo + m] = tmp[m]; }
+}
+int kernel(int seed, int n) {
+    if (n < 0) { n = 0; }
+    if (n > 512) { n = 512; }
+    int s = seed % 9973;
+    if (s < 0) { s = -s; }
+    int mode = s % 4;
+    for (int i = 0; i < n; i++) {
+        if (mode == 0) { data[i] = (s * (i + 3)) % 97; }
+        else if (mode == 1) { data[i] = n - i; }
+        else if (mode == 2) { data[i] = i % 7; }
+        else { data[i] = (s ^ i) % 251; }
+    }
+    msort(0, n);
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        checksum = checksum * 3 + data[i];
+        if (i > 0 && data[i] < data[i - 1]) { checksum = -1; }
+    }
+    return checksum;
+}`
+
+func P3() Subject {
+	return Subject{
+		ID:              "P3",
+		Name:            "merge sort",
+		Kernel:          "kernel",
+		Source:          p3Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassDynamicData},
+		ExpectImproved:  true,
+		HRSupported:     true,
+		ExpectedEdits:   []string{"stack_trans"},
+		ExistingTests: func() []fuzz.TestCase {
+			// Ten near-identical tiny tests: mode 1 only, small n.
+			var out []fuzz.TestCase
+			for i := int64(0); i < 10; i++ {
+				out = append(out, intCase(1, 4+i))
+			}
+			return out
+		},
+		ManualSource: `
+int data[512];
+int tmp[512];
+void msort_iter(int n) {
+#pragma HLS array_partition variable=data factor=8
+#pragma HLS array_partition variable=tmp factor=8
+    for (int width = 1; width < n; width = width * 2) {
+        for (int lo = 0; lo < n; lo = lo + 2 * width) {
+            int mid = lo + width;
+            int hi = lo + 2 * width;
+            if (mid > n) { mid = n; }
+            if (hi > n) { hi = n; }
+            int i = lo;
+            int j = mid;
+            int k = lo;
+            while (i < mid && j < hi) {
+#pragma HLS pipeline II=1
+                if (data[i] <= data[j]) { tmp[k] = data[i]; i++; }
+                else { tmp[k] = data[j]; j++; }
+                k++;
+            }
+            while (i < mid) {
+#pragma HLS pipeline II=1
+                tmp[k] = data[i]; i++; k++;
+            }
+            while (j < hi) {
+#pragma HLS pipeline II=1
+                tmp[k] = data[j]; j++; k++;
+            }
+            for (int m = lo; m < hi; m++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+                data[m] = tmp[m];
+            }
+        }
+    }
+}
+int kernel(int seed, int n) {
+    if (n < 0) { n = 0; }
+    if (n > 512) { n = 512; }
+    int s = seed % 9973;
+    if (s < 0) { s = -s; }
+    int mode = s % 4;
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        if (mode == 0) { data[i] = (s * (i + 3)) % 97; }
+        else if (mode == 1) { data[i] = n - i; }
+        else if (mode == 2) { data[i] = i % 7; }
+        else { data[i] = (s ^ i) % 251; }
+    }
+    msort_iter(n);
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        checksum = checksum * 3 + data[i];
+        if (i > 0 && data[i] < data[i - 1]) { checksum = -1; }
+    }
+    return checksum;
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P4 — image processing: 3x3 box-blur convolution over a 64x64 frame with
+// a variable-length line buffer (the forum's SYNCHK-61 case). Error class:
+// dynamic data structures (unknown-size array).
+
+const p4Source = `
+void blur(int img[4096], int out[4096], int cols) {
+    if (cols < 3) { cols = 3; }
+    if (cols > 64) { cols = 64; }
+    int line_buf[cols];
+    for (int y = 0; y < 64; y++) {
+        for (int x = 0; x < 64; x++) {
+            int acc = 0;
+            int cnt = 0;
+            for (int dy = 0; dy < 3; dy++) {
+                for (int dx = 0; dx < 3; dx++) {
+                    int yy = y + dy - 1;
+                    int xx = x + dx - 1;
+                    if (yy >= 0 && yy < 64 && xx >= 0 && xx < cols) {
+                        acc += img[yy * 64 + xx];
+                        cnt++;
+                    }
+                }
+            }
+            if (cnt == 0) { cnt = 1; }
+            if (x < cols) { line_buf[x] = acc / cnt; }
+            if (x < cols) { out[y * 64 + x] = line_buf[x]; }
+            else { out[y * 64 + x] = img[y * 64 + x]; }
+        }
+    }
+}`
+
+func P4() Subject {
+	return Subject{
+		ID:              "P4",
+		Name:            "image processing",
+		Kernel:          "blur",
+		Source:          p4Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassDynamicData},
+		ExpectImproved:  true,
+		HRSupported:     false, // unknown-size stack arrays are beyond HR's pointer/recursion scope here
+		ExpectedEdits:   []string{"array_static"},
+		ManualSource: `
+void blur(int img[4096], int out[4096], int cols) {
+#pragma HLS array_partition variable=img factor=16
+#pragma HLS array_partition variable=out factor=16
+    if (cols < 3) { cols = 3; }
+    if (cols > 64) { cols = 64; }
+    int line_buf[64];
+    for (int y = 0; y < 64; y++) {
+        for (int x = 0; x < 64; x++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=16
+            int acc = 0;
+            int cnt = 0;
+            for (int dy = 0; dy < 3; dy++) {
+                for (int dx = 0; dx < 3; dx++) {
+                    int yy = y + dy - 1;
+                    int xx = x + dx - 1;
+                    if (yy >= 0 && yy < 64 && xx >= 0 && xx < cols) {
+                        acc += img[yy * 64 + xx];
+                        cnt++;
+                    }
+                }
+            }
+            if (cnt == 0) { cnt = 1; }
+            if (x < cols) { line_buf[x] = acc / cnt; }
+            if (x < cols) { out[y * 64 + x] = line_buf[x]; }
+            else { out[y * 64 + x] = img[y * 64 + x]; }
+        }
+    }
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P5 — graph traversal: the paper's Figure 2 working example shape — a
+// binary search tree built with malloc/pointers and a recursive pre-order
+// traversal, plus a long double accumulator so the subject also carries a
+// type error (which keeps it out of HeteroRefactor's dynamic-data-only
+// scope, matching Table 5). Ships with ten shallow tests (Table 4's 40%).
+
+const p5Source = `
+struct Node {
+    int val;
+    struct Node *left;
+    struct Node *right;
+};
+int order[250];
+int visited;
+long double weight;
+void traverse(struct Node *curr) {
+    if (curr == 0) { return; }
+    if (visited < 250) { order[visited] = curr->val; }
+    visited = visited + 1;
+    weight = weight + 0.5 * curr->val;
+    traverse(curr->left);
+    traverse(curr->right);
+}
+int kernel(int seed, int n) {
+    if (n < 0) { n = -n; }
+    if (n > 96) { n = 96; }
+    int s = seed % 997;
+    if (s < 0) { s = -s; }
+    struct Node *root = 0;
+    for (int i = 0; i < n; i++) {
+        int v = (s * (i + 7)) % 113;
+        if (v < 0) { v = -v; }
+        struct Node *nn = (struct Node *)malloc(sizeof(struct Node));
+        nn->val = v;
+        nn->left = 0;
+        nn->right = 0;
+        if (root == 0) { root = nn; }
+        else {
+            struct Node *p = root;
+            while (1) {
+                if (v < p->val) {
+                    if (p->left == 0) { p->left = nn; break; }
+                    p = p->left;
+                } else {
+                    if (p->right == 0) { p->right = nn; break; }
+                    p = p->right;
+                }
+            }
+        }
+    }
+    visited = 0;
+    weight = 0.0;
+    traverse(root);
+    int checksum = (int)weight;
+    for (int i = 0; i < 250; i++) {
+        checksum = checksum + order[i] * (i % 5);
+    }
+    return checksum;
+}`
+
+func P5() Subject {
+	return Subject{
+		ID:     "P5",
+		Name:   "graph traversal",
+		Kernel: "kernel",
+		Source: p5Source,
+		ExpectedClasses: []hls.ErrorClass{
+			hls.ClassDynamicData, hls.ClassUnsupportedType},
+		ExpectImproved: true,
+		HRSupported:    false,
+		ExpectedEdits:  []string{"insert", "pointer", "stack_trans"},
+		ExistingTests: func() []fuzz.TestCase {
+			var out []fuzz.TestCase
+			for i := int64(0); i < 10; i++ {
+				out = append(out, intCase(3, i%3))
+			}
+			return out
+		},
+		ManualSource: `
+struct Node {
+    int val;
+    int left;
+    int right;
+};
+struct Node pool[128];
+int pool_next;
+int order[250];
+int visited;
+float weight;
+int stack_arr[128];
+void traverse_iter(int root) {
+#pragma HLS array_partition variable=order factor=5
+    int top = 0;
+    if (root != 0) { stack_arr[top] = root; top = top + 1; }
+    while (top > 0) {
+#pragma HLS pipeline II=1
+        top = top - 1;
+        int cur = stack_arr[top];
+        if (visited < 250) { order[visited] = pool[cur].val; }
+        visited = visited + 1;
+        weight = weight + 0.5 * pool[cur].val;
+        if (pool[cur].right != 0) { stack_arr[top] = pool[cur].right; top = top + 1; }
+        if (pool[cur].left != 0) { stack_arr[top] = pool[cur].left; top = top + 1; }
+    }
+}
+int kernel(int seed, int n) {
+    if (n < 0) { n = -n; }
+    if (n > 96) { n = 96; }
+    int s = seed % 997;
+    if (s < 0) { s = -s; }
+    pool_next = 1;
+    int root = 0;
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        int v = (s * (i + 7)) % 113;
+        if (v < 0) { v = -v; }
+        int nn = pool_next;
+        pool_next = pool_next + 1;
+        pool[nn].val = v;
+        pool[nn].left = 0;
+        pool[nn].right = 0;
+        if (root == 0) { root = nn; }
+        else {
+            int p = root;
+            while (1) {
+                if (v < pool[p].val) {
+                    if (pool[p].left == 0) { pool[p].left = nn; break; }
+                    p = pool[p].left;
+                } else {
+                    if (pool[p].right == 0) { pool[p].right = nn; break; }
+                    p = pool[p].right;
+                }
+            }
+        }
+    }
+    visited = 0;
+    weight = 0.0;
+    for (int i = 0; i < 250; i++) { order[i] = 0; }
+    traverse_iter(root);
+    int checksum = (int)weight;
+    for (int i = 0; i < 250; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=5
+        checksum = checksum + order[i] * (i % 5);
+    }
+    return checksum;
+}`,
+	}
+}

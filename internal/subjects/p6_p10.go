@@ -1,0 +1,520 @@
+package subjects
+
+import (
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// ---------------------------------------------------------------------------
+// P6 — matrix multiplication: a 32x32 integer matmul whose author left a
+// bad unroll pragma (factor 3 does not divide the 32-trip loop) — the
+// loop-parallelization error class. Ships with four tests (Table 4's 33%).
+
+const p6Source = `
+void matmul(int a[1024], int b[1024], int c[1024]) {
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+#pragma HLS unroll factor=3
+            int acc = 0;
+            for (int k = 0; k < 32; k++) {
+                acc += a[i * 32 + k] * b[k * 32 + j];
+            }
+            if (acc > 1000000) { acc = 1000000; }
+            if (acc < -1000000) { acc = -1000000; }
+            c[i * 32 + j] = acc;
+        }
+    }
+}`
+
+func P6() Subject {
+	return Subject{
+		ID:              "P6",
+		Name:            "matrix multiplication",
+		Kernel:          "matmul",
+		Source:          p6Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassLoopParallel},
+		ExpectImproved:  true,
+		HRSupported:     false,
+		ExpectedEdits:   []string{"explore"},
+		ExistingTests: func() []fuzz.TestCase {
+			var out []fuzz.TestCase
+			for t := 0; t < 4; t++ {
+				out = append(out, fuzz.TestCase{Args: []fuzz.Arg{
+					arrayArg(1024, 32, func(i int) int64 { return int64(i % 3) }),
+					arrayArg(1024, 32, func(i int) int64 { return int64(i % 2) }),
+					arrayArg(1024, 32, func(i int) int64 { return 0 }),
+				}})
+			}
+			return out
+		},
+		ManualSource: `
+void matmul(int a[1024], int b[1024], int c[1024]) {
+#pragma HLS array_partition variable=a factor=16
+#pragma HLS array_partition variable=b factor=16
+#pragma HLS array_partition variable=c factor=16
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=16
+            int acc = 0;
+            for (int k = 0; k < 32; k++) {
+                acc += a[i * 32 + k] * b[k * 32 + j];
+            }
+            if (acc > 1000000) { acc = 1000000; }
+            if (acc < -1000000) { acc = -1000000; }
+            c[i * 32 + j] = acc;
+        }
+    }
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P7 — bubble sort: the classic pointer-swap idiom (int *p cursor into
+// the array) — unsupported-type (pointer) error class.
+
+const p7Source = `
+void bsort(int a[120]) {
+    for (int i = 0; i < 120; i++) {
+        for (int j = 0; j + 1 < 120; j++) {
+            int *p = &a[j];
+            if (p[0] > p[1]) {
+                int t = p[0];
+                p[0] = p[1];
+                p[1] = t;
+            }
+        }
+    }
+}`
+
+func P7() Subject {
+	return Subject{
+		ID:              "P7",
+		Name:            "bubble sort",
+		Kernel:          "bsort",
+		Source:          p7Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassUnsupportedType},
+		ExpectImproved:  true,
+		HRSupported:     false,
+		ExpectedEdits:   []string{"pointer_var"},
+		ManualSource: `
+void bsort(int a[120]) {
+#pragma HLS array_partition variable=a factor=8
+    for (int i = 0; i < 120; i++) {
+        for (int j = 0; j + 1 < 120; j++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+            if (a[j] > a[j + 1]) {
+                int t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }
+        }
+    }
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P8 — linked list: malloc/free-driven list construction, filtering, and
+// a histogram pass. Pure dynamic-data errors (malloc, free, pointers) —
+// HeteroRefactor's other success (Table 5).
+
+const p8Source = `
+struct Cell {
+    int key;
+    struct Cell *next;
+};
+int hist[64];
+int kernel(int seed, int n) {
+    if (n < 0) { n = -n; }
+    if (n > 200) { n = 200; }
+    struct Cell *head = 0;
+    for (int i = 0; i < n; i++) {
+        int k = (seed * (i + 11)) % 256;
+        if (k < 0) { k = -k; }
+        struct Cell *c = (struct Cell *)malloc(sizeof(struct Cell));
+        c->key = k;
+        c->next = head;
+        head = c;
+    }
+    struct Cell *p = head;
+    struct Cell *prev = 0;
+    while (p != 0) {
+        if (p->key % 3 == 0) {
+            struct Cell *dead = p;
+            if (prev == 0) { head = p->next; }
+            else { prev->next = p->next; }
+            p = p->next;
+            free(dead);
+        } else {
+            prev = p;
+            p = p->next;
+        }
+    }
+    for (int i = 0; i < 64; i++) { hist[i] = 0; }
+    p = head;
+    while (p != 0) {
+        hist[p->key % 64] = hist[p->key % 64] + 1;
+        p = p->next;
+    }
+    int checksum = 0;
+    for (int i = 0; i < 64; i++) {
+        checksum = checksum * 7 + hist[i] * (i + 1);
+    }
+    return checksum;
+}`
+
+func P8() Subject {
+	return Subject{
+		ID:              "P8",
+		Name:            "linked list",
+		Kernel:          "kernel",
+		Source:          p8Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassDynamicData, hls.ClassUnsupportedType},
+		ExpectImproved:  true,
+		HRSupported:     true,
+		ExpectedEdits:   []string{"insert", "pointer"},
+		ManualSource: `
+struct Cell {
+    int key;
+    int next;
+};
+struct Cell pool[256];
+int pool_next;
+int hist[64];
+int kernel(int seed, int n) {
+#pragma HLS array_partition variable=hist factor=8
+    if (n < 0) { n = -n; }
+    if (n > 200) { n = 200; }
+    pool_next = 1;
+    int head = 0;
+    for (int i = 0; i < n; i++) {
+#pragma HLS pipeline II=1
+        int k = (seed * (i + 11)) % 256;
+        if (k < 0) { k = -k; }
+        int c = pool_next;
+        pool_next = pool_next + 1;
+        pool[c].key = k;
+        pool[c].next = head;
+        head = c;
+    }
+    int p = head;
+    int prev = 0;
+    while (p != 0) {
+#pragma HLS pipeline II=1
+        if (pool[p].key % 3 == 0) {
+            if (prev == 0) { head = pool[p].next; }
+            else { pool[prev].next = pool[p].next; }
+            p = pool[p].next;
+        } else {
+            prev = p;
+            p = pool[p].next;
+        }
+    }
+    for (int i = 0; i < 64; i++) { hist[i] = 0; }
+    p = head;
+    while (p != 0) {
+#pragma HLS pipeline II=1
+        hist[pool[p].key % 64] = hist[pool[p].key % 64] + 1;
+        p = pool[p].next;
+    }
+    int checksum = 0;
+    for (int i = 0; i < 64; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+        checksum = checksum * 7 + hist[i] * (i + 1);
+    }
+    return checksum;
+}`,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// P9 — face detection: a Viola-Jones-style cascade — integral image,
+// sliding-window scan, staged weak classifiers held in structs with
+// member functions, and a dataflow region whose intermediate buffer is
+// consumed by two processes. The richest error mix: struct/union,
+// dataflow, and dynamic data (a scale-dependent window buffer). Ships
+// with a single test (Table 4's 15%).
+
+const p9Source = `
+int ii[4356];
+int st1_hits[4096];
+int st2_hits[4096];
+struct Stage {
+    int threshold;
+    int weight;
+    int evalWindow(int x, int y) {
+        int s = ii[(y + 8) * 66 + (x + 8)] - ii[y * 66 + (x + 8)]
+              - ii[(y + 8) * 66 + x] + ii[y * 66 + x];
+        int top = ii[(y + 4) * 66 + (x + 8)] - ii[y * 66 + (x + 8)]
+                - ii[(y + 4) * 66 + x] + ii[y * 66 + x];
+        int feat = 2 * top - s;
+        if (feat * weight > threshold * 64) { return 1; }
+        return 0;
+    }
+};
+void integral(int img[4096]) {
+    for (int i = 0; i < 4356; i++) { ii[i] = 0; }
+    for (int y = 1; y <= 64; y++) {
+        int row = 0;
+        for (int x = 1; x <= 64; x++) {
+            row += img[(y - 1) * 64 + (x - 1)] & 255;
+            ii[y * 66 + x] = ii[(y - 1) * 66 + x] + row;
+        }
+    }
+}
+void stage1(int img[4096], int hits[4096]) {
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+            hits[y * 64 + x] = Stage{ 40, 3 }.evalWindow(x, y);
+        }
+    }
+}
+void stage2(int img[4096], int hits[4096]) {
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+            hits[y * 64 + x] = Stage{ 90, 5 }.evalWindow(x, y);
+        }
+    }
+}
+int detect(int img[4096], int scale) {
+#pragma HLS dataflow
+    integral(img);
+    stage1(img, st1_hits);
+    stage2(img, st2_hits);
+    if (scale < 1) { scale = 1; }
+    if (scale > 8) { scale = 8; }
+    int win[scale];
+    for (int s = 0; s < scale; s++) { win[s] = 0; }
+    int faces = 0;
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+            if (st1_hits[y * 64 + x] == 1 && st2_hits[y * 64 + x] == 1) {
+                faces++;
+                win[(y * 56 + x) % scale] = win[(y * 56 + x) % scale] + 1;
+            }
+        }
+    }
+    int spread = 0;
+    for (int s = 0; s < scale; s++) { spread = spread * 5 + win[s]; }
+    return faces * 1000 + spread % 997;
+}`
+
+func P9() Subject {
+	return Subject{
+		ID:     "P9",
+		Name:   "face detection",
+		Kernel: "detect",
+		Source: p9Source,
+		ExpectedClasses: []hls.ErrorClass{
+			hls.ClassStructUnion, hls.ClassDataflow, hls.ClassDynamicData},
+		ExpectImproved: true,
+		HRSupported:    false,
+		ExpectedEdits:  []string{"constructor", "segment", "array_static"},
+		ExistingTests: func() []fuzz.TestCase {
+			return []fuzz.TestCase{{Args: []fuzz.Arg{
+				arrayArg(4096, 32, func(i int) int64 { return 0 }),
+				{Scalar: true, Ints: []int64{1}, Width: 32},
+			}}}
+		},
+		ManualSource: p9Manual,
+	}
+}
+
+const p9Manual = `
+int ii[4356];
+int st1_hits[4096];
+int st2_hits[4096];
+int evalWindow(int x, int y, int threshold, int weight) {
+    int s = ii[(y + 8) * 66 + (x + 8)] - ii[y * 66 + (x + 8)]
+          - ii[(y + 8) * 66 + x] + ii[y * 66 + x];
+    int top = ii[(y + 4) * 66 + (x + 8)] - ii[y * 66 + (x + 8)]
+            - ii[(y + 4) * 66 + x] + ii[y * 66 + x];
+    int feat = 2 * top - s;
+    if (feat * weight > threshold * 64) { return 1; }
+    return 0;
+}
+void integral(int img[4096]) {
+    for (int i = 0; i < 4356; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=6
+        ii[i] = 0;
+    }
+    for (int y = 1; y <= 64; y++) {
+        int row = 0;
+        for (int x = 1; x <= 64; x++) {
+#pragma HLS pipeline II=1
+            row += img[(y - 1) * 64 + (x - 1)] & 255;
+            ii[y * 66 + x] = ii[(y - 1) * 66 + x] + row;
+        }
+    }
+}
+void stage1(int hits[4096]) {
+#pragma HLS array_partition variable=st1_hits factor=16
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+            hits[y * 64 + x] = evalWindow(x, y, 40, 3);
+        }
+    }
+}
+void stage2(int hits[4096]) {
+#pragma HLS array_partition variable=st2_hits factor=16
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+            hits[y * 64 + x] = evalWindow(x, y, 90, 5);
+        }
+    }
+}
+int detect(int img[4096], int scale) {
+#pragma HLS dataflow
+    integral(img);
+    stage1(st1_hits);
+    stage2(st2_hits);
+    if (scale < 1) { scale = 1; }
+    if (scale > 8) { scale = 8; }
+    int win[8];
+    for (int s = 0; s < 8; s++) { win[s] = 0; }
+    int faces = 0;
+    for (int y = 0; y < 56; y++) {
+        for (int x = 0; x < 56; x++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=8
+            if (st1_hits[y * 64 + x] == 1 && st2_hits[y * 64 + x] == 1) {
+                faces++;
+                win[(y * 56 + x) % scale] = win[(y * 56 + x) % scale] + 1;
+            }
+        }
+    }
+    int spread = 0;
+    for (int s = 0; s < scale; s++) { spread = spread * 5 + win[s]; }
+    return faces * 1000 + spread % 997;
+}`
+
+// ---------------------------------------------------------------------------
+// P10 — digit recognition: KNN over bit-packed digit templates with
+// Hamming distance, carrying the forum's post-721719 error — a dataflow
+// region whose loop is unrolled by 50. Error class: loop parallelization.
+// Ships with eleven tests (Table 4's 70%).
+
+const p10Source = `
+int train[150];
+void seedTrain(int seed) {
+    for (int i = 0; i < 150; i++) {
+        train[i] = (seed * (i + 13)) ^ (i * 2654435761);
+    }
+}
+int hamming(int a, int b) {
+    int x = a ^ b;
+    int cnt = 0;
+    for (int bit = 0; bit < 32; bit++) {
+        cnt += (x >> bit) & 1;
+    }
+    return cnt;
+}
+int classify(int sample) {
+#pragma HLS dataflow
+    int best0 = 33;
+    int best1 = 33;
+    int best2 = 33;
+    int lab0 = 0;
+    int lab1 = 0;
+    int lab2 = 0;
+    for (int i = 0; i < 150; i++) {
+#pragma HLS unroll factor=50
+        int d = hamming(sample, train[i]);
+        int label = i / 15;
+        if (d < best0) {
+            best2 = best1; lab2 = lab1;
+            best1 = best0; lab1 = lab0;
+            best0 = d; lab0 = label;
+        } else if (d < best1) {
+            best2 = best1; lab2 = lab1;
+            best1 = d; lab1 = label;
+        } else if (d < best2) {
+            best2 = d; lab2 = label;
+        }
+    }
+    if (lab0 == lab1 || lab0 == lab2) { return lab0; }
+    if (lab1 == lab2) { return lab1; }
+    return lab0;
+}
+int kernel(int seed, int sample) {
+    seedTrain(seed);
+    return classify(sample);
+}`
+
+func P10() Subject {
+	return Subject{
+		ID:              "P10",
+		Name:            "digit recognition",
+		Kernel:          "kernel",
+		Source:          p10Source,
+		ExpectedClasses: []hls.ErrorClass{hls.ClassLoopParallel},
+		ExpectImproved:  true,
+		HRSupported:     false,
+		ExpectedEdits:   []string{},
+		ExistingTests: func() []fuzz.TestCase {
+			var out []fuzz.TestCase
+			for i := int64(0); i < 11; i++ {
+				out = append(out, intCase(7, i*31))
+			}
+			return out
+		},
+		ManualSource: `
+int train[150];
+void seedTrain(int seed) {
+#pragma HLS array_partition variable=train factor=6
+    for (int i = 0; i < 150; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=6
+        train[i] = (seed * (i + 13)) ^ (i * 2654435761);
+    }
+}
+int hamming(int a, int b) {
+    int x = a ^ b;
+    int cnt = 0;
+    for (int bit = 0; bit < 32; bit++) {
+#pragma HLS unroll factor=16
+        cnt += (x >> bit) & 1;
+    }
+    return cnt;
+}
+int classify(int sample) {
+    int best0 = 33;
+    int best1 = 33;
+    int best2 = 33;
+    int lab0 = 0;
+    int lab1 = 0;
+    int lab2 = 0;
+    for (int i = 0; i < 150; i++) {
+#pragma HLS pipeline II=1
+#pragma HLS unroll factor=6
+        int d = hamming(sample, train[i]);
+        int label = i / 15;
+        if (d < best0) {
+            best2 = best1; lab2 = lab1;
+            best1 = best0; lab1 = lab0;
+            best0 = d; lab0 = label;
+        } else if (d < best1) {
+            best2 = best1; lab2 = lab1;
+            best1 = d; lab1 = label;
+        } else if (d < best2) {
+            best2 = d; lab2 = label;
+        }
+    }
+    if (lab0 == lab1 || lab0 == lab2) { return lab0; }
+    if (lab1 == lab2) { return lab1; }
+    return lab0;
+}
+int kernel(int seed, int sample) {
+    seedTrain(seed);
+    return classify(sample);
+}`,
+	}
+}

@@ -1,0 +1,107 @@
+// Package subjects provides the ten evaluation programs of the paper's
+// §6 (Table 3): eight microbenchmarks and two Rosetta-style applications,
+// re-authored to the paper's descriptions with the same HLS compatibility
+// error mix per subject. Each subject carries its C source, kernel name,
+// optional host entry point (for seed capture), any pre-existing tests
+// (Table 4's "Existing" column), and a hand-tuned manual HLS version
+// (Table 5's "Manual" column).
+package subjects
+
+import (
+	"fmt"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// Subject is one evaluation program.
+type Subject struct {
+	ID   string // P1..P10
+	Name string // the paper's Table 3 name
+	// Source is the original C program.
+	Source string
+	// Kernel is the top function to transpile.
+	Kernel string
+	// HostMain optionally names a host function for seed capture.
+	HostMain string
+	// ExpectedClasses are the HLS error classes the original exhibits.
+	ExpectedClasses []hls.ErrorClass
+	// ExpectImproved mirrors Table 3's "Improved Performance?" column
+	// (everything but P1).
+	ExpectImproved bool
+	// ManualSource is the hand-written expert HLS version (Table 5).
+	ManualSource string
+	// ExistingTests builds the subject's pre-existing test suite (nil
+	// when the subject ships without tests, per Table 4).
+	ExistingTests func() []fuzz.TestCase
+	// HRSupported mirrors Table 5: HeteroRefactor succeeds only when the
+	// subject's errors are all dynamic-data-structure errors.
+	HRSupported bool
+	// ExpectedEdits are template names that must appear in the repair
+	// edit log (a shape regression for the search).
+	ExpectedEdits []string
+}
+
+// All returns the ten subjects in order.
+func All() []Subject {
+	return []Subject{P1(), P2(), P3(), P4(), P5(), P6(), P7(), P8(), P9(), P10()}
+}
+
+// ByID returns a subject by its ID.
+func ByID(id string) (Subject, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Subject{}, fmt.Errorf("subjects: no subject %q", id)
+}
+
+// MustParse panics if the subject source does not parse — used by tests
+// and the benchmark harness, where a non-parsing subject is a bug.
+func (s Subject) MustParse() *cast.Unit {
+	return cparser.MustParse(s.Source)
+}
+
+// MustParseManual parses the manual version.
+func (s Subject) MustParseManual() *cast.Unit {
+	return cparser.MustParse(s.ManualSource)
+}
+
+// ExistingTestsOrNil returns the subject's pre-existing suite, or nil when
+// it ships without tests.
+func (s Subject) ExistingTestsOrNil() []fuzz.TestCase {
+	if s.ExistingTests == nil {
+		return nil
+	}
+	return s.ExistingTests()
+}
+
+// intCase builds a scalar-int test case.
+func intCase(vals ...int64) fuzz.TestCase {
+	tc := fuzz.TestCase{}
+	for _, v := range vals {
+		tc.Args = append(tc.Args, fuzz.Arg{Scalar: true, Ints: []int64{v}, Width: 32})
+	}
+	return tc
+}
+
+// arrayCase appends an int-array argument of the given length filled by f.
+func arrayArg(n int, width int, f func(i int) int64) fuzz.Arg {
+	a := fuzz.Arg{Ints: make([]int64, n), Width: width}
+	for i := range a.Ints {
+		a.Ints[i] = f(i)
+	}
+	return a
+}
+
+// floatArrayArg appends a float-array argument.
+func floatArrayArg(n int, f func(i int) float64) fuzz.Arg {
+	a := fuzz.Arg{IsFloat: true, Floats: make([]float64, n)}
+	for i := range a.Floats {
+		a.Floats[i] = f(i)
+	}
+	return a
+}

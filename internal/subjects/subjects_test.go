@@ -1,0 +1,228 @@
+package subjects
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+	"github.com/hetero/heterogen/internal/interp"
+)
+
+func TestAllSubjectsParse(t *testing.T) {
+	for _, s := range All() {
+		if _, err := cparser.Parse(s.Source); err != nil {
+			t.Errorf("%s (%s): source does not parse: %v", s.ID, s.Name, err)
+		}
+		if s.ManualSource == "" {
+			t.Errorf("%s: manual version missing", s.ID)
+			continue
+		}
+		if _, err := cparser.Parse(s.ManualSource); err != nil {
+			t.Errorf("%s: manual version does not parse: %v", s.ID, err)
+		}
+	}
+}
+
+func TestSubjectIDsAndLookup(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("want 10 subjects, got %d", len(all))
+	}
+	for i, s := range all {
+		wantID := "P" + string(rune('1'+i))
+		if i == 9 {
+			wantID = "P10"
+		}
+		if s.ID != wantID {
+			t.Errorf("subject %d has ID %s, want %s", i, s.ID, wantID)
+		}
+		got, err := ByID(s.ID)
+		if err != nil || got.Name != s.Name {
+			t.Errorf("ByID(%s) failed: %v", s.ID, err)
+		}
+	}
+	if _, err := ByID("P99"); err == nil {
+		t.Error("ByID(P99) should fail")
+	}
+}
+
+// TestSubjectErrorClasses verifies each subject starts with exactly the
+// designed error-class mix (superset check: every expected class present,
+// no unexpected classes beyond the expected set).
+func TestSubjectErrorClasses(t *testing.T) {
+	for _, s := range All() {
+		u := s.MustParse()
+		rep := check.Run(u, hls.DefaultConfig(s.Kernel))
+		if rep.OK {
+			t.Errorf("%s: original should fail the HLS check", s.ID)
+			continue
+		}
+		got := map[hls.ErrorClass]bool{}
+		for _, d := range rep.Diags {
+			got[d.Class] = true
+		}
+		want := map[hls.ErrorClass]bool{}
+		for _, c := range s.ExpectedClasses {
+			want[c] = true
+		}
+		for c := range want {
+			if !got[c] {
+				t.Errorf("%s: expected class %s absent; diags: %v", s.ID, c, rep.Diags)
+			}
+		}
+		for c := range got {
+			if !want[c] {
+				t.Errorf("%s: unexpected error class %s; diags: %v", s.ID, c, rep.ByClass()[c])
+			}
+		}
+	}
+}
+
+// TestManualVersionsCompile verifies every hand-written version passes the
+// synthesizability check outright.
+func TestManualVersionsCompile(t *testing.T) {
+	for _, s := range All() {
+		u := s.MustParseManual()
+		// The manual kernel keeps the same top name except P3/P5-style
+		// restructures, which keep "kernel".
+		rep := check.Run(u, hls.DefaultConfig(s.Kernel))
+		if !rep.OK {
+			t.Errorf("%s: manual version fails the check: %v", s.ID, rep.Diags)
+		}
+	}
+}
+
+// TestSubjectsRunOnCPU executes every subject's kernel on the interpreter
+// with a generated seed input.
+func TestSubjectsRunOnCPU(t *testing.T) {
+	for _, s := range All() {
+		sp, err := fuzz.SpecOf(s.MustParse(), s.Kernel)
+		if err != nil {
+			t.Errorf("%s: spec: %v", s.ID, err)
+			continue
+		}
+		tc := fuzz.TestCase{}
+		for _, p := range sp.Params {
+			a := p.Clone()
+			if a.Scalar && !a.IsFloat {
+				a.Ints[0] = 5
+			}
+			if !a.Scalar && !a.IsFloat {
+				for i := range a.Ints {
+					a.Ints[i] = int64(i % 19)
+				}
+			}
+			if !a.Scalar && a.IsFloat {
+				for i := range a.Floats {
+					a.Floats[i] = float64(i) * 0.5
+				}
+			}
+			tc.Args = append(tc.Args, a)
+		}
+		in, err := interp.New(s.MustParse(), interp.Options{})
+		if err != nil {
+			t.Errorf("%s: init: %v", s.ID, err)
+			continue
+		}
+		if _, err := in.CallKernel(s.Kernel, tc.Values()); err != nil {
+			t.Errorf("%s: CPU run failed: %v", s.ID, err)
+		}
+	}
+}
+
+// TestManualMatchesOriginalBehaviour spot-checks that each manual version
+// computes the same function as the original (they are the human-written
+// ground truth of Table 5).
+func TestManualMatchesOriginalBehaviour(t *testing.T) {
+	for _, s := range All() {
+		sp, err := fuzz.SpecOf(s.MustParse(), s.Kernel)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		for trial := int64(1); trial <= 3; trial++ {
+			tc := fuzz.TestCase{}
+			for _, p := range sp.Params {
+				a := p.Clone()
+				if a.Scalar && !a.IsFloat {
+					a.Ints[0] = trial * 7
+				}
+				if !a.Scalar && !a.IsFloat {
+					for i := range a.Ints {
+						a.Ints[i] = int64((i*int(trial) + 3) % 23)
+					}
+				}
+				if !a.Scalar && a.IsFloat {
+					for i := range a.Floats {
+						a.Floats[i] = float64(i%13) * 0.25 * float64(trial)
+					}
+				}
+				tc.Args = append(tc.Args, a)
+			}
+			origIn, _ := interp.New(s.MustParse(), interp.Options{})
+			manIn, err := interp.New(s.MustParseManual(), interp.Options{})
+			if err != nil {
+				t.Fatalf("%s: manual init: %v", s.ID, err)
+			}
+			origArgs := tc.Values()
+			manArgs := tc.Values()
+			want, err := origIn.CallKernel(s.Kernel, origArgs)
+			if err != nil {
+				t.Fatalf("%s: original run: %v", s.ID, err)
+			}
+			got, err := manIn.CallKernel(s.Kernel, manArgs)
+			if err != nil {
+				t.Fatalf("%s: manual run: %v", s.ID, err)
+			}
+			if !interp.Equal(want.Ret, got.Ret, 1e-3) {
+				t.Errorf("%s trial %d: manual %s != original %s",
+					s.ID, trial, got.Ret, want.Ret)
+			}
+			// Output arrays must agree as well.
+			for ai := range origArgs {
+				if origArgs[ai].Kind != interp.VPtr || origArgs[ai].Obj == nil {
+					continue
+				}
+				oe, me := origArgs[ai].Obj.Elems, manArgs[ai].Obj.Elems
+				for i := range oe {
+					if !interp.Equal(oe[i], me[i], 1e-3) {
+						t.Errorf("%s trial %d: arg %d element %d: manual %s != original %s",
+							s.ID, trial, ai, i, me[i], oe[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExistingTestsReplayable(t *testing.T) {
+	for _, s := range All() {
+		if s.ExistingTests == nil {
+			continue
+		}
+		tests := s.ExistingTests()
+		if len(tests) == 0 {
+			t.Errorf("%s: ExistingTests returned empty suite", s.ID)
+			continue
+		}
+		cov, err := fuzz.Replay(s.MustParse(), s.Kernel, tests)
+		if err != nil {
+			t.Errorf("%s: replay: %v", s.ID, err)
+			continue
+		}
+		if cov <= 0 || cov >= 0.95 {
+			t.Errorf("%s: existing tests cover %.0f%%, want partial coverage", s.ID, 100*cov)
+		}
+	}
+}
+
+func TestHRSupportMatchesTable5(t *testing.T) {
+	want := map[string]bool{"P3": true, "P8": true}
+	for _, s := range All() {
+		if s.HRSupported != want[s.ID] {
+			t.Errorf("%s: HRSupported=%v, Table 5 says %v", s.ID, s.HRSupported, want[s.ID])
+		}
+	}
+}

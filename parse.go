@@ -1,0 +1,21 @@
+package heterogen
+
+import (
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+)
+
+// Unit is a parsed C/HLS-C translation unit.
+type Unit = cast.Unit
+
+// parse wraps the internal parser.
+func parse(src string) (*Unit, error) {
+	return cparser.Parse(src)
+}
+
+// Parse parses C/HLS-C source into a Unit (useful with Validate and for
+// inspecting programs programmatically).
+func Parse(src string) (*Unit, error) { return parse(src) }
+
+// PrintUnit renders a unit back to C/HLS-C source.
+func PrintUnit(u *Unit) string { return cast.Print(u) }
