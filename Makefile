@@ -1,0 +1,32 @@
+# Build, test, and benchmark targets. `make check` is the pre-merge
+# gate documented in CONTRIBUTING.md.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-parallel check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pools (internal/repair/parallel.go, internal/fuzz/parallel.go)
+# are the only concurrency in the module; this is their data-race proof.
+race:
+	$(GO) test -race ./internal/repair/... ./internal/fuzz/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates bench_parallel.json, the committed record of the
+# toolchain-overlap speedup (fails below 2x).
+bench-parallel:
+	WRITE_BENCH=1 $(GO) test -run TestWriteParallelBenchReport -v .
+
+check: build vet test race

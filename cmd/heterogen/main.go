@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] input.c
+//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] input.c
+//
+// -workers bounds how many repair candidates are evaluated concurrently;
+// the transpilation result is bit-identical for any value (see
+// repair.Options.Workers), so the flag only trades machine load for
+// wall-clock.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/hetero/heterogen"
 )
@@ -21,11 +27,13 @@ func main() {
 	out := flag.String("out", "", "output file for the HLS-C source (default stdout)")
 	report := flag.String("report", "", "write a markdown transpilation report to this file")
 	quick := flag.Bool("quick", false, "small fuzzing budget (fast, lower coverage)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent candidate evaluations in the repair search (results are identical for any value)")
 	verbose := flag.Bool("v", false, "print the edit log and diagnostics")
 	flag.Parse()
 
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] input.c")
+		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -33,7 +41,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := heterogen.Options{Kernel: *kernel, HostMain: *host}
+	opts := heterogen.Options{Kernel: *kernel, HostMain: *host, Workers: *workers}
 	if *quick {
 		opts.Fuzz.Seed = 1
 		opts.Fuzz.MaxExecs = 250

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hgeval [-quick] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary]
+//	hgeval [-quick] [-workers n] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary]
 //
 // With no selection flags, everything runs.
 package main
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/hetero/heterogen/internal/eval"
 	"github.com/hetero/heterogen/internal/repair"
@@ -22,6 +23,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized budgets")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent candidate evaluations per repair search (all numbers are identical for any value)")
 	subject := flag.String("subject", "", "run a single subject (e.g. P3)")
 	t3 := flag.Bool("table3", false, "Table 3: conversion effectiveness")
 	t4 := flag.Bool("table4", false, "Table 4: test generation")
@@ -41,6 +44,7 @@ func main() {
 	if *quick {
 		cfg = eval.QuickConfig()
 	}
+	cfg.Workers = *workers
 	all := !*t3 && !*t4 && !*t5 && !*f9 && !*f3 && !*summary
 
 	if *f3 || all {

@@ -36,6 +36,10 @@ type Options struct {
 	Repair repair.Options
 	// SkipProfile disables bitwidth finitization (ablation).
 	SkipProfile bool
+	// Workers bounds concurrent candidate evaluation in the repair
+	// search (see repair.Options.Workers). Results are bit-identical
+	// for any value; 0 leaves the Repair configuration untouched.
+	Workers int
 	// ExtraTests are appended to the generated suite (e.g. a subject's
 	// pre-existing tests).
 	ExtraTests []fuzz.TestCase
@@ -121,6 +125,9 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	ropts := opts.Repair
 	if ropts.Budget == 0 && ropts.MaxIterations == 0 {
 		ropts = repair.DefaultOptions()
+	}
+	if opts.Workers != 0 {
+		ropts.Workers = opts.Workers
 	}
 	rr := repair.Search(orig, initial, opts.Kernel, tests, ropts)
 	res.Repair = rr

@@ -37,6 +37,10 @@ type Config struct {
 	// evaluation (the virtual-time accounting still reflects the full
 	// suite; this bounds real execution).
 	ValidationCap int
+	// Workers bounds concurrent candidate evaluation inside each repair
+	// search (repair.Options.Workers). All reported numbers are
+	// bit-identical for any value — it only changes real wall-clock.
+	Workers int
 }
 
 // DefaultConfig is the full-effort harness configuration.
@@ -128,6 +132,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	}
 	ropts := repair.DefaultOptions()
 	ropts.Seed = cfg.Seed
+	ropts.Workers = cfg.Workers
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK

@@ -137,7 +137,11 @@ func RunAblation(s subjects.Subject, cfg Config) (AblationRun, error) {
 		return u
 	}
 
-	hg := repair.Search(orig, initialOf(), s.Kernel, valSuite, repair.DefaultOptions())
+	withWorkers := func(o repair.Options) repair.Options {
+		o.Workers = cfg.Workers
+		return o
+	}
+	hg := repair.Search(orig, initialOf(), s.Kernel, valSuite, withWorkers(repair.DefaultOptions()))
 	out.HGMinutes = hg.Stats.SecondsToCompatible / 60
 	out.HGCompatible = hg.Compatible && hg.BehaviorOK
 	if !out.HGCompatible {
@@ -147,14 +151,14 @@ func RunAblation(s subjects.Subject, cfg Config) (AblationRun, error) {
 		out.HGInvokePct = 100 * float64(hg.Stats.HLSInvocations-1) / float64(hg.Stats.CandidatesTried)
 	}
 
-	wd := repair.Search(orig, initialOf(), s.Kernel, valSuite, baselines.WithoutDependenceOptions())
+	wd := repair.Search(orig, initialOf(), s.Kernel, valSuite, withWorkers(baselines.WithoutDependenceOptions()))
 	out.WithoutDepOK = wd.Compatible && wd.BehaviorOK
 	out.WithoutDepMinutes = wd.Stats.SecondsToCompatible / 60
 	if !out.WithoutDepOK {
 		out.WithoutDepMinutes = wd.Stats.VirtualMinutes()
 	}
 
-	wc := repair.Search(orig, initialOf(), s.Kernel, valSuite, baselines.WithoutCheckerOptions())
+	wc := repair.Search(orig, initialOf(), s.Kernel, valSuite, withWorkers(baselines.WithoutCheckerOptions()))
 	out.WithoutCheckerCompat = wc.Compatible && wc.BehaviorOK
 	out.WithoutCheckerMin = wc.Stats.VirtualMinutes()
 	if wc.Stats.CandidatesTried > 0 {

@@ -26,6 +26,12 @@ type Options struct {
 	TypedMutation bool
 	// MaxStepsPerExec bounds one kernel execution.
 	MaxStepsPerExec int64
+	// Workers bounds how many kernel executions of one mutation batch
+	// run concurrently, each on its own interpreter. Coverage merges by
+	// set union and retention decisions are committed in mutation
+	// order, so the campaign — tests, coverage, execution count — is
+	// bit-identical for any value. 0 or 1 executes sequentially.
+	Workers int
 }
 
 // DefaultOptions returns the standard campaign configuration.
@@ -147,11 +153,70 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		camp.Tests = append(camp.Tests, tc)
 	}
 
+	var pool *execPool
+	if opts.Workers > 1 {
+		pool, err = newExecPool(u, kernel, opts.Workers, opts.MaxStepsPerExec)
+		if err != nil {
+			return camp, err
+		}
+		defer pool.close()
+	}
+
 	sinceGain := 0
 	for camp.Execs < opts.MaxExecs && sinceGain < opts.Plateau {
 		// Pop a corpus entry (round-robin over the retained queue).
 		parent := queue[camp.Execs%len(queue)]
 		children := mutate(parent, sp, rng, opts.TypedMutation)
+
+		if pool != nil {
+			// Speculatively execute the whole batch concurrently, then
+			// commit retention/plateau decisions in mutation order —
+			// identical to the sequential loop below (executions past a
+			// MaxExecs stop are wasted CPU, never wrong state).
+			schedule := make([]bool, len(children))
+			for i, child := range children {
+				schedule[i] = TypeValid(sp, child)
+			}
+			results := pool.runBatch(children, schedule)
+			for i, child := range children {
+				if camp.Execs >= opts.MaxExecs {
+					break
+				}
+				if !schedule[i] {
+					if opts.TypedMutation {
+						continue
+					}
+					camp.Execs++
+					camp.VirtualSeconds += execVirtualSeconds
+					sinceGain++
+					continue
+				}
+				camp.Execs++
+				camp.VirtualSeconds += execVirtualSeconds
+				gained := false
+				for _, idx := range results[i].hits {
+					if !covered[idx] && inSites[idx/2] {
+						covered[idx] = true
+						gained = true
+					}
+				}
+				if results[i].crashed {
+					// Crashing inputs contribute coverage but are not
+					// retained (the repair oracle needs clean outputs).
+					sinceGain++
+					continue
+				}
+				if gained {
+					queue = append(queue, child)
+					camp.Tests = append(camp.Tests, child)
+					sinceGain = 0
+				} else {
+					sinceGain++
+				}
+			}
+			continue
+		}
+
 		for _, child := range children {
 			if camp.Execs >= opts.MaxExecs {
 				break
@@ -194,6 +259,13 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 // Replay measures the coverage of a fixed test suite (used to score
 // pre-existing tests for Table 4).
 func Replay(u *cast.Unit, kernel string, tests []TestCase) (float64, error) {
+	return ReplayParallel(u, kernel, tests, 1)
+}
+
+// ReplayParallel is Replay with up to workers concurrent executions,
+// each on its own interpreter. Coverage is a set union over per-test
+// hit sets, so the measured fraction is identical for any worker count.
+func ReplayParallel(u *cast.Unit, kernel string, tests []TestCase, workers int) (float64, error) {
 	sites := reachableSites(u, kernel)
 	if len(sites) == 0 {
 		return 1, nil
@@ -202,27 +274,19 @@ func Replay(u *cast.Unit, kernel string, tests []TestCase) (float64, error) {
 	for _, s := range sites {
 		inSites[s] = true
 	}
-	in, err := interp.New(u, interp.Options{Coverage: true})
+	results, err := collectHits(u, kernel, tests, workers)
 	if err != nil {
 		return 0, err
 	}
-	for _, tc := range tests {
-		saved := in.CoverageBits
-		if err := in.Reset(); err != nil {
-			return 0, err
-		}
-		copy(in.CoverageBits, saved)
-		if _, err := in.CallKernel(kernel, tc.Values()); err != nil {
-			continue
+	covered := map[int]bool{}
+	for _, r := range results {
+		for _, idx := range r.hits {
+			if inSites[idx/2] {
+				covered[idx] = true
+			}
 		}
 	}
-	n := 0
-	for idx, hit := range in.CoverageBits {
-		if hit && inSites[idx/2] {
-			n++
-		}
-	}
-	return float64(n) / float64(2*len(sites)), nil
+	return float64(len(covered)) / float64(2*len(sites)), nil
 }
 
 // captureHostSeed runs the host entry point and snapshots the first

@@ -2,7 +2,6 @@ package fuzz
 
 import (
 	"github.com/hetero/heterogen/internal/cast"
-	"github.com/hetero/heterogen/internal/interp"
 )
 
 // Minimize reduces a test suite to a greedy set cover of its branch
@@ -12,10 +11,17 @@ import (
 // dropped. Order: tests are considered in their original order, so
 // earlier (seed) tests are preferred witnesses.
 func Minimize(u *cast.Unit, kernel string, tests []TestCase) ([]TestCase, error) {
+	return MinimizeParallel(u, kernel, tests, 1)
+}
+
+// MinimizeParallel is Minimize with up to workers concurrent witness
+// executions. The greedy cover runs over witnesses in input order
+// either way, so the minimized suite is identical for any worker count.
+func MinimizeParallel(u *cast.Unit, kernel string, tests []TestCase, workers int) ([]TestCase, error) {
 	if len(tests) <= 1 {
 		return tests, nil
 	}
-	in, err := interp.New(u, interp.Options{Coverage: true})
+	results, err := collectHits(u, kernel, tests, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -24,20 +30,11 @@ func Minimize(u *cast.Unit, kernel string, tests []TestCase) ([]TestCase, error)
 		bits []int
 	}
 	var witnesses []witness
-	for _, tc := range tests {
-		if err := in.Reset(); err != nil {
-			return nil, err
-		}
-		if _, err := in.CallKernel(kernel, tc.Values()); err != nil {
+	for i, tc := range tests {
+		if results[i].crashed {
 			continue
 		}
-		var bits []int
-		for idx, hit := range in.CoverageBits {
-			if hit {
-				bits = append(bits, idx)
-			}
-		}
-		witnesses = append(witnesses, witness{tc: tc, bits: bits})
+		witnesses = append(witnesses, witness{tc: tc, bits: results[i].hits})
 	}
 	covered := map[int]bool{}
 	var out []TestCase

@@ -1,0 +1,150 @@
+package fuzz
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+)
+
+// assertCampaignsIdentical fails unless the two campaigns are
+// bit-identical: same retained tests in the same order, same coverage,
+// same execution and accounting numbers.
+func assertCampaignsIdentical(t *testing.T, seq, par Campaign) {
+	t.Helper()
+	if len(seq.Tests) != len(par.Tests) {
+		t.Fatalf("retained tests differ: %d sequential vs %d parallel",
+			len(seq.Tests), len(par.Tests))
+	}
+	for i := range seq.Tests {
+		if !reflect.DeepEqual(seq.Tests[i], par.Tests[i]) {
+			t.Errorf("test %d differs:\nseq: %s\npar: %s",
+				i, seq.Tests[i], par.Tests[i])
+		}
+	}
+	if seq.Coverage != par.Coverage ||
+		seq.CoveredOutcomes != par.CoveredOutcomes ||
+		seq.TotalOutcomes != par.TotalOutcomes {
+		t.Errorf("coverage differs: seq %.4f (%d/%d) vs par %.4f (%d/%d)",
+			seq.Coverage, seq.CoveredOutcomes, seq.TotalOutcomes,
+			par.Coverage, par.CoveredOutcomes, par.TotalOutcomes)
+	}
+	if seq.Execs != par.Execs || seq.VirtualSeconds != par.VirtualSeconds {
+		t.Errorf("accounting differs: seq execs=%d vt=%.2f vs par execs=%d vt=%.2f",
+			seq.Execs, seq.VirtualSeconds, par.Execs, par.VirtualSeconds)
+	}
+	if seq.SeededFromHost != par.SeededFromHost {
+		t.Errorf("host seeding differs: %v vs %v", seq.SeededFromHost, par.SeededFromHost)
+	}
+}
+
+// TestParallelCampaignDeterminism: a campaign with Workers=4 must be
+// bit-identical to the sequential one for the same seed, on both a
+// branchy kernel and one with crashing inputs (crash handling is the
+// subtle commit-order case: crashed children contribute coverage but
+// are never retained).
+func TestParallelCampaignDeterminism(t *testing.T) {
+	kernels := map[string]string{
+		"branchy": branchy,
+		"crashy": `
+int kernel(int x) {
+    int a[8];
+    if (x > 0 && x < 100) { return a[x % 8]; }
+    return 10 / x;
+}`,
+	}
+	for name, src := range kernels {
+		t.Run(name, func(t *testing.T) {
+			u := cparser.MustParse(src)
+			opts := DefaultOptions()
+			opts.MaxExecs = 600
+			opts.Plateau = 200
+			seq, err := Run(u, "kernel", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 4
+			par, err := Run(cparser.MustParse(src), "kernel", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCampaignsIdentical(t, seq, par)
+		})
+	}
+}
+
+// TestParallelCampaignDeterminismUntyped covers the ablation path
+// (TypedMutation=false), where type-invalid children are executed
+// rather than rejected for free — a different schedule shape.
+func TestParallelCampaignDeterminismUntyped(t *testing.T) {
+	src := `
+int kernel(fpga_uint<7> x) {
+    if (x > 100) { return 1; }
+    if (x == 7) { return 2; }
+    return 0;
+}`
+	opts := DefaultOptions()
+	opts.MaxExecs = 400
+	opts.Plateau = 150
+	opts.TypedMutation = false
+	seq, err := Run(cparser.MustParse(src), "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 3
+	par, err := Run(cparser.MustParse(src), "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCampaignsIdentical(t, seq, par)
+}
+
+// TestReplayParallelMatchesSequential: coverage is a set union over
+// per-test hit sets, so the score must not depend on worker count.
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	u := cparser.MustParse(branchy)
+	opts := DefaultOptions()
+	opts.MaxExecs = 600
+	opts.Plateau = 200
+	camp, err := Run(u, "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Replay(u, "kernel", camp.Tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReplayParallel(u, "kernel", camp.Tests, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("replay coverage differs: %.4f sequential vs %.4f parallel", seq, par)
+	}
+}
+
+// TestMinimizeParallelMatchesSequential: the greedy cover consumes
+// witnesses in input order either way, so the minimized suite must be
+// identical for any worker count.
+func TestMinimizeParallelMatchesSequential(t *testing.T) {
+	u := cparser.MustParse(branchy)
+	opts := DefaultOptions()
+	opts.MaxExecs = 600
+	opts.Plateau = 200
+	camp, err := Run(u, "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Minimize(u, "kernel", camp.Tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MinimizeParallel(u, "kernel", camp.Tests, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("minimized suites differ: %d tests sequential vs %d parallel",
+			len(seq), len(par))
+	}
+}

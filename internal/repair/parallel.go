@@ -1,0 +1,197 @@
+// Concurrent candidate evaluation for the repair search.
+//
+// The paper's repair loop (§5.3–5.4) spends nearly all of its time in
+// fitness evaluation: every candidate pays a style check, a full HLS
+// compatibility check, latency simulation, and differential testing
+// against the CPU execution. Those evaluations are independent across
+// candidates — each runs on its own clone of the program against the
+// immutable original and test suite — so this file fans them out over a
+// bounded worker pool.
+//
+// Determinism contract: results are bit-identical to the sequential
+// search for the same Options.Seed, whatever Workers is set to. The
+// pool only ever *computes* outcomes (computeOutcome, pure); it never
+// touches searcher state. The search goroutine then *commits* outcomes
+// strictly in candidate enumeration order: budget checks, virtual-cost
+// accounting (one toolchain license ⇒ one ordered cost stream), dedupe
+// bookkeeping, and the accept-first-improvement rule all replay exactly
+// the sequence the sequential loop performs. Speculative evaluations
+// past the accepted candidate are discarded — they cost real CPU, not
+// virtual time.
+package repair
+
+import (
+	"sync"
+
+	"github.com/hetero/heterogen/internal/cast"
+)
+
+// speculationFactor sizes evaluation batches relative to the worker
+// count: large enough to keep workers busy across style-rejected
+// candidates, small enough to bound wasted work when an early candidate
+// is accepted.
+const speculationFactor = 2
+
+// evalPool is a bounded pool of evaluation workers shared by all steps
+// of one search.
+type evalPool struct {
+	workers int
+	jobs    chan evalJob
+
+	// mu guards committedVirtual, the virtual seconds committed so far
+	// by the search goroutine. Workers consult it before starting a
+	// speculative evaluation: once the shared budget is exhausted no
+	// later candidate can ever be charged (virtual time only grows and
+	// commits happen in order), so computing it would be pure waste.
+	mu               sync.Mutex
+	committedVirtual float64
+	budget           float64
+}
+
+// evalJob asks a worker to compute the outcome of one candidate unit.
+type evalJob struct {
+	s    *searcher
+	unit *cast.Unit
+	out  *evalOutcome
+	wg   *sync.WaitGroup
+}
+
+// newEvalPool starts workers goroutines feeding on a shared job queue.
+func newEvalPool(workers int, budget float64) *evalPool {
+	p := &evalPool{
+		workers: workers,
+		jobs:    make(chan evalJob, workers*speculationFactor),
+		budget:  budget,
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *evalPool) worker() {
+	for job := range p.jobs {
+		if !p.budgetExhausted() {
+			*job.out = job.s.computeOutcome(job.unit)
+		}
+		job.wg.Done()
+	}
+}
+
+// close shuts the workers down; the pool must not be used afterwards.
+func (p *evalPool) close() { close(p.jobs) }
+
+// commit records virtual seconds the search goroutine has charged, so
+// workers can stop speculating once the budget is gone.
+func (p *evalPool) commit(virtualSeconds float64) {
+	p.mu.Lock()
+	p.committedVirtual = virtualSeconds
+	p.mu.Unlock()
+}
+
+func (p *evalPool) budgetExhausted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committedVirtual >= p.budget
+}
+
+// chunkSize is how many candidates are speculatively evaluated per
+// batch.
+func (p *evalPool) chunkSize() int { return p.workers * speculationFactor }
+
+// evaluateBatch computes outcomes for a batch concurrently. predictSkip
+// (optional, called in order on the calling goroutine) previews commit-
+// time dedupe so known-skipped candidates are not scheduled. Outcomes
+// of unscheduled candidates stay zero-valued (computed == false).
+func (p *evalPool) evaluateBatch(s *searcher, batch []Candidate, predictSkip func(Candidate) bool) []evalOutcome {
+	outcomes := make([]evalOutcome, len(batch))
+	var wg sync.WaitGroup
+	for i, cand := range batch {
+		if predictSkip != nil && predictSkip(cand) {
+			continue
+		}
+		wg.Add(1)
+		p.jobs <- evalJob{s: s, unit: cand.Unit, out: &outcomes[i], wg: &wg}
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// evalCandidates is the shared candidate-trial engine behind
+// tryCandidates, the WithoutDependence attempt loop, and perfStep. It
+// walks candidates in enumeration order and accepts the first one whose
+// score improves on *curScore, charging virtual costs as it goes.
+//
+// skip, when non-nil, is the commit-time dedupe: consulted in order on
+// the search goroutine, free to mutate searcher bookkeeping, and a
+// skipped candidate pays no cost. predictSkip, when non-nil, must
+// preview skip's decisions without side effects on searcher state (used
+// only to avoid scheduling doomed speculative work).
+//
+// With no pool (Workers <= 1) candidates are computed inline, one at a
+// time — the classic sequential search. With a pool, batches of
+// chunkSize are computed concurrently and then committed in order;
+// either way every candidate passes through the same budget check,
+// chargeOutcome call, and acceptance rule, in the same sequence.
+func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Candidate) bool, cur **cast.Unit, curScore *score) bool {
+	if s.pool == nil {
+		for _, cand := range cands {
+			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+				return false
+			}
+			if skip != nil && skip(cand) {
+				continue
+			}
+			if s.commitOutcome(cand, s.computeOutcome(cand.Unit), cur, curScore) {
+				return true
+			}
+		}
+		return false
+	}
+
+	chunk := s.pool.chunkSize()
+	for start := 0; start < len(cands); start += chunk {
+		end := min(start+chunk, len(cands))
+		batch := cands[start:end]
+		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+			return false
+		}
+		outcomes := s.pool.evaluateBatch(s, batch, predictSkip)
+		for i, cand := range batch {
+			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+				return false
+			}
+			if skip != nil && skip(cand) {
+				continue
+			}
+			o := outcomes[i]
+			if !o.computed {
+				// The worker declined the job (budget raced exhausted)
+				// or predictSkip mispredicted; fall back to computing
+				// here so commit semantics never depend on speculation.
+				o = s.computeOutcome(cand.Unit)
+			}
+			if s.commitOutcome(cand, o, cur, curScore) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commitOutcome charges one tried candidate and applies the acceptance
+// rule, keeping the pool's shared budget view current. Returns true
+// when the candidate was accepted.
+func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit, curScore *score) bool {
+	s.chargeOutcome(o)
+	if s.pool != nil {
+		s.pool.commit(s.stats.VirtualSeconds)
+	}
+	if !o.evaluated || !o.sc.better(*curScore) {
+		return false
+	}
+	s.accept(cand)
+	*cur = cand.Unit
+	*curScore = o.sc
+	return true
+}

@@ -1,0 +1,144 @@
+package repair
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/subjects"
+)
+
+// searchSubjects are the determinism-test inputs: real evaluation
+// subjects with multiple error classes, driven by small deterministic
+// fuzzing campaigns.
+func subjectInputs(t *testing.T, id string) (orig, initial *cast.Unit, kernel string, tests []fuzz.TestCase) {
+	t.Helper()
+	s, err := subjects.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig = s.MustParse()
+	fopts := fuzz.DefaultOptions()
+	fopts.MaxExecs = 150
+	fopts.Plateau = 60
+	camp, err := fuzz.Run(orig, s.Kernel, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := camp.Tests
+	if len(suite) > 8 {
+		suite = suite[:8]
+	}
+	return orig, s.MustParse(), s.Kernel, suite
+}
+
+// assertIdentical compares two search results bit-for-bit: accepted
+// edit sequence, final printed program, and the complete Stats struct
+// (iterations, candidate counts, and the virtual clock down to the last
+// float addition).
+func assertIdentical(t *testing.T, name string, seq, par Result) {
+	t.Helper()
+	if !reflect.DeepEqual(seq.Stats.EditLog, par.Stats.EditLog) {
+		t.Errorf("%s: accepted edits diverge:\n  seq: %v\n  par: %v", name, seq.Stats.EditLog, par.Stats.EditLog)
+	}
+	if sp, pp := cast.Print(seq.Unit), cast.Print(par.Unit); sp != pp {
+		t.Errorf("%s: final programs differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", name, sp, pp)
+	}
+	if seq.Stats.Iterations != par.Stats.Iterations {
+		t.Errorf("%s: iterations %d (seq) vs %d (par)", name, seq.Stats.Iterations, par.Stats.Iterations)
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Errorf("%s: stats diverge:\n  seq: %+v\n  par: %+v", name, seq.Stats, par.Stats)
+	}
+	if seq.Compatible != par.Compatible || seq.BehaviorOK != par.BehaviorOK || seq.Improved != par.Improved {
+		t.Errorf("%s: verdicts diverge: seq=%v/%v/%v par=%v/%v/%v", name,
+			seq.Compatible, seq.BehaviorOK, seq.Improved,
+			par.Compatible, par.BehaviorOK, par.Improved)
+	}
+}
+
+// TestParallelSearchDeterminism runs the sequential and the Workers=4
+// searches over every evaluation subject and asserts bit-identical
+// outcomes — the contract documented on Options.Workers.
+func TestParallelSearchDeterminism(t *testing.T) {
+	ids := []string{"P1", "P2", "P3", "P6"}
+	if !testing.Short() {
+		ids = []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			orig, initial, kernel, tests := subjectInputs(t, id)
+			opts := DefaultOptions()
+			opts.Workers = 1
+			seq := Search(orig, cast.CloneUnit(initial), kernel, tests, opts)
+			opts.Workers = 4
+			par := Search(orig, cast.CloneUnit(initial), kernel, tests, opts)
+			assertIdentical(t, id, seq, par)
+		})
+	}
+}
+
+// TestParallelSearchDeterminismWithoutDependence exercises the random
+// (WithoutDependence) mode, whose candidate picks come from the seeded
+// rng: the pre-drawn pick stream must make Workers irrelevant there
+// too.
+func TestParallelSearchDeterminismWithoutDependence(t *testing.T) {
+	orig := cparser.MustParse(treeKernel)
+	opts := DefaultOptions()
+	opts.UseDependence = false
+	opts.Budget = 12 * 3600
+	opts.MaxIterations = 96
+	opts.Workers = 1
+	seq := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+	opts.Workers = 4
+	par := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+	assertIdentical(t, "tree/WithoutDependence", seq, par)
+}
+
+// TestParallelSearchDeterminismTightBudget stops the search mid-step by
+// budget exhaustion, the trickiest commit path: the worker pool's
+// speculative outcomes past the stop point must be discarded without a
+// trace in the accounting.
+func TestParallelSearchDeterminismTightBudget(t *testing.T) {
+	orig := cparser.MustParse(treeKernel)
+	for _, budget := range []hls.VirtualCost{120, 400, 900} {
+		opts := DefaultOptions()
+		opts.Budget = budget
+		opts.Workers = 1
+		seq := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+		opts.Workers = 4
+		par := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+		assertIdentical(t, "tree/tight-budget", seq, par)
+	}
+}
+
+// TestParallelPoolContention drives the worker pool well past the CPU
+// count and from several concurrent searches at once; run under
+// `go test -race` (the Makefile's race target) this is the data-race
+// proof for the shared-budget mutex and the outcome slices.
+func TestParallelPoolContention(t *testing.T) {
+	orig := cparser.MustParse(treeKernel)
+	var wg sync.WaitGroup
+	results := make([]Result, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := DefaultOptions()
+			opts.Workers = 8
+			results[i] = Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !r.Compatible || !r.BehaviorOK {
+			t.Fatalf("search %d failed under contention: %v", i, r.Stats.EditLog)
+		}
+		assertIdentical(t, "contention", results[0], r)
+	}
+}

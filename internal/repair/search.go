@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/difftest"
@@ -29,8 +30,36 @@ type Options struct {
 	// PerfExploration keeps searching for performance edits after all
 	// compatibility errors are fixed.
 	PerfExploration bool
-	// Seed drives the random order in the WithoutDependence ablation.
+	// Seed seeds all randomness in the search, so a run is bit-for-bit
+	// reproducible for a given (options, program, tests) triple.
+	//
+	// The dependence-guided path consults no randomness at all: chains
+	// are enumerated in registry order, so its results depend only on
+	// the inputs. The WithoutDependence ablation draws its candidate
+	// picks from a rand.Rand seeded here; all draws for one repair step
+	// are made up front, so the portion of the stream consumed is a
+	// function of the pool size alone, never of where the step stopped
+	// (budget exhaustion, early acceptance). This keeps runs with
+	// different Workers values — and reruns after behaviour-neutral
+	// refactors of the step loop — on the same random sequence.
 	Seed int64
+	// Workers bounds how many candidate fitness evaluations may run
+	// concurrently (§5.4's evaluation step dominates wall-clock; the
+	// style check, full compatibility check, latency simulation, and
+	// differential test of distinct candidates are independent).
+	// 0 or 1 evaluates sequentially. Any value produces bit-identical
+	// results for the same Seed: candidates keep their enumeration
+	// order, the first improving candidate in that order is accepted,
+	// and the virtual clock — which models a single toolchain license —
+	// is committed in that same order, so accepted edits, final program,
+	// and Stats do not depend on Workers.
+	Workers int
+	// EvalDelay adds a real-time pause to every full fitness evaluation,
+	// emulating the blocking invocation of an external HLS toolchain
+	// process (the deployment this engine is built for). It never
+	// touches the virtual clock; benchmarks use it to measure how much
+	// of that latency the worker pool can overlap.
+	EvalDelay time.Duration
 	// MaxIterations is a safety bound on accepted edits.
 	MaxIterations int
 	// ClassFilter, when non-nil, restricts the search to templates of the
@@ -58,6 +87,7 @@ func DefaultOptions() Options {
 		PerfExploration: true,
 		Seed:            1,
 		MaxIterations:   64,
+		Workers:         1,
 	}
 }
 
@@ -131,6 +161,10 @@ type searcher struct {
 	rng      *rand.Rand
 	stats    Stats
 	state    *State
+	// pool, when non-nil, evaluates candidate batches concurrently.
+	// All accounting still happens on the search goroutine, in
+	// enumeration order (see parallel.go).
+	pool *evalPool
 	// triedPerf remembers performance candidates already evaluated and
 	// rejected, so successive perfSteps do not pay repeated compilations
 	// for the same configuration.
@@ -158,6 +192,10 @@ func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, 
 		triedPerf: map[string]bool{},
 	}
 	s.state.TestCount = len(tests)
+	if opts.Workers > 1 {
+		s.pool = newEvalPool(opts.Workers, float64(opts.Budget))
+		defer s.pool.close()
+	}
 
 	cur := cast.CloneUnit(initial)
 	curScore := s.evaluate(cur)
@@ -231,16 +269,64 @@ func (a score) better(b score) bool {
 	return a.latencyMS < b.latencyMS-1e-12
 }
 
-// evaluate pays for a full HLS compilation (and simulation when
-// compilable) of u and returns its fitness.
-func (s *searcher) evaluate(u *cast.Unit) score {
-	lines := cast.CountLines(u)
-	s.stats.VirtualSeconds += float64(hls.CompileCost(lines))
-	s.stats.HLSInvocations++
+// evalOutcome is the side-effect-free result of trying one candidate:
+// what the style checker said and, when it passed, the full fitness.
+// The deterministic cost inputs (printed line count, whether simulation
+// ran) ride along so the accounting can be replayed on the search
+// goroutine in enumeration order — see chargeOutcome.
+type evalOutcome struct {
+	// computed is false when a speculative worker skipped the job
+	// (shared virtual budget already exhausted); the commit loop never
+	// reaches such a candidate, but recomputes inline if it somehow
+	// does.
+	computed bool
+	// styleRan reports the style checker was consulted (UseStyleChecker).
+	styleRan bool
+	styleOK  bool
+	// evaluated reports the full compile+test evaluation ran.
+	evaluated bool
+	// lines is the candidate's printed line count (compile-cost input).
+	lines int
+	// simRan reports the design compiled cleanly and fit the device, so
+	// the per-test simulation cost applies.
+	simRan bool
+	sc     score
+}
+
+// computeOutcome runs the style check and (when it passes) the full
+// fitness evaluation of u without touching any searcher state. It is
+// safe to call from multiple goroutines concurrently: it reads only the
+// immutable search inputs (original program, tests, config) and the
+// candidate's own clone.
+func (s *searcher) computeOutcome(u *cast.Unit) evalOutcome {
+	out := evalOutcome{computed: true}
+	if s.opts.UseStyleChecker {
+		out.styleRan = true
+		out.styleOK = stylecheck.Run(u, s.cfg).OK
+		if !out.styleOK {
+			return out
+		}
+	} else {
+		out.styleOK = true
+	}
+	out.evaluated = true
+	out.lines, out.simRan, out.sc = s.computeScore(u)
+	return out
+}
+
+// computeScore is the pure part of a fitness evaluation: a full HLS
+// compatibility check, the device-capacity gate, and differential
+// testing with latency simulation. It returns the deterministic cost
+// inputs alongside the score.
+func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score) {
+	lines = cast.CountLines(u)
+	if s.opts.EvalDelay > 0 {
+		time.Sleep(s.opts.EvalDelay)
+	}
 	rep := check.Run(u, s.cfg)
-	sc := score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
+	sc = score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
 	if sc.errors > 0 {
-		return sc
+		return lines, false, sc
 	}
 	if s.opts.Device.Name != "" {
 		if ok, over := sim.CheckCapacity(sim.Estimate(u), s.opts.Device); !ok {
@@ -253,30 +339,54 @@ func (s *searcher) evaluate(u *cast.Unit) score {
 			}
 			sc.errors = 1
 			sc.diags = []hls.Diagnostic{d}
-			return sc
+			return lines, false, sc
 		}
 	}
-	s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
 	dt := difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
 	sc.report = dt
 	sc.passRatio = dt.PassRatio()
 	sc.behaviorOK = dt.AllPass()
 	sc.latencyMS = dt.FPGAMeanMS()
-	return sc
+	return lines, true, sc
 }
 
-// styleOK pays for a style check, when enabled.
-func (s *searcher) styleOK(u *cast.Unit) bool {
-	if !s.opts.UseStyleChecker {
-		return true
+// chargeOutcome replays the virtual-cost accounting of one tried
+// candidate. The virtual clock models a single HLS toolchain license,
+// so costs are summed here — on the search goroutine, in enumeration
+// order — regardless of how many workers computed outcomes: the
+// floating-point additions happen in exactly the sequence the
+// sequential search performs, keeping Stats bit-identical.
+func (s *searcher) chargeOutcome(o evalOutcome) {
+	s.stats.CandidatesTried++
+	if o.styleRan {
+		s.stats.StyleChecks++
+		s.stats.VirtualSeconds += float64(hls.StyleCheckSeconds)
+		if !o.styleOK {
+			s.stats.StyleRejections++
+			return
+		}
 	}
-	s.stats.StyleChecks++
-	s.stats.VirtualSeconds += float64(hls.StyleCheckSeconds)
-	if rep := stylecheck.Run(u, s.cfg); !rep.OK {
-		s.stats.StyleRejections++
-		return false
+	if !o.evaluated {
+		return
 	}
-	return true
+	s.stats.VirtualSeconds += float64(hls.CompileCost(o.lines))
+	s.stats.HLSInvocations++
+	if o.simRan {
+		s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+	}
+}
+
+// evaluate pays for a full HLS compilation (and simulation when
+// compilable) of u and returns its fitness — the sequential compute +
+// charge pair, used for the initial program version.
+func (s *searcher) evaluate(u *cast.Unit) score {
+	lines, simRan, sc := s.computeScore(u)
+	s.stats.VirtualSeconds += float64(hls.CompileCost(lines))
+	s.stats.HLSInvocations++
+	if simRan {
+		s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+	}
+	return sc
 }
 
 // repairStep tries candidates for the current diagnostics and accepts the
@@ -306,43 +416,30 @@ func (s *searcher) repairStep(cur **cast.Unit, curScore *score) bool {
 		// random, with replacement — re-trying a configuration pays for
 		// its compilation again, which is exactly what the dependence
 		// structure exists to avoid (the paper's "naive probability of
-		// selecting ➌ given ➊ is 10%" argument).
+		// selecting ➌ given ➊ is 10%" argument). All picks are drawn up
+		// front so the rng stream consumed per step depends only on the
+		// pool size (see Options.Seed), then evaluated like any other
+		// ordered candidate list — budget checks still gate every
+		// attempt at commit time.
 		pool := s.filterByClass(RandomCandidates(*cur, diags, s.state))
 		if len(pool) == 0 {
 			return false
 		}
-		attempts := 6 * len(pool)
-		for a := 0; a < attempts; a++ {
-			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
-				return false
-			}
-			cand := pool[s.rng.Intn(len(pool))]
-			s.stats.CandidatesTried++
-			if !s.styleOK(cand.Unit) {
-				continue
-			}
-			candScore := s.evaluate(cand.Unit)
-			if candScore.better(*curScore) {
-				s.accept(cand)
-				*cur = cand.Unit
-				*curScore = candScore
-				return true
-			}
+		picks := make([]Candidate, 6*len(pool))
+		for a := range picks {
+			picks[a] = pool[s.rng.Intn(len(pool))]
 		}
-		return false
+		return s.evalCandidates(picks, nil, nil, cur, curScore)
 	}
 
 	if s.tryCandidates(s.filterByClass(candidates), cur, curScore) {
 		return true
 	}
-	if s.opts.UseDependence {
-		// Cross-class repairs (e.g. a recursion fix blocked until struct
-		// pointers become pool indices) are reached by widening to the
-		// whole registry once per-class chains are exhausted.
-		fallback := s.filterByClass(RandomCandidates(*cur, diags, s.state))
-		return s.tryCandidates(fallback, cur, curScore)
-	}
-	return false
+	// Cross-class repairs (e.g. a recursion fix blocked until struct
+	// pointers become pool indices) are reached by widening to the
+	// whole registry once per-class chains are exhausted.
+	fallback := s.filterByClass(RandomCandidates(*cur, diags, s.state))
+	return s.tryCandidates(fallback, cur, curScore)
 }
 
 // filterByClass drops candidates containing edits outside the configured
@@ -370,51 +467,43 @@ func (s *searcher) filterByClass(cands []Candidate) []Candidate {
 // tryCandidates evaluates candidates in order, accepting the first
 // improvement.
 func (s *searcher) tryCandidates(candidates []Candidate, cur **cast.Unit, curScore *score) bool {
-	for _, cand := range candidates {
-		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
-			return false
-		}
-		s.stats.CandidatesTried++
-		if !s.styleOK(cand.Unit) {
-			continue
-		}
-		candScore := s.evaluate(cand.Unit)
-		if candScore.better(*curScore) {
-			s.accept(cand)
-			*cur = cand.Unit
-			*curScore = candScore
-			return true
-		}
-	}
-	return false
+	return s.evalCandidates(candidates, nil, nil, cur, curScore)
 }
 
 // perfStep explores performance edits on an already-correct program.
 // Rejected configurations are remembered so each costs one compilation
 // over the whole search.
 func (s *searcher) perfStep(cur **cast.Unit, curScore *score) bool {
-	for _, cand := range PerfCandidates(*cur, s.state) {
-		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
-			return false
-		}
-		key := cand.Describe()
+	cands := PerfCandidates(*cur, s.state)
+	// skip consults and updates the real dedupe set; it runs on the
+	// search goroutine at commit time, in enumeration order, and stops
+	// being called the moment the step accepts or exhausts its budget —
+	// exactly like the sequential loop, so triedPerf ends identical.
+	skip := func(c Candidate) bool {
+		key := c.Describe()
 		if s.triedPerf[key] {
-			continue
-		}
-		s.triedPerf[key] = true
-		s.stats.CandidatesTried++
-		if !s.styleOK(cand.Unit) {
-			continue
-		}
-		candScore := s.evaluate(cand.Unit)
-		if candScore.better(*curScore) {
-			s.accept(cand)
-			*cur = cand.Unit
-			*curScore = candScore
 			return true
 		}
+		s.triedPerf[key] = true
+		return false
 	}
-	return false
+	// predictSkip previews the same decisions against a scratch copy so
+	// the worker pool does not schedule duplicate configurations; a
+	// misprediction only wastes or saves speculative work, never
+	// changes what skip decides.
+	predicted := make(map[string]bool, len(s.triedPerf))
+	for k := range s.triedPerf {
+		predicted[k] = true
+	}
+	predictSkip := func(c Candidate) bool {
+		key := c.Describe()
+		if predicted[key] {
+			return true
+		}
+		predicted[key] = true
+		return false
+	}
+	return s.evalCandidates(cands, skip, predictSkip, cur, curScore)
 }
 
 func (s *searcher) accept(cand Candidate) {

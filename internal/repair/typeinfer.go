@@ -4,6 +4,11 @@
 // dependence/precedence structure among those edits (Figure 7c), and the
 // dependence-guided evolutionary search with early candidate rejection via
 // the coding-style checker (§5.3).
+//
+// Candidate fitness evaluations can run concurrently (Options.Workers) on
+// the worker pool in parallel.go; results stay bit-identical to the
+// sequential search because all acceptance and virtual-cost decisions are
+// committed in enumeration order on the search goroutine.
 package repair
 
 import (
