@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel check
+.PHONY: all build test race vet bench bench-parallel check trace-demo
 
 all: build
 
@@ -28,5 +28,13 @@ bench:
 # toolchain-overlap speedup (fails below 2x).
 bench-parallel:
 	WRITE_BENCH=1 $(GO) test -run TestWriteParallelBenchReport -v .
+
+# Traces one evaluation subject end-to-end and cross-validates the trace
+# with hgtrace -check: the event stream must reproduce the run's
+# reported attempts, edit chain, and virtual clock exactly.
+TRACE_DEMO := $(or $(TMPDIR),/tmp)/heterogen-trace-demo.jsonl
+trace-demo:
+	$(GO) run ./cmd/hgeval -quick -subject P2 -table3 -workers 4 -trace $(TRACE_DEMO)
+	$(GO) run ./cmd/hgtrace -check $(TRACE_DEMO)
 
 check: build vet test race

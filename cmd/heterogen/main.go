@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] input.c
+//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] [-trace t.jsonl] [-metrics] input.c
 //
 // -workers bounds how many repair candidates are evaluated concurrently;
 // the transpilation result is bit-identical for any value (see
 // repair.Options.Workers), so the flag only trades machine load for
 // wall-clock.
+//
+// -trace writes a JSONL structured-event trace of the whole run — one
+// event per fuzz execution and repair-candidate trial, byte-identical
+// for any -workers value. Feed it to hgtrace for Figure 2-style repair
+// trajectories, coverage curves, and the virtual-budget breakdown.
+// -metrics prints aggregated counters and duration histograms to stderr.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"runtime"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 func main() {
@@ -30,10 +37,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent candidate evaluations in the repair search (results are identical for any value)")
 	verbose := flag.Bool("v", false, "print the edit log and diagnostics")
+	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
+	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	flag.Parse()
 
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] input.c")
+		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] [-trace t.jsonl] [-metrics] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -48,9 +57,39 @@ func main() {
 		opts.Fuzz.Plateau = 100
 		opts.Fuzz.TypedMutation = true
 	}
+	var sinks []obs.Observer
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		sinks = append(sinks, tw)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, reg)
+	}
+	opts.Obs = obs.Multi(sinks...)
+
 	res, err := heterogen.Transpile(string(src), opts)
+	if tw != nil {
+		if ferr := tw.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "heterogen: trace:", ferr)
+		}
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if res.Campaign.Plateaued {
+		fmt.Fprintf(os.Stderr, "heterogen: warning: fuzz campaign plateaued at %d executions before its budget; coverage may be low (%.0f%%)\n",
+			res.Campaign.Execs, 100*res.Campaign.Coverage)
+	}
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Text())
 	}
 
 	fmt.Fprintf(os.Stderr, "heterogen: %s\n", res.Summary())

@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	hgeval [-quick] [-workers n] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary]
+//	hgeval [-quick] [-workers n] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary] [-trace t.jsonl] [-metrics]
 //
 // With no selection flags, everything runs.
+//
+// -trace writes a JSONL structured-event trace of every subject's
+// fuzzing campaign and repair search, each event tagged with its subject
+// id (read it with hgtrace). Single-subject traces (-subject) are
+// byte-deterministic; full runs interleave subjects in scheduler order.
+// -metrics prints aggregated counters and histograms to stderr.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"runtime"
 
 	"github.com/hetero/heterogen/internal/eval"
+	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/repair"
 	"github.com/hetero/heterogen/internal/subjects"
 )
@@ -33,6 +40,8 @@ func main() {
 	f3 := flag.Bool("fig3", false, "Figure 3: forum study")
 	summary := flag.Bool("summary", false, "§6 headline summary")
 	deps := flag.Bool("deps", false, "print the Table 2 template catalog with its Figure 7c dependences")
+	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
+	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	flag.Parse()
 
 	if *deps {
@@ -45,6 +54,32 @@ func main() {
 		cfg = eval.QuickConfig()
 	}
 	cfg.Workers = *workers
+
+	var sinks []obs.Observer
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "hgeval: trace:", err)
+			}
+		}()
+		sinks = append(sinks, tw)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		defer func() { fmt.Fprint(os.Stderr, reg.Text()) }()
+	}
+	if reg != nil {
+		sinks = append(sinks, reg)
+	}
+	cfg.Obs = obs.Multi(sinks...)
 	all := !*t3 && !*t4 && !*t5 && !*f9 && !*f3 && !*summary
 
 	if *f3 || all {

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	hgfuzz -kernel <fn> [-host <fn>] [-execs N] file.c
+//	hgfuzz -kernel <fn> [-host <fn>] [-execs N] [-trace t.jsonl] [-metrics] file.c
+//
+// -trace writes one JSONL event per execution (read it with hgtrace for
+// the coverage-over-iterations curve); -metrics prints aggregated
+// counters to stderr. A campaign that plateaus — no new coverage for the
+// plateau window before the execution budget is spent — is flagged in
+// the output.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 func main() {
@@ -20,9 +27,11 @@ func main() {
 	host := flag.String("host", "", "host entry point for seed capture")
 	execs := flag.Int("execs", 2000, "maximum kernel executions")
 	seed := flag.Int64("seed", 1, "mutation RNG seed")
+	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
+	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	flag.Parse()
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] file.c")
+		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] [-trace t.jsonl] [-metrics] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -30,14 +39,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgfuzz:", err)
 		os.Exit(1)
 	}
+	var sinks []obs.Observer
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgfuzz:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		sinks = append(sinks, tw)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		sinks = append(sinks, reg)
+	}
 	opts := heterogen.FuzzOptions{
 		Seed:          *seed,
 		MaxExecs:      *execs,
 		Plateau:       *execs / 5,
 		TypedMutation: true,
 		HostMain:      *host,
+		Obs:           obs.Multi(sinks...),
 	}
 	camp, err := heterogen.GenerateTests(string(src), *kernel, opts)
+	if tw != nil {
+		if ferr := tw.Flush(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "hgfuzz: trace:", ferr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hgfuzz:", err)
 		os.Exit(1)
@@ -45,6 +77,10 @@ func main() {
 	fmt.Printf("campaign: %s\n", camp.Summary())
 	fmt.Printf("executions: %d, retained corpus: %d, outcomes: %d/%d\n",
 		camp.Execs, len(camp.Tests), camp.CoveredOutcomes, camp.TotalOutcomes)
+	if camp.Plateaued {
+		fmt.Printf("warning: campaign plateaued — no new coverage for %d consecutive executions, stopped at %d/%d execs\n",
+			opts.Plateau, camp.Execs, opts.MaxExecs)
+	}
 	if camp.SeededFromHost {
 		fmt.Println("seeded from host-program kernel-entry capture")
 	}
@@ -54,5 +90,8 @@ func main() {
 	}
 	for i := 0; i < max; i++ {
 		fmt.Printf("test[%d] = %s\n", i, camp.Tests[i])
+	}
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Text())
 	}
 }

@@ -1,0 +1,80 @@
+// Command hgtrace renders a JSONL structured-event trace (written by
+// heterogen/hgfuzz/hgeval with -trace) as the paper's run artifacts: the
+// Figure 2-style repair trajectory, the coverage-over-iterations curve,
+// a fix-pattern frequency table, and the virtual-budget breakdown by
+// pipeline phase and cost component.
+//
+// Usage:
+//
+//	hgtrace [-check] [-json] [trace.jsonl]
+//
+// With no file argument the trace is read from stdin. -check
+// cross-validates the event stream against the run's final summary
+// events (candidate counts, accepted-edit chain, virtual-time totals)
+// and exits non-zero on any mismatch — the trace must reproduce the run
+// exactly. -json dumps the structured report instead of text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hetero/heterogen/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "cross-validate events against the run's summary; exit 1 on mismatch")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: hgtrace [-check] [-json] [trace.jsonl]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	events, err := obs.ParseTrace(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("trace is empty"))
+	}
+	rep := obs.BuildReport(events)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Text())
+	}
+
+	if *check {
+		if problems := rep.Check(); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "hgtrace: check:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "hgtrace: check: trace is consistent with the run summary")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hgtrace:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/cparser"
@@ -19,6 +20,7 @@ import (
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/hls/sim"
+	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/profile"
 	"github.com/hetero/heterogen/internal/repair"
 )
@@ -43,6 +45,11 @@ type Options struct {
 	// ExtraTests are appended to the generated suite (e.g. a subject's
 	// pre-existing tests).
 	ExtraTests []fuzz.TestCase
+	// Obs receives structured events for the whole run: pipeline phase
+	// brackets plus everything the fuzzer and the repair search emit
+	// (see internal/obs). It is passed down to Fuzz.Obs / Repair.Obs
+	// unless those are already set. Nil disables observation.
+	Obs obs.Observer
 }
 
 // Result is the full pipeline outcome.
@@ -93,6 +100,23 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
 	}
 	res := Result{Original: orig, OriginalLOC: cast.CountLines(orig)}
+	o := obs.OrNop(opts.Obs)
+	tracing := obs.Enabled(opts.Obs)
+	pipelineVirtual := 0.0
+	phase := func(name string) func(virtualDelta float64) {
+		if !tracing {
+			return func(float64) {}
+		}
+		o.Emit(obs.Event{Type: obs.EvPhaseStart, Virtual: pipelineVirtual,
+			Phase: &obs.PhaseEvent{Name: name}})
+		t0 := time.Now()
+		return func(virtualDelta float64) {
+			pipelineVirtual += virtualDelta
+			o.Emit(obs.Event{Type: obs.EvPhaseEnd, Virtual: pipelineVirtual,
+				Phase: &obs.PhaseEvent{Name: name, VirtualDelta: virtualDelta,
+					WallNS: time.Since(t0).Nanoseconds()}})
+		}
+	}
 
 	// Stage 1: test input generation.
 	fopts := opts.Fuzz
@@ -102,16 +126,22 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	if opts.HostMain != "" {
 		fopts.HostMain = opts.HostMain
 	}
+	if fopts.Obs == nil {
+		fopts.Obs = opts.Obs
+	}
+	endFuzz := phase("fuzz")
 	camp, err := fuzz.Run(orig, opts.Kernel, fopts)
 	if err != nil {
 		return res, fmt.Errorf("heterogen: test generation: %w", err)
 	}
+	endFuzz(camp.VirtualSeconds)
 	res.Campaign = camp
 	tests := append([]fuzz.TestCase{}, camp.Tests...)
 	tests = append(tests, opts.ExtraTests...)
 
 	// Stage 2: initial HLS version with estimated types.
 	initial := cast.CloneUnit(orig)
+	endProfile := phase("profile")
 	if !opts.SkipProfile {
 		prof, err := profile.Generate(orig, opts.Kernel, tests)
 		if err == nil {
@@ -119,6 +149,7 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 			initial = prof.Unit
 		}
 	}
+	endProfile(0) // bitwidth profiling is free in the virtual-cost model
 	res.Initial = initial
 
 	// Stages 3-5: iterative repair.
@@ -129,7 +160,12 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	if opts.Workers != 0 {
 		ropts.Workers = opts.Workers
 	}
+	if ropts.Obs == nil {
+		ropts.Obs = opts.Obs
+	}
+	endRepair := phase("repair")
 	rr := repair.Search(orig, initial, opts.Kernel, tests, ropts)
+	endRepair(rr.Stats.VirtualSeconds)
 	res.Repair = rr
 	res.Final = rr.Unit
 	res.Source = cast.Print(rr.Unit)
@@ -145,11 +181,17 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 
 // Check exposes the full synthesizability checker for a source text.
 func Check(src, top string) (hls.Report, error) {
+	return CheckObserved(src, top, nil)
+}
+
+// CheckObserved is Check with a structured hls_check event emitted to o
+// (nil disables observation).
+func CheckObserved(src, top string, o obs.Observer) (hls.Report, error) {
 	u, err := cparser.Parse(src)
 	if err != nil {
 		return hls.Report{}, err
 	}
-	return check.Run(u, hls.DefaultConfig(top)), nil
+	return check.RunObserved(u, hls.DefaultConfig(top), o), nil
 }
 
 // Validate differential-tests an already-produced HLS version against the

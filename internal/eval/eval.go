@@ -22,6 +22,7 @@ import (
 	"github.com/hetero/heterogen/internal/forum"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/profile"
 	"github.com/hetero/heterogen/internal/repair"
 	"github.com/hetero/heterogen/internal/subjects"
@@ -41,6 +42,12 @@ type Config struct {
 	// search (repair.Options.Workers). All reported numbers are
 	// bit-identical for any value — it only changes real wall-clock.
 	Workers int
+	// Obs receives structured events from every subject's fuzzing
+	// campaign and repair search, tagged with the subject id so
+	// concurrently-run subjects stay separable in one trace (see
+	// internal/obs.Tag). Single-subject runs produce byte-deterministic
+	// traces; RunAll interleaves subjects in scheduler order.
+	Obs obs.Observer
 }
 
 // DefaultConfig is the full-effort harness configuration.
@@ -104,9 +111,12 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	run := SubjectRun{ID: s.ID, Name: s.Name}
 	orig := s.MustParse()
 	run.OriginalLOC = cast.CountLines(orig)
+	o := obs.Tag(cfg.Obs, s.ID)
 
 	// --- Test generation (Table 4) -------------------------------------
-	camp, err := fuzz.Run(orig, s.Kernel, cfg.fuzzOptions())
+	fopts := cfg.fuzzOptions()
+	fopts.Obs = o
+	camp, err := fuzz.Run(orig, s.Kernel, fopts)
 	if err != nil {
 		return run, fmt.Errorf("%s: fuzz: %w", s.ID, err)
 	}
@@ -133,6 +143,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	ropts := repair.DefaultOptions()
 	ropts.Seed = cfg.Seed
 	ropts.Workers = cfg.Workers
+	ropts.Obs = o
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK

@@ -6,6 +6,7 @@ import (
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/interp"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 // Options configures a fuzzing campaign.
@@ -32,6 +33,12 @@ type Options struct {
 	// order, so the campaign — tests, coverage, execution count — is
 	// bit-identical for any value. 0 or 1 executes sequentially.
 	Workers int
+	// Obs receives one structured event per committed execution plus a
+	// campaign summary (and a plateau warning when the campaign stalls
+	// before MaxExecs). Events are emitted in mutation commit order, so
+	// a trace is byte-identical for any Workers value. Nil disables
+	// observation.
+	Obs obs.Observer
 }
 
 // DefaultOptions returns the standard campaign configuration.
@@ -61,6 +68,12 @@ type Campaign struct {
 	VirtualSeconds float64
 	// SeededFromHost reports whether a host run supplied the seed.
 	SeededFromHost bool
+	// Plateaued reports the campaign stopped on the plateau rule (no new
+	// coverage for Options.Plateau consecutive executions) before
+	// reaching its MaxExecs budget — the §4 analog of "30 minutes since
+	// the last new path". Callers should surface this: the generated
+	// suite may under-cover the kernel.
+	Plateaued bool
 }
 
 // execVirtualSeconds is the simulated cost of one fuzz execution,
@@ -112,11 +125,31 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		return found
 	}
 
-	execute := func(tc TestCase) (bool, error) {
+	// Observability: one event per committed execution, emitted on this
+	// goroutine in mutation order — the pooled path below commits (and
+	// therefore emits) in exactly the same sequence, so traces are
+	// byte-identical for any Workers value.
+	o := obs.OrNop(opts.Obs)
+	tracing := obs.Enabled(opts.Obs)
+	sinceGain := 0
+	var queue []TestCase
+	emitExec := func(gained, crashed, invalid bool) {
+		if !tracing {
+			return
+		}
+		o.Emit(obs.Event{Type: obs.EvFuzzExec, Virtual: camp.VirtualSeconds, Fuzz: &obs.FuzzEvent{
+			Exec: camp.Execs, Gained: gained, Crashed: crashed, Invalid: invalid,
+			Covered: len(covered), TotalOutcomes: camp.TotalOutcomes,
+			BitmapBits: len(in.CoverageBits),
+			Corpus:     len(queue), Tests: len(camp.Tests), SinceGain: sinceGain,
+		}})
+	}
+
+	execute := func(tc TestCase) (gained, crashed bool, err error) {
 		// Fresh globals per test, preserving cumulative coverage bits.
 		saved := in.CoverageBits
 		if err := in.Reset(); err != nil {
-			return false, err
+			return false, false, err
 		}
 		copy(in.CoverageBits, saved)
 		camp.Execs++
@@ -125,14 +158,12 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		if runErr != nil {
 			// Crashing inputs still contribute coverage but are not
 			// retained: the repair oracle needs clean reference outputs.
-			newCoverage()
-			return false, nil
+			return newCoverage(), true, nil
 		}
-		return newCoverage(), nil
+		return newCoverage(), false, nil
 	}
 
 	// Seed: host capture when available, else type-valid random.
-	var queue []TestCase
 	if opts.HostMain != "" {
 		if seed, ok := captureHostSeed(u, kernel, opts.HostMain, sp); ok {
 			queue = append(queue, seed)
@@ -145,12 +176,12 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 
 	// Initial corpus entries always count as tests.
 	for _, tc := range queue {
-		gain, err := execute(tc)
+		gained, crashed, err := execute(tc)
 		if err != nil {
 			return camp, err
 		}
-		_ = gain
 		camp.Tests = append(camp.Tests, tc)
+		emitExec(gained, crashed, false)
 	}
 
 	var pool *execPool
@@ -162,7 +193,6 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		defer pool.close()
 	}
 
-	sinceGain := 0
 	for camp.Execs < opts.MaxExecs && sinceGain < opts.Plateau {
 		// Pop a corpus entry (round-robin over the retained queue).
 		parent := queue[camp.Execs%len(queue)]
@@ -189,6 +219,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 					camp.Execs++
 					camp.VirtualSeconds += execVirtualSeconds
 					sinceGain++
+					emitExec(false, false, true)
 					continue
 				}
 				camp.Execs++
@@ -204,6 +235,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 					// Crashing inputs contribute coverage but are not
 					// retained (the repair oracle needs clean outputs).
 					sinceGain++
+					emitExec(gained, true, false)
 					continue
 				}
 				if gained {
@@ -213,6 +245,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 				} else {
 					sinceGain++
 				}
+				emitExec(gained, false, false)
 			}
 			continue
 		}
@@ -231,11 +264,17 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 				camp.Execs++
 				camp.VirtualSeconds += execVirtualSeconds
 				sinceGain++
+				emitExec(false, false, true)
 				continue
 			}
-			gained, err := execute(child)
+			gained, crashed, err := execute(child)
 			if err != nil {
 				return camp, err
+			}
+			if crashed {
+				sinceGain++
+				emitExec(gained, true, false)
+				continue
 			}
 			if gained {
 				queue = append(queue, child)
@@ -244,6 +283,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 			} else {
 				sinceGain++
 			}
+			emitExec(gained, false, false)
 		}
 	}
 
@@ -252,6 +292,22 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		camp.Coverage = float64(len(covered)) / float64(camp.TotalOutcomes)
 	} else {
 		camp.Coverage = 1
+	}
+	if sinceGain >= opts.Plateau && camp.Execs < opts.MaxExecs {
+		camp.Plateaued = true
+		if tracing {
+			o.Emit(obs.Event{Type: obs.EvWarning, Virtual: camp.VirtualSeconds,
+				Warn: fmt.Sprintf("fuzz campaign plateaued: no new coverage for %d consecutive executions, stopped at %d/%d execs (%.0f%% branch coverage)",
+					opts.Plateau, camp.Execs, opts.MaxExecs, 100*camp.Coverage)})
+		}
+	}
+	if tracing {
+		o.Emit(obs.Event{Type: obs.EvFuzzDone, Virtual: camp.VirtualSeconds, Fuzz: &obs.FuzzEvent{
+			Exec: camp.Execs, Covered: camp.CoveredOutcomes, TotalOutcomes: camp.TotalOutcomes,
+			BitmapBits: len(in.CoverageBits),
+			Corpus:     len(queue), Tests: len(camp.Tests), SinceGain: sinceGain,
+			Coverage: camp.Coverage, Plateaued: camp.Plateaued,
+		}})
 	}
 	return camp, nil
 }

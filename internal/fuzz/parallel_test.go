@@ -1,11 +1,31 @@
 package fuzz
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
+	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/obs"
 )
+
+// tracedRun runs a campaign with a JSONL trace writer attached and
+// returns the campaign plus the raw trace bytes.
+func tracedRun(t *testing.T, u *cast.Unit, kernel string, opts Options) (Campaign, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	opts.Obs = tw
+	camp, err := Run(u, kernel, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return camp, buf.Bytes()
+}
 
 // assertCampaignsIdentical fails unless the two campaigns are
 // bit-identical: same retained tests in the same order, same coverage,
@@ -59,16 +79,18 @@ int kernel(int x) {
 			opts := DefaultOptions()
 			opts.MaxExecs = 600
 			opts.Plateau = 200
-			seq, err := Run(u, "kernel", opts)
-			if err != nil {
-				t.Fatal(err)
-			}
+			seq, seqTrace := tracedRun(t, u, "kernel", opts)
 			opts.Workers = 4
-			par, err := Run(cparser.MustParse(src), "kernel", opts)
-			if err != nil {
-				t.Fatal(err)
-			}
+			par, parTrace := tracedRun(t, cparser.MustParse(src), "kernel", opts)
 			assertCampaignsIdentical(t, seq, par)
+			if !bytes.Equal(seqTrace, parTrace) {
+				t.Errorf("traces differ between Workers=1 and Workers=4 (%d vs %d bytes)",
+					len(seqTrace), len(parTrace))
+			}
+			// One fuzz_exec event per execution.
+			if n := bytes.Count(seqTrace, []byte(`"type":"fuzz_exec"`)); n != seq.Execs {
+				t.Errorf("trace has %d fuzz_exec events, want %d", n, seq.Execs)
+			}
 		})
 	}
 }
@@ -146,5 +168,39 @@ func TestMinimizeParallelMatchesSequential(t *testing.T) {
 	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("minimized suites differ: %d tests sequential vs %d parallel",
 			len(seq), len(par))
+	}
+}
+
+// TestCampaignPlateauFlag: a kernel whose coverage saturates instantly
+// must set Campaign.Plateaued and emit exactly one warning event; a
+// campaign that runs its full budget must not.
+func TestCampaignPlateauFlag(t *testing.T) {
+	src := `
+int kernel(int x) {
+    return x + 1;
+}`
+	opts := DefaultOptions()
+	opts.MaxExecs = 200
+	opts.Plateau = 40
+	camp, trace := tracedRun(t, cparser.MustParse(src), "kernel", opts)
+	if !camp.Plateaued {
+		t.Fatalf("straight-line kernel should plateau: %d/%d execs", camp.Execs, opts.MaxExecs)
+	}
+	if camp.Execs >= opts.MaxExecs {
+		t.Fatalf("plateaued campaign ran its whole budget: %d execs", camp.Execs)
+	}
+	if n := bytes.Count(trace, []byte(`"type":"warning"`)); n != 1 {
+		t.Errorf("plateaued campaign emitted %d warning events, want 1", n)
+	}
+
+	// Exhausting the budget exactly is not a plateau.
+	opts.MaxExecs = 30
+	opts.Plateau = 500
+	camp, trace = tracedRun(t, cparser.MustParse(src), "kernel", opts)
+	if camp.Plateaued {
+		t.Errorf("budget-bound campaign reported a plateau at %d execs", camp.Execs)
+	}
+	if n := bytes.Count(trace, []byte(`"type":"warning"`)); n != 0 {
+		t.Errorf("budget-bound campaign emitted %d warning events, want 0", n)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"github.com/hetero/heterogen/internal/ctypes"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/interp"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 // Run performs the full synthesizability check of unit u under cfg.
@@ -40,6 +41,26 @@ func Run(u *cast.Unit, cfg hls.Config) hls.Report {
 	c.checkDataflow()
 	c.checkLoops()
 	return hls.Report{Diags: c.diags, OK: len(c.diags) == 0}
+}
+
+// RunObserved is Run plus one structured hls_check event carrying the
+// diagnostic counts by error class — the standalone-checker
+// instrumentation point (cmd/hlscheck, core.Check). The repair search
+// does not use it: its checker runs happen on worker goroutines, whose
+// verdicts are buffered in the candidate outcome and emitted as
+// repair_candidate events at commit time instead (see internal/obs).
+func RunObserved(u *cast.Unit, cfg hls.Config, o obs.Observer) hls.Report {
+	rep := Run(u, cfg)
+	if obs.Enabled(o) {
+		byClass := map[string]int{}
+		for _, d := range rep.Diags {
+			byClass[d.Class.String()]++
+		}
+		o.Emit(obs.Event{Type: obs.EvCheck, Check: &obs.CheckEvent{
+			Top: cfg.Top, Errors: len(rep.Diags), ByClass: byClass,
+		}})
+	}
+	return rep
 }
 
 type checker struct {

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// histBounds are the histogram bucket upper bounds (seconds for virtual
+// costs, milliseconds for wall durations). A log scale covers both the
+// sub-second style checks and the hours-long search totals.
+var histBounds = []float64{0.01, 0.1, 1, 10, 60, 600, 3600, 36000}
+
+// Histogram is a fixed-bucket duration histogram plus running moments.
+type Histogram struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Buckets []int64   `json:"buckets"` // counts per histBounds entry, +1 overflow
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{Buckets: make([]int64, len(histBounds)+1)}
+}
+
+func (h *Histogram) observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	for i, b := range histBounds {
+		if v <= b {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[len(histBounds)]++
+}
+
+// Mean is the running average (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Registry is the in-memory metrics sink: named counters and duration
+// histograms aggregated over every event it observes, plus an explicit
+// Add/Observe API for ad-hoc instrumentation. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]int64{}, hists: map[string]*Histogram{}}
+}
+
+// Add increments a named counter.
+func (r *Registry) Add(name string, n int64) {
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Observe records one duration sample into a named histogram.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Emit aggregates one event into the run's counters and histograms.
+func (r *Registry) Emit(e Event) {
+	switch e.Type {
+	case EvFuzzExec:
+		r.Add("fuzz.execs", 1)
+		if e.Fuzz != nil {
+			if e.Fuzz.Gained {
+				r.Add("fuzz.gained", 1)
+			}
+			if e.Fuzz.Crashed {
+				r.Add("fuzz.crashes", 1)
+			}
+			if e.Fuzz.Invalid {
+				r.Add("fuzz.invalid", 1)
+			}
+		}
+	case EvFuzzDone:
+		r.Add("fuzz.campaigns", 1)
+		r.Observe("fuzz.campaign_virtual_s", e.Virtual)
+		if e.Fuzz != nil && e.Fuzz.Plateaued {
+			r.Add("fuzz.plateaus", 1)
+		}
+	case EvRepairInit:
+		r.Add("repair.searches", 1)
+		r.Add("repair.hls_invocations", 1) // the initial version is always compiled
+		if e.Repair != nil {
+			r.Observe("repair.eval_virtual_s", e.Repair.VirtualDelta)
+		}
+	case EvCandidate:
+		r.Add("repair.candidates", 1)
+		if e.Repair != nil {
+			if e.Repair.Accepted {
+				r.Add("repair.accepted", 1)
+			} else {
+				r.Add("repair.rejected", 1)
+			}
+			if e.Repair.Style == "reject" {
+				r.Add("repair.style_rejections", 1)
+			}
+			if e.Repair.Evaluated {
+				r.Add("repair.hls_invocations", 1)
+			}
+			r.Observe("repair.eval_virtual_s", e.Repair.VirtualDelta)
+		}
+	case EvRepairDone:
+		if e.Done != nil {
+			r.Observe("repair.search_virtual_s", e.Done.VirtualSeconds)
+			if e.Done.Compatible && e.Done.BehaviorOK {
+				r.Add("repair.compatible", 1)
+			}
+		}
+	case EvPhaseEnd:
+		if e.Phase != nil {
+			r.Observe("phase.virtual_s."+e.Phase.Name, e.Phase.VirtualDelta)
+			if e.Phase.WallNS > 0 {
+				r.Observe("phase.wall_ms."+e.Phase.Name, float64(e.Phase.WallNS)/1e6)
+			}
+		}
+	case EvCheck:
+		r.Add("check.runs", 1)
+		if e.Check != nil {
+			r.Add("check.errors", int64(e.Check.Errors))
+		}
+	case EvWarning:
+		r.Add("warnings", 1)
+	}
+}
+
+// snapshot copies the registry state under the lock.
+func (r *Registry) snapshot() (map[string]int64, map[string]Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		cs[k] = v
+	}
+	hs := make(map[string]Histogram, len(r.hists))
+	for k, h := range r.hists {
+		cp := *h
+		cp.Buckets = append([]int64(nil), h.Buckets...)
+		hs[k] = cp
+	}
+	return cs, hs
+}
+
+// Text renders the registry as a sorted, human-readable summary.
+func (r *Registry) Text() string {
+	cs, hs := r.snapshot()
+	var sb strings.Builder
+	sb.WriteString("== metrics ==\n")
+	names := make([]string, 0, len(cs))
+	for k := range cs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%-28s %d\n", k, cs[k])
+	}
+	names = names[:0]
+	for k := range hs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := hs[k]
+		fmt.Fprintf(&sb, "%-28s n=%d sum=%.2f min=%.3f mean=%.3f max=%.3f\n",
+			k, h.Count, h.Sum, h.Min, h.Mean(), h.Max)
+	}
+	return sb.String()
+}
+
+// JSON renders the registry as a JSON document (counters + histograms).
+func (r *Registry) JSON() ([]byte, error) {
+	cs, hs := r.snapshot()
+	return json.MarshalIndent(struct {
+		Counters   map[string]int64     `json:"counters"`
+		Histograms map[string]Histogram `json:"histograms"`
+	}{cs, hs}, "", "  ")
+}

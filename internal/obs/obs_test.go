@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNopAndEnabled(t *testing.T) {
+	if Enabled(nil) || Enabled(Nop()) {
+		t.Error("nil / nop observers must report disabled")
+	}
+	if !Enabled(NewRegistry()) {
+		t.Error("a live sink must report enabled")
+	}
+	OrNop(nil).Emit(Event{Type: EvWarning}) // must not panic
+	if o := OrNop(nil); Enabled(o) {
+		t.Error("OrNop(nil) must normalize to the no-op observer")
+	}
+}
+
+func TestMultiDropsDeadSinks(t *testing.T) {
+	reg := NewRegistry()
+	o := Multi(nil, Nop(), reg, nil)
+	if o != Observer(reg) {
+		t.Error("Multi with one live sink should collapse to that sink")
+	}
+	if Enabled(Multi(nil, Nop())) {
+		t.Error("Multi with no live sinks must be the no-op observer")
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	both := Multi(reg, tw)
+	both.Emit(Event{Type: EvWarning, Warn: "w"})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := reg.snapshot()
+	if cs["warnings"] != 1 {
+		t.Errorf("registry missed the fanned-out event: %v", cs)
+	}
+	if !strings.Contains(buf.String(), `"warn":"w"`) {
+		t.Errorf("trace missed the fanned-out event: %q", buf.String())
+	}
+}
+
+func TestTagStampsSubject(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	o := Tag(tw, "P7")
+	o.Emit(Event{Type: EvWarning, Warn: "a"})
+	o.Emit(Event{Type: EvWarning, Subject: "P1", Warn: "b"}) // pre-tagged wins
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Subject != "P7" || events[1].Subject != "P1" {
+		t.Errorf("subjects = %q, %q; want P7, P1", events[0].Subject, events[1].Subject)
+	}
+	if Enabled(Tag(nil, "P7")) {
+		t.Error("tagging a dead observer must stay dead")
+	}
+}
+
+func TestTraceWriterStripsWallClock(t *testing.T) {
+	ev := Event{Type: EvPhaseEnd, Virtual: 5,
+		Phase: &PhaseEvent{Name: "fuzz", VirtualDelta: 5, WallNS: 12345}}
+
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Emit(ev)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_ns") {
+		t.Errorf("default trace must strip wall_ns: %s", buf.String())
+	}
+	if ev.Phase.WallNS != 12345 {
+		t.Error("stripping must not mutate the caller's event")
+	}
+
+	buf.Reset()
+	tw = NewTraceWriter(&buf)
+	tw.IncludeWall = true
+	tw.Emit(ev)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"wall_ns":12345`) {
+		t.Errorf("IncludeWall trace must keep wall_ns: %s", buf.String())
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Type: EvFuzzExec, Virtual: 0.9, Fuzz: &FuzzEvent{Exec: 1, Gained: true, Covered: 3, TotalOutcomes: 8, Corpus: 1, Tests: 1}},
+		{Type: EvFuzzDone, Virtual: 1.8, Fuzz: &FuzzEvent{Exec: 2, Covered: 3, TotalOutcomes: 8, Coverage: 0.375, Plateaued: true}},
+		{Type: EvWarning, Warn: "plateau"},
+		{Type: EvCheck, Check: &CheckEvent{Top: "k", Errors: 2, ByClass: map[string]int{"pointer": 1, "malloc": 1}}},
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for _, e := range events {
+		tw.Emit(e)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(events))
+	}
+	if got[0].Fuzz == nil || !got[0].Fuzz.Gained || got[0].Virtual != 0.9 {
+		t.Errorf("fuzz_exec did not round-trip: %+v", got[0])
+	}
+	if got[3].Check == nil || got[3].Check.ByClass["pointer"] != 1 {
+		t.Errorf("hls_check did not round-trip: %+v", got[3])
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	_, err := ParseTrace(strings.NewReader("{\"type\":\"warning\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want a line-numbered parse error, got %v", err)
+	}
+}
+
+func TestRegistryAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Emit(Event{Type: EvFuzzExec, Fuzz: &FuzzEvent{Gained: true}})
+	r.Emit(Event{Type: EvFuzzExec, Fuzz: &FuzzEvent{Crashed: true}})
+	r.Emit(Event{Type: EvFuzzDone, Virtual: 1.8, Fuzz: &FuzzEvent{Plateaued: true}})
+	r.Emit(Event{Type: EvRepairInit, Repair: &RepairEvent{VirtualDelta: 50}})
+	r.Emit(Event{Type: EvCandidate, Repair: &RepairEvent{Accepted: true, Evaluated: true, Style: "ok", VirtualDelta: 51}})
+	r.Emit(Event{Type: EvCandidate, Repair: &RepairEvent{Style: "reject", VirtualDelta: 0.8}})
+	r.Emit(Event{Type: EvRepairDone, Done: &DoneEvent{VirtualSeconds: 101.8, Compatible: true, BehaviorOK: true}})
+	r.Emit(Event{Type: EvPhaseEnd, Phase: &PhaseEvent{Name: "repair", VirtualDelta: 101.8, WallNS: 2e6}})
+	r.Emit(Event{Type: EvWarning, Warn: "w"})
+
+	cs, hs := r.snapshot()
+	for name, want := range map[string]int64{
+		"fuzz.execs": 2, "fuzz.gained": 1, "fuzz.crashes": 1, "fuzz.plateaus": 1,
+		"repair.searches": 1, "repair.candidates": 2, "repair.accepted": 1,
+		"repair.rejected": 1, "repair.style_rejections": 1,
+		"repair.hls_invocations": 2, "repair.compatible": 1, "warnings": 1,
+	} {
+		if cs[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, cs[name], want)
+		}
+	}
+	if h := hs["repair.eval_virtual_s"]; h.Count != 3 || h.Sum != 101.8 {
+		t.Errorf("eval histogram n=%d sum=%.1f, want n=3 sum=101.8", h.Count, h.Sum)
+	}
+	if h := hs["phase.wall_ms.repair"]; h.Count != 1 || h.Sum != 2 {
+		t.Errorf("wall histogram n=%d sum=%.1f, want n=1 sum=2", h.Count, h.Sum)
+	}
+	text := r.Text()
+	if !strings.Contains(text, "repair.candidates") || !strings.Contains(text, "phase.wall_ms.repair") {
+		t.Errorf("Text() missing entries:\n%s", text)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// synthetic builds a consistent single-run event stream: an initial
+// evaluation, one rejected and two accepted candidates, and a matching
+// repair_done snapshot.
+func synthetic() []Event {
+	return []Event{
+		{Type: EvRepairInit, Virtual: 60, Repair: &RepairEvent{
+			Step: "init", Errors: 3, PassRatio: 0.5, VirtualDelta: 60, CostCompile: 60}},
+		{Type: EvCandidate, Virtual: 120.8, Repair: &RepairEvent{
+			Step: "repair", Edits: []string{"resize(buf, 2048)"}, Accepted: true, Evaluated: true,
+			Errors: 1, PassRatio: 1, VirtualDelta: 60.8, CostStyle: 0.8, CostCompile: 60}},
+		{Type: EvCandidate, Virtual: 121.6, Repair: &RepairEvent{
+			Step: "repair", Edits: []string{"resize(other, 16)"}, Style: "reject",
+			Reason: "style-reject", VirtualDelta: 0.8, CostStyle: 0.8}},
+		{Type: EvCandidate, Virtual: 183.4, Repair: &RepairEvent{
+			Step: "repair", Edits: []string{"malloc_to_array(p)"}, Accepted: true, Evaluated: true,
+			Errors: 0, PassRatio: 1, LatencyMS: 0.4, VirtualDelta: 61.8, CostStyle: 0.8, CostCompile: 60, CostSim: 1}},
+		{Type: EvRepairDone, Virtual: 183.4, Done: &DoneEvent{
+			Attempts: 3, Accepted: 2, Rejected: 1, StyleRejections: 1, HLSInvocations: 3,
+			VirtualSeconds: 183.4, EditLog: []string{"resize(buf, 2048)", "malloc_to_array(p)"},
+			Compatible: true, BehaviorOK: true}},
+	}
+}
+
+func TestBuildReportAndCheck(t *testing.T) {
+	rep := BuildReport(synthetic())
+	if len(rep.Subjects) != 1 {
+		t.Fatalf("subjects = %d, want 1", len(rep.Subjects))
+	}
+	s := rep.Subjects[0]
+	if len(s.Trajectory) != 3 { // init + 2 accepted
+		t.Errorf("trajectory has %d points, want 3", len(s.Trajectory))
+	}
+	if s.CandidateEvents != 3 || s.AcceptedEvents != 2 {
+		t.Errorf("candidates %d/%d, want 3/2", s.CandidateEvents, s.AcceptedEvents)
+	}
+	if len(s.Patterns) != 2 { // resize (tried twice), malloc_to_array
+		t.Errorf("patterns %v, want resize + malloc_to_array", s.Patterns)
+	}
+	if s.Patterns[0].Template != "resize" || s.Patterns[0].Tried != 2 || s.Patterns[0].Accepted != 1 {
+		t.Errorf("resize row = %+v", s.Patterns[0])
+	}
+	if got := s.Budget.StyleSeconds; math.Abs(got-2.4) > 1e-9 {
+		t.Errorf("style seconds %.2f, want 2.4", got)
+	}
+	if problems := rep.Check(); len(problems) != 0 {
+		t.Fatalf("consistent trace flagged: %v", problems)
+	}
+	text := rep.Text()
+	for _, want := range []string{"Figure 2", "fix-pattern frequency", "malloc_to_array", "repair: compatible"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCheckFlagsInconsistentTrace(t *testing.T) {
+	// Drop one accepted candidate: attempts, accepted count, the edit
+	// chain, and the virtual clock all stop matching the summary.
+	events := synthetic()
+	broken := append(append([]Event{}, events[:3]...), events[4])
+	problems := BuildReport(broken).Check()
+	if len(problems) < 3 {
+		t.Fatalf("expected multiple violations, got %v", problems)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "attempts") {
+			return
+		}
+	}
+	t.Errorf("no attempts mismatch among: %v", problems)
+}
+
+func TestBuildReportGroupsBySubject(t *testing.T) {
+	var events []Event
+	for _, id := range []string{"P2", "P1", "P2"} {
+		events = append(events, Event{Type: EvWarning, Subject: id, Warn: "w-" + id})
+	}
+	rep := BuildReport(events)
+	if len(rep.Subjects) != 2 {
+		t.Fatalf("subjects = %d, want 2", len(rep.Subjects))
+	}
+	// First-seen order, not sorted.
+	if rep.Subjects[0].Subject != "P2" || rep.Subjects[1].Subject != "P1" {
+		t.Errorf("order = %s, %s; want P2, P1", rep.Subjects[0].Subject, rep.Subjects[1].Subject)
+	}
+	if len(rep.Subjects[0].Warnings) != 2 {
+		t.Errorf("P2 warnings = %d, want 2", len(rep.Subjects[0].Warnings))
+	}
+}

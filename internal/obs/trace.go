@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceWriter renders events as JSONL: one JSON object per line, in
+// emission order. Because every instrumented subsystem emits on its
+// commit goroutine in enumeration order, a single-run trace is
+// byte-identical for any Workers setting; the writer's own mutex only
+// exists so independent runs (eval.RunAll) can share one file.
+//
+// Wall-clock fields are stripped by default — they are the one
+// nondeterministic quantity an event can carry. Set IncludeWall before
+// the first Emit to keep them.
+type TraceWriter struct {
+	// IncludeWall keeps PhaseEvent.WallNS in the output, trading
+	// byte-determinism for real-latency visibility.
+	IncludeWall bool
+
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewTraceWriter wraps w in a buffered JSONL encoder. Call Flush (or
+// Close the underlying file after Flush) before reading the trace back.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit encodes one event as a JSON line. Encoding errors are sticky and
+// reported by Flush.
+func (t *TraceWriter) Emit(e Event) {
+	if !t.IncludeWall && e.Phase != nil && e.Phase.WallNS != 0 {
+		p := *e.Phase // events are shared with other sinks: copy, don't mutate
+		p.WallNS = 0
+		e.Phase = &p
+	}
+	b, err := json.Marshal(e)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ParseTrace reads a JSONL trace back into events, preserving order.
+func ParseTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return events, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("trace line %d: %w", line, err)
+	}
+	return events, nil
+}

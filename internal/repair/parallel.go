@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 // speculationFactor sizes evaluation batches relative to the worker
@@ -181,17 +182,66 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 
 // commitOutcome charges one tried candidate and applies the acceptance
 // rule, keeping the pool's shared budget view current. Returns true
-// when the candidate was accepted.
+// when the candidate was accepted. The candidate's structured event is
+// emitted here — on the search goroutine, after the charge — which is
+// what makes traces byte-identical for any Workers value: workers only
+// buffer outcome data (evalOutcome), never emit.
 func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit, curScore *score) bool {
-	s.chargeOutcome(o)
+	cb := s.chargeOutcome(o)
 	if s.pool != nil {
 		s.pool.commit(s.stats.VirtualSeconds)
 	}
-	if !o.evaluated || !o.sc.better(*curScore) {
-		return false
+	accepted := o.evaluated && o.sc.better(*curScore)
+	if accepted {
+		s.accept(cand)
+		*cur = cand.Unit
+		*curScore = o.sc
+		s.stats.AcceptedCandidates++
+	} else {
+		s.stats.RejectedCandidates++
 	}
-	s.accept(cand)
-	*cur = cand.Unit
-	*curScore = o.sc
-	return true
+	if s.tracing {
+		s.emitCandidate(cand, o, accepted, cb)
+	}
+	return accepted
+}
+
+// emitCandidate renders one tried candidate as a structured event.
+func (s *searcher) emitCandidate(cand Candidate, o evalOutcome, accepted bool, cb costBreakdown) {
+	edits := make([]string, len(cand.Edits))
+	class := ""
+	for i, e := range cand.Edits {
+		edits[i] = e.String()
+		if i == 0 {
+			class = e.Class.String()
+		}
+	}
+	re := &obs.RepairEvent{
+		Step: s.step, Iter: s.stats.Iterations,
+		Edits: edits, Class: class,
+		Accepted:     accepted,
+		VirtualDelta: cb.total(),
+		CostStyle:    cb.style, CostCompile: cb.compile, CostSim: cb.sim,
+	}
+	switch {
+	case o.styleRan && !o.styleOK:
+		re.Style, re.Reason = "reject", "style-reject"
+	case accepted:
+		re.Reason = "accepted"
+	default:
+		re.Reason = "no-improvement"
+	}
+	if o.styleRan && o.styleOK {
+		re.Style = "ok"
+	}
+	if o.evaluated {
+		re.Evaluated = true
+		re.Errors = o.sc.errors
+		re.PassRatio = o.sc.passRatio
+		re.BehaviorOK = o.sc.behaviorOK
+		if o.sc.errors == 0 && o.simRan {
+			re.LatencyMS = o.sc.latencyMS
+		}
+	}
+	s.obs.Emit(obs.Event{Type: obs.EvCandidate, Virtual: s.stats.VirtualSeconds, Repair: re})
 }

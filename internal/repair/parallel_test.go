@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"bytes"
 	"reflect"
 	"sync"
 	"testing"
@@ -9,8 +10,42 @@ import (
 	"github.com/hetero/heterogen/internal/cparser"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/subjects"
 )
+
+// tracedSearch runs Search with a JSONL trace writer attached and
+// returns the result plus the raw trace bytes.
+func tracedSearch(orig, initial *cast.Unit, kernel string, tests []fuzz.TestCase, opts Options) (Result, []byte) {
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	opts.Obs = tw
+	res := Search(orig, initial, kernel, tests, opts)
+	if err := tw.Flush(); err != nil {
+		panic(err)
+	}
+	return res, buf.Bytes()
+}
+
+// assertTracesIdentical is the observability half of the Workers
+// contract: events are emitted at commit time on the commit goroutine,
+// so the JSONL trace must be byte-identical for any worker count.
+func assertTracesIdentical(t *testing.T, name string, seq, par []byte) {
+	t.Helper()
+	if len(seq) == 0 {
+		t.Fatalf("%s: sequential trace is empty", name)
+	}
+	if !bytes.Equal(seq, par) {
+		sl, pl := bytes.Split(seq, []byte("\n")), bytes.Split(par, []byte("\n"))
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if !bytes.Equal(sl[i], pl[i]) {
+				t.Fatalf("%s: traces diverge at line %d:\n  seq: %s\n  par: %s",
+					name, i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("%s: traces differ in length: %d vs %d lines", name, len(sl), len(pl))
+	}
+}
 
 // searchSubjects are the determinism-test inputs: real evaluation
 // subjects with multiple error classes, driven by small deterministic
@@ -63,7 +98,8 @@ func assertIdentical(t *testing.T, name string, seq, par Result) {
 
 // TestParallelSearchDeterminism runs the sequential and the Workers=4
 // searches over every evaluation subject and asserts bit-identical
-// outcomes — the contract documented on Options.Workers.
+// outcomes — the contract documented on Options.Workers — and
+// byte-identical JSONL traces.
 func TestParallelSearchDeterminism(t *testing.T) {
 	ids := []string{"P1", "P2", "P3", "P6"}
 	if !testing.Short() {
@@ -75,10 +111,11 @@ func TestParallelSearchDeterminism(t *testing.T) {
 			orig, initial, kernel, tests := subjectInputs(t, id)
 			opts := DefaultOptions()
 			opts.Workers = 1
-			seq := Search(orig, cast.CloneUnit(initial), kernel, tests, opts)
+			seq, seqTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, opts)
 			opts.Workers = 4
-			par := Search(orig, cast.CloneUnit(initial), kernel, tests, opts)
+			par, parTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, opts)
 			assertIdentical(t, id, seq, par)
+			assertTracesIdentical(t, id, seqTrace, parTrace)
 		})
 	}
 }
@@ -110,10 +147,11 @@ func TestParallelSearchDeterminismTightBudget(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Budget = budget
 		opts.Workers = 1
-		seq := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+		seq, seqTrace := tracedSearch(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
 		opts.Workers = 4
-		par := Search(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
+		par, parTrace := tracedSearch(orig, cparser.MustParse(treeKernel), "kernel", treeTests(), opts)
 		assertIdentical(t, "tree/tight-budget", seq, par)
+		assertTracesIdentical(t, "tree/tight-budget", seqTrace, parTrace)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/hls/sim"
 	"github.com/hetero/heterogen/internal/hls/stylecheck"
+	"github.com/hetero/heterogen/internal/obs"
 )
 
 // Options configures the repair search.
@@ -71,6 +72,11 @@ type Options struct {
 	// like any other diagnostic (so the search backs off to cheaper
 	// partition factors). Zero value disables the gate.
 	Device sim.Device
+	// Obs receives structured events — one per tried candidate, plus
+	// init/done snapshots. Events are emitted on the search goroutine in
+	// candidate enumeration order, so a trace is byte-identical for any
+	// Workers value. Nil disables observation.
+	Obs obs.Observer
 }
 
 // allows reports whether the options permit templates of class c.
@@ -102,8 +108,14 @@ type Stats struct {
 	StyleChecks         int
 	StyleRejections     int
 	CandidatesTried     int
-	Iterations          int
-	EditLog             []string
+	// AcceptedCandidates / RejectedCandidates partition CandidatesTried
+	// by the search decision (style rejections count as rejected and are
+	// also broken out in StyleRejections). Both are committed in
+	// enumeration order, so sequential and parallel runs agree.
+	AcceptedCandidates int
+	RejectedCandidates int
+	Iterations         int
+	EditLog            []string
 }
 
 // VirtualMinutes converts the virtual time for reporting.
@@ -161,6 +173,12 @@ type searcher struct {
 	rng      *rand.Rand
 	stats    Stats
 	state    *State
+	// obs is the normalized event sink; tracing gates payload
+	// construction on the per-candidate hot path.
+	obs     obs.Observer
+	tracing bool
+	// step labels emitted candidate events: "repair" or "perf".
+	step string
 	// pool, when non-nil, evaluates candidate batches concurrently.
 	// All accounting still happens on the search goroutine, in
 	// enumeration order (see parallel.go).
@@ -189,6 +207,8 @@ func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, 
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		state:     NewState(),
+		obs:       obs.OrNop(opts.Obs),
+		tracing:   obs.Enabled(opts.Obs),
 		triedPerf: map[string]bool{},
 	}
 	s.state.TestCount = len(tests)
@@ -237,6 +257,23 @@ func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, 
 	}
 	if curScore.errors == 0 && curScore.behaviorOK {
 		res.Improved = curScore.report.FPGAMeanMS() < curScore.report.CPUMeanMS()
+	}
+	if s.tracing {
+		s.obs.Emit(obs.Event{Type: obs.EvRepairDone, Virtual: s.stats.VirtualSeconds, Done: &obs.DoneEvent{
+			Attempts:            s.stats.CandidatesTried,
+			Accepted:            s.stats.AcceptedCandidates,
+			Rejected:            s.stats.RejectedCandidates,
+			StyleChecks:         s.stats.StyleChecks,
+			StyleRejections:     s.stats.StyleRejections,
+			HLSInvocations:      s.stats.HLSInvocations,
+			Iterations:          s.stats.Iterations,
+			VirtualSeconds:      s.stats.VirtualSeconds,
+			SecondsToCompatible: s.stats.SecondsToCompatible,
+			EditLog:             append([]string(nil), s.stats.EditLog...),
+			Compatible:          res.Compatible,
+			BehaviorOK:          res.BehaviorOK,
+			Improved:            res.Improved,
+		}})
 	}
 	return res
 }
@@ -350,41 +387,70 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score)
 	return lines, true, sc
 }
 
+// costBreakdown itemizes the virtual seconds charged for one trial, so
+// candidate events (and hgtrace's budget breakdown) can attribute spend
+// to the style check, the HLS compilation, and the simulation.
+type costBreakdown struct {
+	style, compile, sim float64
+}
+
+func (c costBreakdown) total() float64 { return c.style + c.compile + c.sim }
+
 // chargeOutcome replays the virtual-cost accounting of one tried
 // candidate. The virtual clock models a single HLS toolchain license,
 // so costs are summed here — on the search goroutine, in enumeration
 // order — regardless of how many workers computed outcomes: the
 // floating-point additions happen in exactly the sequence the
 // sequential search performs, keeping Stats bit-identical.
-func (s *searcher) chargeOutcome(o evalOutcome) {
+func (s *searcher) chargeOutcome(o evalOutcome) costBreakdown {
+	var cb costBreakdown
 	s.stats.CandidatesTried++
 	if o.styleRan {
 		s.stats.StyleChecks++
-		s.stats.VirtualSeconds += float64(hls.StyleCheckSeconds)
+		cb.style = float64(hls.StyleCheckSeconds)
+		s.stats.VirtualSeconds += cb.style
 		if !o.styleOK {
 			s.stats.StyleRejections++
-			return
+			return cb
 		}
 	}
 	if !o.evaluated {
-		return
+		return cb
 	}
-	s.stats.VirtualSeconds += float64(hls.CompileCost(o.lines))
+	cb.compile = float64(hls.CompileCost(o.lines))
+	s.stats.VirtualSeconds += cb.compile
 	s.stats.HLSInvocations++
 	if o.simRan {
-		s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+		cb.sim = float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+		s.stats.VirtualSeconds += cb.sim
 	}
+	return cb
 }
 
 // evaluate pays for a full HLS compilation (and simulation when
 // compilable) of u and returns its fitness — the sequential compute +
-// charge pair, used for the initial program version.
+// charge pair, used for the initial program version. It emits the
+// repair_init event, the t=0 point of Figure 2's trajectory.
 func (s *searcher) evaluate(u *cast.Unit) score {
 	lines, simRan, sc := s.computeScore(u)
-	s.stats.VirtualSeconds += float64(hls.CompileCost(lines))
+	var cb costBreakdown
+	cb.compile = float64(hls.CompileCost(lines))
+	s.stats.VirtualSeconds += cb.compile
 	s.stats.HLSInvocations++
 	if simRan {
-		s.stats.VirtualSeconds += float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+		cb.sim = float64(hls.SimPerTestSeconds) * float64(len(s.tests))
+		s.stats.VirtualSeconds += cb.sim
+	}
+	if s.tracing {
+		re := &obs.RepairEvent{
+			Step: "init", Evaluated: true,
+			Errors: sc.errors, PassRatio: sc.passRatio, BehaviorOK: sc.behaviorOK,
+			VirtualDelta: cb.total(), CostCompile: cb.compile, CostSim: cb.sim,
+		}
+		if sc.errors == 0 && simRan {
+			re.LatencyMS = sc.latencyMS
+		}
+		s.obs.Emit(obs.Event{Type: obs.EvRepairInit, Virtual: s.stats.VirtualSeconds, Repair: re})
 	}
 	return sc
 }
@@ -392,6 +458,7 @@ func (s *searcher) evaluate(u *cast.Unit) score {
 // repairStep tries candidates for the current diagnostics and accepts the
 // first one that improves the score. Returns false when stuck.
 func (s *searcher) repairStep(cur **cast.Unit, curScore *score) bool {
+	s.step = "repair"
 	diags := curScore.diags
 	if len(diags) == 0 && !curScore.behaviorOK {
 		// Compilable but behaviour-diverging: the finitization sizes are
@@ -474,6 +541,7 @@ func (s *searcher) tryCandidates(candidates []Candidate, cur **cast.Unit, curSco
 // Rejected configurations are remembered so each costs one compilation
 // over the whole search.
 func (s *searcher) perfStep(cur **cast.Unit, curScore *score) bool {
+	s.step = "perf"
 	cands := PerfCandidates(*cur, s.state)
 	// skip consults and updates the real dedupe set; it runs on the
 	// search goroutine at commit time, in enumeration order, and stops
@@ -516,13 +584,20 @@ func (s *searcher) accept(cand Candidate) {
 	}
 }
 
-// Summary renders a human-readable result line.
+// Summary renders a human-readable result line, including how many
+// candidates the search rejected on the way (broken out from the same
+// commit-ordered counters the metrics layer reports, so sequential and
+// parallel runs print the same line).
 func (r Result) Summary() string {
 	status := "incomplete"
 	if r.Compatible && r.BehaviorOK {
 		status = "compatible"
 	}
-	return fmt.Sprintf("%s: %d edits, %d HLS invocations, %.0f virtual min [%s]",
-		status, len(r.Stats.EditLog), r.Stats.HLSInvocations,
+	return fmt.Sprintf("%s: %d edits (%d/%d candidates accepted, %d rejected: %d style, %d fitness), %d HLS invocations, %.0f virtual min [%s]",
+		status, len(r.Stats.EditLog),
+		r.Stats.AcceptedCandidates, r.Stats.CandidatesTried,
+		r.Stats.RejectedCandidates, r.Stats.StyleRejections,
+		r.Stats.RejectedCandidates-r.Stats.StyleRejections,
+		r.Stats.HLSInvocations,
 		r.Stats.VirtualMinutes(), strings.Join(r.Stats.EditLog, "; "))
 }
