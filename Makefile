@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel check trace-demo
+.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo
 
 all: build
 
@@ -14,9 +14,13 @@ test:
 	$(GO) test ./...
 
 # The worker pools (internal/repair/parallel.go, internal/fuzz/parallel.go)
-# are the only concurrency in the module; this is their data-race proof.
+# and the evaluation cache they share are the only concurrency in the
+# module; this is their data-race proof. -short trims the determinism
+# suites to a few subjects — race coverage comes from the code paths,
+# not subject breadth, and the full-breadth suites exceed the test
+# binary's default timeout under the race detector's ~10x slowdown.
 race:
-	$(GO) test -race ./internal/repair/... ./internal/fuzz/...
+	$(GO) test -race -short ./internal/repair/... ./internal/fuzz/...
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +32,12 @@ bench:
 # toolchain-overlap speedup (fails below 2x).
 bench-parallel:
 	WRITE_BENCH=1 $(GO) test -run TestWriteParallelBenchReport -v .
+
+# Regenerates bench_cache.json, the committed record of the evaluation
+# cache's cold-vs-warm speedup (fails below 2x or on a zero warm hit
+# rate).
+bench-cache:
+	WRITE_BENCH=1 $(GO) test -run TestWriteCacheBenchReport -v .
 
 # Traces one evaluation subject end-to-end and cross-validates the trace
 # with hgtrace -check: the event stream must reproduce the run's

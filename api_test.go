@@ -1,6 +1,8 @@
 package heterogen_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -30,7 +32,7 @@ int top(int in) {
 }
 
 func TestPublicCheck(t *testing.T) {
-	rep, err := heterogen.Check(`void k(int n) { int a[n]; a[0] = 1; }`, "k")
+	rep, err := heterogen.Check(`void k(int n) { int a[n]; a[0] = 1; }`, heterogen.Options{Kernel: "k"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +41,83 @@ func TestPublicCheck(t *testing.T) {
 	}
 	if !rep.HasClass(heterogen.ClassDynamicData) {
 		t.Errorf("diagnostics: %v", rep.Diags)
+	}
+}
+
+func TestPublicTranspileContext(t *testing.T) {
+	src := `
+int top(int in) {
+    long double in_ld = in;
+    in_ld = in_ld + 1;
+    return (int)in_ld;
+}`
+	opts := heterogen.Options{
+		Kernel: "top",
+		Fuzz:   heterogen.FuzzOptions{Seed: 1, MaxExecs: 120, Plateau: 50, TypedMutation: true},
+	}
+	res, err := heterogen.TranspileContext(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible {
+		t.Fatalf("transpile failed: %v", res.Repair.Remaining)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := heterogen.TranspileContext(ctx, src, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want one wrapping context.Canceled", err)
+	}
+	if partial.Source == "" {
+		t.Error("cancelled transpile must return the best-so-far source")
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	rep, err := heterogen.Simulate(`int top(int a) { return a * 2 + 1; }`, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Report.OK {
+		t.Fatalf("checker diagnostics: %v", rep.Report.Diags)
+	}
+	if !rep.Fits || len(rep.Over) != 0 {
+		t.Errorf("trivial kernel must fit the device: over=%v", rep.Over)
+	}
+	if r := rep.Resources; r.LUT+r.FF+r.DSP+r.BRAM <= 0 {
+		t.Errorf("resource estimate missing: %+v", r)
+	}
+}
+
+func TestPublicRepairStage(t *testing.T) {
+	src := `
+int top(int in) {
+    long double in_ld = in;
+    in_ld = in_ld + 1;
+    return (int)in_ld;
+}`
+	cache, err := heterogen.NewCache(heterogen.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := heterogen.Options{Kernel: "top", Cache: cache}
+	res, err := heterogen.Repair(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compatible {
+		t.Fatalf("repair failed: %v", res.Remaining)
+	}
+	again, err := heterogen.Repair(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heterogen.PrintUnit(res.Unit) != heterogen.PrintUnit(again.Unit) {
+		t.Error("cached repair diverged from the cold run")
+	}
+	if cache.Stats().Hits() == 0 {
+		t.Errorf("second repair never hit the cache: %s", cache.Stats())
 	}
 }
 

@@ -1,0 +1,136 @@
+// Cold-vs-warm benchmark of the evaluation cache on the repair search.
+// The subject, inputs, and search configuration are shared with the
+// parallel-overlap benchmark (bench_test.go): the paper's Figure 2
+// working example searched in random mode with a 20ms EvalDelay
+// emulating the blocking external HLS-toolchain invocation. A warm
+// cache answers every checker, simulator, and differential-test query
+// from memory — skipping the toolchain wait entirely — which is the
+// whole point of content-addressed memoization: a re-run over an
+// already-seen program costs parse time, not toolchain time.
+package heterogen_test
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+// BenchmarkCacheWarmRepair times one repair search against a
+// pre-warmed cache; compare with BenchmarkParallelToolchainOverlap's
+// workers1 row for the cold cost of the same search.
+func BenchmarkCacheWarmRepair(b *testing.B) {
+	orig, tests := overlapInputs()
+	opts := overlapOptions(1)
+	cache, err := evalcache.New(evalcache.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Cache = cache
+	// Warm-up populates the cache; the timed loop replays it.
+	repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, opts)
+		if !res.Compatible {
+			b.Fatal("overlap subject must repair")
+		}
+	}
+}
+
+// TestWriteCacheBenchReport regenerates bench_cache.json, the committed
+// record of the cold-vs-warm speedup. Guarded by an env var so normal
+// test runs stay fast:
+//
+//	WRITE_BENCH=1 go test -run TestWriteCacheBenchReport -v
+func TestWriteCacheBenchReport(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") == "" {
+		t.Skip("set WRITE_BENCH=1 to regenerate bench_cache.json")
+	}
+	type stageRow struct {
+		Stage  string `json:"stage"`
+		Hits   int64  `json:"hits"`
+		Misses int64  `json:"misses"`
+	}
+	report := struct {
+		Note             string     `json:"note"`
+		Subject          string     `json:"subject"`
+		EvalDelayMS      float64    `json:"eval_delay_ms"`
+		ColdWallMS       float64    `json:"cold_wall_ms"`
+		WarmWallMS       float64    `json:"warm_wall_ms"`
+		Speedup          float64    `json:"speedup_warm_over_cold"`
+		WarmHitRate      float64    `json:"warm_hit_rate"`
+		WarmStages       []stageRow `json:"warm_stages"`
+		Candidates       int        `json:"candidates_tried"`
+		VirtualSec       float64    `json:"virtual_seconds"`
+		ResultsIdentical bool       `json:"results_identical"`
+	}{
+		Note: "Subject is the paper's Figure 2 working example searched in " +
+			"random mode with a 20ms EvalDelay emulating the blocking external " +
+			"HLS-toolchain invocation (shared with bench_parallel.json). The " +
+			"warm run re-executes the identical search against the cache " +
+			"populated by the cold run: every checker, resource-estimate, and " +
+			"differential-test verdict is a content-addressed hit, so no " +
+			"toolchain wait is paid. Edit log, Stats, and the virtual clock " +
+			"are bit-identical between the two runs by construction.",
+		Subject: "figure2-tree",
+	}
+	orig, tests := overlapInputs()
+	opts := overlapOptions(1)
+	report.EvalDelayMS = float64(opts.EvalDelay.Milliseconds())
+	cache, err := evalcache.New(evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = cache
+
+	start := time.Now()
+	cold := repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, opts)
+	report.ColdWallMS = float64(time.Since(start).Milliseconds())
+
+	before := cache.Stats()
+	start = time.Now()
+	warm := repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, opts)
+	report.WarmWallMS = float64(time.Since(start).Milliseconds())
+	delta := cache.Stats().Sub(before)
+
+	report.ResultsIdentical = reflect.DeepEqual(cold.Stats, warm.Stats) &&
+		cast.Print(cold.Unit) == cast.Print(warm.Unit)
+	if !report.ResultsIdentical {
+		t.Fatal("warm search diverged from cold; not writing report")
+	}
+	if delta.Hits() == 0 {
+		t.Fatal("warm run never hit the cache; not writing report")
+	}
+	report.WarmHitRate = float64(delta.Hits()) / float64(delta.Hits()+delta.Misses())
+	for _, stage := range evalcache.Stages() {
+		st := delta.Stages[stage]
+		if st.Hits+st.Misses == 0 {
+			continue
+		}
+		report.WarmStages = append(report.WarmStages, stageRow{string(stage), st.Hits, st.Misses})
+	}
+	report.Candidates = warm.Stats.CandidatesTried
+	report.VirtualSec = warm.Stats.VirtualSeconds
+	if report.WarmWallMS <= 0 {
+		report.WarmWallMS = 1 // sub-millisecond warm run; avoid a zero divide
+	}
+	report.Speedup = report.ColdWallMS / report.WarmWallMS
+	if report.Speedup < 2 {
+		t.Errorf("warm speedup %.2fx below the 2x target", report.Speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("bench_cache.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("speedup %.2fx (%.0fms -> %.0fms), hit rate %.0f%%, results identical",
+		report.Speedup, report.ColdWallMS, report.WarmWallMS, 100*report.WarmHitRate)
+}

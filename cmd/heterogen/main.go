@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] [-trace t.jsonl] [-metrics] input.c
+//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] input.c
 //
 // -workers bounds how many repair candidates are evaluated concurrently;
 // the transpilation result is bit-identical for any value (see
@@ -16,6 +16,12 @@
 // for any -workers value. Feed it to hgtrace for Figure 2-style repair
 // trajectories, coverage curves, and the virtual-budget breakdown.
 // -metrics prints aggregated counters and duration histograms to stderr.
+//
+// Toolchain verdicts (synthesizability checks, resource estimates,
+// differential tests, fuzz campaigns) are memoized in an in-process
+// evaluation cache by default; -cache-dir persists it across runs so a
+// repeated transpilation is near-instant, and -no-cache disables it.
+// The result and trace are byte-identical either way.
 package main
 
 import (
@@ -39,10 +45,12 @@ func main() {
 	verbose := flag.Bool("v", false, "print the edit log and diagnostics")
 	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
+	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
+	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
 	flag.Parse()
 
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] [-trace t.jsonl] [-metrics] input.c")
+		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -74,6 +82,18 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	opts.Obs = obs.Multi(sinks...)
+	if !*noCache {
+		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir, Metrics: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "heterogen: cache:", err)
+			}
+		}()
+		opts.Cache = cache
+	}
 
 	res, err := heterogen.Transpile(string(src), opts)
 	if tw != nil {

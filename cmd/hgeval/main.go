@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	hgeval [-quick] [-workers n] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary] [-trace t.jsonl] [-metrics]
+//	hgeval [-quick] [-workers n] [-subject P3] [-table3] [-table4] [-table5] [-fig9] [-fig3] [-summary] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache]
 //
 // With no selection flags, everything runs.
+//
+// Toolchain verdicts are memoized in an evaluation cache shared across
+// subjects; -cache-dir persists it so a repeated sweep over P1-P10 is
+// near-instant, and -no-cache disables it. All reported numbers are
+// bit-identical either way.
 //
 // -trace writes a JSONL structured-event trace of every subject's
 // fuzzing campaign and repair search, each event tagged with its subject
@@ -23,6 +28,7 @@ import (
 	"runtime"
 
 	"github.com/hetero/heterogen/internal/eval"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/repair"
 	"github.com/hetero/heterogen/internal/subjects"
@@ -42,6 +48,8 @@ func main() {
 	deps := flag.Bool("deps", false, "print the Table 2 template catalog with its Figure 7c dependences")
 	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
+	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
+	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (all numbers are identical either way)")
 	flag.Parse()
 
 	if *deps {
@@ -80,6 +88,18 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	cfg.Obs = obs.Multi(sinks...)
+	if !*noCache {
+		cache, err := evalcache.New(evalcache.Options{Dir: *cacheDir, Metrics: reg})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hgeval: cache:", err)
+			}
+		}()
+		cfg.Cache = cache
+	}
 	all := !*t3 && !*t4 && !*t5 && !*f9 && !*f3 && !*summary
 
 	if *f3 || all {

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	hgfuzz -kernel <fn> [-host <fn>] [-execs N] [-trace t.jsonl] [-metrics] file.c
+//	hgfuzz -kernel <fn> [-host <fn>] [-execs N] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] file.c
 //
 // -trace writes one JSONL event per execution (read it with hgtrace for
 // the coverage-over-iterations curve); -metrics prints aggregated
 // counters to stderr. A campaign that plateaus — no new coverage for the
 // plateau window before the execution budget is spent — is flagged in
 // the output.
+//
+// Whole campaigns are memoized in the evaluation cache: with -cache-dir
+// a repeated run over the same kernel, seed, and budget replays the
+// recorded campaign (identical tests, coverage, and trace) instead of
+// re-executing; -no-cache disables the cache.
 package main
 
 import (
@@ -29,9 +34,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "mutation RNG seed")
 	trace := flag.String("trace", "", "write a JSONL structured-event trace to this file (read it with hgtrace)")
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
+	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
+	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
 	flag.Parse()
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] [-trace t.jsonl] [-metrics] file.c")
+		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -63,6 +70,19 @@ func main() {
 		TypedMutation: true,
 		HostMain:      *host,
 		Obs:           obs.Multi(sinks...),
+	}
+	if !*noCache {
+		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir, Metrics: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgfuzz:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hgfuzz: cache:", err)
+			}
+		}()
+		opts.Cache = cache
 	}
 	camp, err := heterogen.GenerateTests(string(src), *kernel, opts)
 	if tw != nil {

@@ -6,13 +6,21 @@
 //
 // Usage:
 //
-//	hgtrace [-check] [-json] [trace.jsonl]
+//	hgtrace [-check] [-json] [-cache-dir d] [trace.jsonl]
 //
 // With no file argument the trace is read from stdin. -check
 // cross-validates the event stream against the run's final summary
 // events (candidate counts, accepted-edit chain, virtual-time totals)
 // and exits non-zero on any mismatch — the trace must reproduce the run
 // exactly. -json dumps the structured report instead of text.
+//
+// -cache-dir appends an evaluation-cache section summarizing the given
+// persistent cache directory: entries and bytes per stage, plus the
+// cumulative hit/miss statistics recorded across runs. Cache activity
+// lives in this on-disk summary and in -metrics counters, never in the
+// trace itself — traces stay byte-identical whether or not a cache was
+// used. With -cache-dir and no trace argument, hgtrace skips the trace
+// entirely and reports only the cache.
 package main
 
 import (
@@ -22,19 +30,38 @@ import (
 	"io"
 	"os"
 
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/obs"
 )
 
 func main() {
 	check := flag.Bool("check", false, "cross-validate events against the run's summary; exit 1 on mismatch")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	cacheDir := flag.String("cache-dir", "", "summarize this persistent evaluation-cache directory alongside the report")
 	flag.Parse()
 
-	var r io.Reader = os.Stdin
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: hgtrace [-check] [-json] [trace.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: hgtrace [-check] [-json] [-cache-dir d] [trace.jsonl]")
 		os.Exit(2)
 	}
+
+	var cacheSum *evalcache.DirSummary
+	if *cacheDir != "" {
+		sum, err := evalcache.SummarizeDir(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cacheSum = &sum
+	}
+
+	// -cache-dir with no trace argument: report only the cache rather
+	// than blocking on stdin.
+	if cacheSum != nil && flag.NArg() == 0 {
+		emit(nil, cacheSum, *asJSON)
+		return
+	}
+
+	var r io.Reader = os.Stdin
 	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -52,16 +79,7 @@ func main() {
 		fatal(fmt.Errorf("trace is empty"))
 	}
 	rep := obs.BuildReport(events)
-
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fatal(err)
-		}
-	} else {
-		fmt.Print(rep.Text())
-	}
+	emit(rep, cacheSum, *asJSON)
 
 	if *check {
 		if problems := rep.Check(); len(problems) > 0 {
@@ -71,6 +89,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "hgtrace: check: trace is consistent with the run summary")
+	}
+}
+
+// emit renders the trace report and/or the cache summary. In JSON mode
+// the bare report keeps its historical shape; the cache, when requested,
+// rides alongside it in a wrapper object.
+func emit(rep *obs.Report, cache *evalcache.DirSummary, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		var v any
+		switch {
+		case rep != nil && cache != nil:
+			v = struct {
+				Report *obs.Report           `json:"report"`
+				Cache  *evalcache.DirSummary `json:"cache"`
+			}{rep, cache}
+		case cache != nil:
+			v = cache
+		default:
+			v = rep
+		}
+		if err := enc.Encode(v); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if rep != nil {
+		fmt.Print(rep.Text())
+	}
+	if cache != nil {
+		if rep != nil {
+			fmt.Println()
+		}
+		fmt.Print(cache.Text())
 	}
 }
 

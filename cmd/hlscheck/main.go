@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	hlscheck -top <function> file.c
+//	hlscheck -top <function> [-cache-dir d] [-no-cache] file.c
+//
+// With -cache-dir the checker verdict is memoized on the printed
+// program text, so re-checking an unchanged file (a CI gate's common
+// case) is a cache hit; -no-cache disables the cache. Diagnostics are
+// identical either way.
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 
 func main() {
 	top := flag.String("top", "", "top function of the design (required)")
+	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
+	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (diagnostics are identical either way)")
 	flag.Parse()
 	if *top == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> file.c")
+		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> [-cache-dir d] [-no-cache] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -27,7 +34,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hlscheck:", err)
 		os.Exit(1)
 	}
-	rep, err := heterogen.Check(string(src), *top)
+	opts := heterogen.Options{Kernel: *top}
+	if !*noCache {
+		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hlscheck:", err)
+			os.Exit(1)
+		}
+		opts.Cache = cache
+	}
+	rep, err := heterogen.Check(string(src), opts)
+	if opts.Cache != nil {
+		if cerr := opts.Cache.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "hlscheck: cache:", cerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hlscheck:", err)
 		os.Exit(1)

@@ -13,7 +13,7 @@ func ExampleCheck() {
 void kernel(int n) {
     int *p = (int *)malloc(n * sizeof(int));
     free(p);
-}`, "kernel")
+}`, heterogen.Options{Kernel: "kernel"})
 	if err != nil {
 		panic(err)
 	}

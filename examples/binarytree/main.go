@@ -59,7 +59,7 @@ int kernel(int n) {
 }`
 
 func main() {
-	rep, err := heterogen.Check(src, "kernel")
+	rep, err := heterogen.Check(src, heterogen.Options{Kernel: "kernel"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,7 +31,7 @@ void matmul(int a[1024], int b[1024], int c[1024]) {
 }`
 
 func main() {
-	rep, err := heterogen.Check(src, "matmul")
+	rep, err := heterogen.Check(src, heterogen.Options{Kernel: "matmul"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,7 +23,7 @@ int top(int in) {
 
 func main() {
 	// Before: show what the HLS toolchain rejects.
-	rep, err := heterogen.Check(src, "top")
+	rep, err := heterogen.Check(src, heterogen.Options{Kernel: "top"})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,9 +20,14 @@
 package heterogen
 
 import (
+	"context"
+
 	"github.com/hetero/heterogen/internal/core"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/sim"
+	"github.com/hetero/heterogen/internal/repair"
 )
 
 // Options configures a transpilation. The zero value plus a Kernel name
@@ -59,6 +64,44 @@ const (
 	ClassTopFunction     = hls.ClassTopFunction
 )
 
+// RepairResult is the outcome of the standalone repair stage (Repair):
+// the best program version found, its compatibility and behaviour
+// verdicts, and the search statistics.
+type RepairResult = repair.Result
+
+// RepairOptions configures the repair search (Options.Repair).
+type RepairOptions = repair.Options
+
+// SimReport is the outcome of the standalone simulation stage
+// (Simulate): resource estimate, device fit, and checker verdict.
+type SimReport = core.SimReport
+
+// Resources is a fabric utilization estimate (LUT/FF/DSP/BRAM).
+type Resources = sim.Resources
+
+// Cache is the content-addressed evaluation cache: it memoizes the
+// expensive toolchain verdicts (synthesizability checks, resource
+// estimates, differential tests, whole fuzzing campaigns) on
+// fingerprints of canonical program text and configuration. Share one
+// cache across calls — and, with CacheOptions.Dir, across processes —
+// to skip re-evaluating candidates already seen. Cached runs produce
+// byte-identical Results and traces (bar Result.CacheStats); only real
+// wall-clock changes.
+type Cache = evalcache.Cache
+
+// CacheOptions configures NewCache.
+type CacheOptions = evalcache.Options
+
+// CacheStats is a snapshot of cache activity (Result.CacheStats,
+// Cache.Stats).
+type CacheStats = evalcache.Stats
+
+// NewCache opens an evaluation cache. Close it when done if it is
+// persistent, so statistics and buffered entries flush to disk.
+func NewCache(opts CacheOptions) (*Cache, error) {
+	return evalcache.New(opts)
+}
+
 // Transpile runs the full pipeline — test generation, bitwidth profiling,
 // and iterative repair — over a C/C++ source text and returns the HLS-C
 // result. It never returns an error for repair failure; inspect
@@ -69,10 +112,42 @@ func Transpile(src string, opts Options) (Result, error) {
 	return core.Run(src, opts)
 }
 
-// Check runs only the synthesizability checker over a source text,
-// reporting the HLS compatibility errors a Vivado-style toolchain would.
-func Check(src, top string) (Report, error) {
-	return core.Check(src, top)
+// TranspileContext is Transpile with cooperative cancellation. The
+// context is checked at commit points — between fuzz executions,
+// between candidate evaluations, and at phase boundaries, never
+// mid-verdict — so cancellation returns promptly with the best-so-far
+// partial Result (the corpus gathered, the most advanced program
+// version reached, its repair log) and an error wrapping ctx.Err().
+// Use errors.Is(err, context.Canceled) to distinguish cancellation
+// from real failures; the partial Result is valid either way.
+func TranspileContext(ctx context.Context, src string, opts Options) (Result, error) {
+	return core.RunContext(ctx, src, opts)
+}
+
+// Check runs only the synthesizability-checker stage over a source
+// text, reporting the HLS compatibility errors a Vivado-style
+// toolchain would. It takes the same option struct as the other entry
+// points: Options.Kernel names the top function; Obs and Cache are
+// honoured; the remaining fields are ignored.
+func Check(src string, opts Options) (Report, error) {
+	return core.CheckWith(src, opts)
+}
+
+// Simulate runs only the FPGA-simulator stage: estimate the design's
+// fabric resources and gate them against the evaluation device (the
+// paper's XCVU9P part). Latency is not reported here — it requires a
+// test suite; use Transpile or Repair with tests for that.
+func Simulate(src, top string) (SimReport, error) {
+	return core.Simulate(src, Options{Kernel: top})
+}
+
+// Repair runs only the repair stage: bitwidth-profile the program
+// (unless Options.SkipProfile) and search for a compatible HLS version
+// against the original as behaviour oracle, using Options.ExtraTests
+// as the test suite — the pipeline minus test generation, for callers
+// that bring their own tests.
+func Repair(src string, opts Options) (RepairResult, error) {
+	return core.RepairStage(src, opts)
 }
 
 // GenerateTests runs only the coverage-guided test generator against the

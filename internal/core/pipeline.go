@@ -10,12 +10,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/cparser"
 	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
@@ -50,6 +52,16 @@ type Options struct {
 	// (see internal/obs). It is passed down to Fuzz.Obs / Repair.Obs
 	// unless those are already set. Nil disables observation.
 	Obs obs.Observer
+	// Cache, when non-nil, memoizes the expensive toolchain verdicts —
+	// fuzz campaigns, synthesizability checks, resource estimates,
+	// differential tests — across candidates and across runs (see
+	// internal/evalcache). It is passed down to Fuzz.Cache /
+	// Repair.Cache unless those are already set. Hits skip real
+	// recomputation but charge identical virtual costs in identical
+	// order, so Result (bar CacheStats) and traces are byte-identical
+	// whether the cache is disabled, cold, or warm. Nil disables
+	// caching.
+	Cache *evalcache.Cache
 }
 
 // Result is the full pipeline outcome.
@@ -80,19 +92,43 @@ type Result struct {
 	FPGAMeanMS float64
 	// Resources estimates fabric utilization of the final design.
 	Resources sim.Resources
+	// CacheStats is the evaluation-cache activity attributable to this
+	// run (all zero when Options.Cache was nil). It is reported out of
+	// band — never in traces, and excluded from the cache-parity
+	// contract: hit counts legitimately vary with Workers because
+	// speculative evaluations consult the cache too.
+	CacheStats evalcache.Stats
 }
 
 // Run executes the pipeline over C source text.
 func Run(src string, opts Options) (Result, error) {
+	return RunContext(context.Background(), src, opts)
+}
+
+// RunContext is Run with cooperative cancellation — see RunUnitContext
+// for the partial-result semantics.
+func RunContext(ctx context.Context, src string, opts Options) (Result, error) {
 	orig, err := cparser.Parse(src)
 	if err != nil {
 		return Result{}, fmt.Errorf("heterogen: parse: %w", err)
 	}
-	return RunUnit(orig, opts)
+	return RunUnitContext(ctx, orig, opts)
 }
 
 // RunUnit executes the pipeline over a parsed unit.
 func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
+	return RunUnitContext(context.Background(), orig, opts)
+}
+
+// RunUnitContext is RunUnit with cooperative cancellation. The context
+// is checked at phase boundaries here and at commit points inside the
+// fuzzer and the repair search (between executions and candidate
+// evaluations, never mid-verdict). On cancellation the returned Result
+// is the best-so-far partial outcome — the corpus gathered, the most
+// advanced program version reached, its repair log — alongside an
+// error wrapping ctx.Err(), so errors.Is(err, context.Canceled)
+// distinguishes cancellation from real failures.
+func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result, error) {
 	if opts.Kernel == "" {
 		return Result{}, fmt.Errorf("heterogen: no kernel specified")
 	}
@@ -100,6 +136,8 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
 	}
 	res := Result{Original: orig, OriginalLOC: cast.CountLines(orig)}
+	cacheStart := opts.Cache.Stats()
+	finish := func() { res.CacheStats = opts.Cache.Stats().Sub(cacheStart) }
 	o := obs.OrNop(opts.Obs)
 	tracing := obs.Enabled(opts.Obs)
 	pipelineVirtual := 0.0
@@ -129,15 +167,25 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	if fopts.Obs == nil {
 		fopts.Obs = opts.Obs
 	}
+	if fopts.Cache == nil {
+		fopts.Cache = opts.Cache
+	}
 	endFuzz := phase("fuzz")
-	camp, err := fuzz.Run(orig, opts.Kernel, fopts)
+	camp, err := fuzz.RunContext(ctx, orig, opts.Kernel, fopts)
 	if err != nil {
+		finish()
 		return res, fmt.Errorf("heterogen: test generation: %w", err)
 	}
 	endFuzz(camp.VirtualSeconds)
 	res.Campaign = camp
 	tests := append([]fuzz.TestCase{}, camp.Tests...)
 	tests = append(tests, opts.ExtraTests...)
+	if err := ctx.Err(); err != nil {
+		res.Final = orig
+		res.Source = cast.Print(orig)
+		finish()
+		return res, fmt.Errorf("heterogen: cancelled during test generation: %w", err)
+	}
 
 	// Stage 2: initial HLS version with estimated types.
 	initial := cast.CloneUnit(orig)
@@ -151,6 +199,12 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	}
 	endProfile(0) // bitwidth profiling is free in the virtual-cost model
 	res.Initial = initial
+	if err := ctx.Err(); err != nil {
+		res.Final = initial
+		res.Source = cast.Print(initial)
+		finish()
+		return res, fmt.Errorf("heterogen: cancelled before repair: %w", err)
+	}
 
 	// Stages 3-5: iterative repair.
 	ropts := opts.Repair
@@ -163,8 +217,11 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	if ropts.Obs == nil {
 		ropts.Obs = opts.Obs
 	}
+	if ropts.Cache == nil {
+		ropts.Cache = opts.Cache
+	}
 	endRepair := phase("repair")
-	rr := repair.Search(orig, initial, opts.Kernel, tests, ropts)
+	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
 	endRepair(rr.Stats.VirtualSeconds)
 	res.Repair = rr
 	res.Final = rr.Unit
@@ -175,23 +232,146 @@ func RunUnit(orig *cast.Unit, opts Options) (Result, error) {
 	res.DeltaLOC = repair.EditedLines(orig, rr.Unit)
 	res.CPUMeanMS = rr.Report.CPUMeanMS()
 	res.FPGAMeanMS = rr.Report.FPGAMeanMS()
-	res.Resources = sim.Estimate(rr.Unit)
+	res.Resources = estimateResources(opts.Cache, rr.Unit)
+	finish()
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("heterogen: cancelled during repair: %w", err)
+	}
 	return res, nil
+}
+
+// estimateResources is sim.Estimate through the cache. The key scheme
+// is shared with the repair search's device-capacity gate, so the
+// final design's estimate is often already present.
+func estimateResources(c *evalcache.Cache, u *cast.Unit) sim.Resources {
+	if c == nil {
+		return sim.Estimate(u)
+	}
+	key := evalcache.ResourceKey(cast.Print(u))
+	var r sim.Resources
+	if c.Get(evalcache.StageSim, key, &r) {
+		return r
+	}
+	r = sim.Estimate(u)
+	c.Put(evalcache.StageSim, key, r)
+	return r
 }
 
 // Check exposes the full synthesizability checker for a source text.
 func Check(src, top string) (hls.Report, error) {
-	return CheckObserved(src, top, nil)
+	return CheckWith(src, Options{Kernel: top})
 }
 
 // CheckObserved is Check with a structured hls_check event emitted to o
 // (nil disables observation).
 func CheckObserved(src, top string, o obs.Observer) (hls.Report, error) {
+	return CheckWith(src, Options{Kernel: top, Obs: o})
+}
+
+// CheckWith runs only the synthesizability-checker stage, taking the
+// same option struct as the other entry points: Kernel names the top
+// function, Obs receives the hls_check event, Cache memoizes the
+// verdict; the remaining fields are ignored. A cache hit emits the
+// identical event a fresh check would.
+func CheckWith(src string, opts Options) (hls.Report, error) {
 	u, err := cparser.Parse(src)
 	if err != nil {
 		return hls.Report{}, err
 	}
-	return check.RunObserved(u, hls.DefaultConfig(top), o), nil
+	cfg := hls.DefaultConfig(opts.Kernel)
+	if opts.Cache == nil {
+		return check.RunObserved(u, cfg, opts.Obs), nil
+	}
+	key := evalcache.CheckKey(
+		evalcache.CheckSalt(cfg.Top, cfg.Device, cfg.ClockMHz), cast.Print(u))
+	var rep hls.Report
+	if !opts.Cache.Get(evalcache.StageCheck, key, &rep) {
+		rep = check.Run(u, cfg)
+		opts.Cache.Put(evalcache.StageCheck, key, rep)
+	}
+	check.Observe(opts.Obs, cfg, rep)
+	return rep, nil
+}
+
+// SimReport is the outcome of the standalone simulation stage: the
+// design's resource estimate and whether it fits the evaluation
+// device, alongside the checker verdict for context (estimates are
+// meaningful even for non-synthesizable designs; latency is not
+// reported here because simulating it requires a test suite — use the
+// differential-test stage or the full pipeline for that).
+type SimReport struct {
+	// Report is the synthesizability verdict of the same design.
+	Report hls.Report
+	// Resources estimates fabric utilization.
+	Resources sim.Resources
+	// Device is the capacity profile the estimate was gated against
+	// (the paper's evaluation part).
+	Device sim.Device
+	// Fits reports the estimate within device capacity; Over lists the
+	// over-utilized resources otherwise.
+	Fits bool
+	Over []string
+}
+
+// Simulate runs only the FPGA-simulator stage: estimate the design's
+// fabric resources and gate them against the evaluation device.
+// Kernel, Obs, and Cache are honoured from opts; the remaining fields
+// are ignored.
+func Simulate(src string, opts Options) (SimReport, error) {
+	u, err := cparser.Parse(src)
+	if err != nil {
+		return SimReport{}, err
+	}
+	rep, err := CheckWith(src, opts)
+	if err != nil {
+		return SimReport{}, err
+	}
+	out := SimReport{Report: rep, Device: sim.XCVU9P}
+	out.Resources = estimateResources(opts.Cache, u)
+	out.Fits, out.Over = sim.CheckCapacity(out.Resources, out.Device)
+	return out, nil
+}
+
+// RepairStage runs only the repair stage: bitwidth-profile the parsed
+// program (unless SkipProfile) and search for a compatible HLS version
+// against the original as behaviour oracle, with opts.ExtraTests as
+// the test suite — the pipeline minus test generation, for callers
+// that bring their own tests (an empty suite still repairs toward
+// synthesizability; there is just no behaviour signal). Kernel,
+// Repair, Workers, Obs, and Cache are honoured; Fuzz and HostMain are
+// ignored.
+func RepairStage(src string, opts Options) (repair.Result, error) {
+	orig, err := cparser.Parse(src)
+	if err != nil {
+		return repair.Result{}, fmt.Errorf("heterogen: parse: %w", err)
+	}
+	if opts.Kernel == "" {
+		return repair.Result{}, fmt.Errorf("heterogen: no kernel specified")
+	}
+	if orig.Func(opts.Kernel) == nil {
+		return repair.Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
+	}
+	tests := opts.ExtraTests
+	initial := cast.CloneUnit(orig)
+	if !opts.SkipProfile {
+		if prof, err := profile.Generate(orig, opts.Kernel, tests); err == nil {
+			initial = prof.Unit
+		}
+	}
+	ropts := opts.Repair
+	if ropts.Budget == 0 && ropts.MaxIterations == 0 {
+		ropts = repair.DefaultOptions()
+	}
+	if opts.Workers != 0 {
+		ropts.Workers = opts.Workers
+	}
+	if ropts.Obs == nil {
+		ropts.Obs = opts.Obs
+	}
+	if ropts.Cache == nil {
+		ropts.Cache = opts.Cache
+	}
+	return repair.Search(orig, initial, opts.Kernel, tests, ropts), nil
 }
 
 // Validate differential-tests an already-produced HLS version against the
@@ -210,7 +390,13 @@ func (r Result) Summary() string {
 	if r.Improved {
 		perf = "✓"
 	}
-	return fmt.Sprintf("compat=%s perf=%s tests=%d cov=%.0f%% ΔLOC=%d cpu=%.3fms fpga=%.3fms",
+	s := fmt.Sprintf("compat=%s perf=%s tests=%d cov=%.0f%% ΔLOC=%d cpu=%.3fms fpga=%.3fms",
 		comp, perf, len(r.Campaign.Tests), 100*r.Campaign.Coverage,
 		r.DeltaLOC, r.CPUMeanMS, r.FPGAMeanMS)
+	// Cache activity is appended only when a cache was actually
+	// consulted, so summaries of uncached runs are unchanged.
+	if h, m := r.CacheStats.Hits(), r.CacheStats.Misses(); h+m > 0 {
+		s += fmt.Sprintf(" cache=%dh/%dm", h, m)
+	}
+	return s
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/hetero/heterogen/internal/baselines"
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/forum"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
@@ -48,6 +49,12 @@ type Config struct {
 	// internal/obs.Tag). Single-subject runs produce byte-deterministic
 	// traces; RunAll interleaves subjects in scheduler order.
 	Obs obs.Observer
+	// Cache, when non-nil, memoizes toolchain verdicts across subjects
+	// and — with a persistent directory — across harness runs, so a
+	// repeated sweep over P1-P10 is near-instant. Reported numbers are
+	// bit-identical with or without it. Safe to share across the
+	// concurrent subjects of RunAll.
+	Cache *evalcache.Cache
 }
 
 // DefaultConfig is the full-effort harness configuration.
@@ -116,6 +123,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	// --- Test generation (Table 4) -------------------------------------
 	fopts := cfg.fuzzOptions()
 	fopts.Obs = o
+	fopts.Cache = cfg.Cache
 	camp, err := fuzz.Run(orig, s.Kernel, fopts)
 	if err != nil {
 		return run, fmt.Errorf("%s: fuzz: %w", s.ID, err)
@@ -144,6 +152,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	ropts.Seed = cfg.Seed
 	ropts.Workers = cfg.Workers
 	ropts.Obs = o
+	ropts.Cache = cfg.Cache
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK

@@ -124,7 +124,9 @@ type AblationRun struct {
 func RunAblation(s subjects.Subject, cfg Config) (AblationRun, error) {
 	out := AblationRun{ID: s.ID}
 	orig := s.MustParse()
-	camp, err := fuzz.Run(orig, s.Kernel, cfg.fuzzOptions())
+	fopts := cfg.fuzzOptions()
+	fopts.Cache = cfg.Cache
+	camp, err := fuzz.Run(orig, s.Kernel, fopts)
 	if err != nil {
 		return out, err
 	}
@@ -139,6 +141,7 @@ func RunAblation(s subjects.Subject, cfg Config) (AblationRun, error) {
 
 	withWorkers := func(o repair.Options) repair.Options {
 		o.Workers = cfg.Workers
+		o.Cache = cfg.Cache
 		return o
 	}
 	hg := repair.Search(orig, initialOf(), s.Kernel, valSuite, withWorkers(repair.DefaultOptions()))

@@ -1,0 +1,469 @@
+// Package evalcache is a content-addressed cache for the expensive
+// verdicts of the simulated HLS toolchain: the synthesizability
+// checker's Report, the FPGA simulator's resource estimate, the
+// differential-test outcome, and whole fuzzing campaigns. Every
+// verdict in this module is a pure function of program text and
+// configuration — the toolchain is deterministic and runs on a virtual
+// clock — so a verdict computed once is correct forever and can be
+// keyed on a fingerprint of its inputs.
+//
+// The cache carries *outcomes only*, never accounting: a hit skips the
+// recomputation (and any real-time EvalDelay emulating an external
+// toolchain process) but the caller still charges the same virtual
+// toolchain cost, in the same commit order, as a cold run. That is
+// what keeps Result, repair trajectories, and JSONL traces
+// byte-identical whether the cache is disabled, cold, or warm — see
+// the "Evaluation cache" section of docs/ARCHITECTURE.md.
+//
+// Storage is two-tier: a bounded in-memory LRU always, plus an
+// optional on-disk JSONL store (Options.Dir) that persists entries
+// across process runs, so a repeated `hgeval` sweep over P1-P10 warms
+// once. Values cross the cache boundary as canonical JSON, which Go
+// round-trips exactly (including float64), so a restored verdict is
+// bit-identical to the stored one.
+package evalcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hetero/heterogen/internal/obs"
+)
+
+// Stage names one cached verdict kind. Keys are namespaced per stage,
+// and hit/miss statistics are broken out per stage.
+type Stage string
+
+const (
+	// StageCheck caches hls.Report verdicts of the full
+	// synthesizability checker.
+	StageCheck Stage = "check"
+	// StageSim caches sim.Resources estimates of the FPGA simulator.
+	StageSim Stage = "sim"
+	// StageDifftest caches difftest.Report outcomes (pass/fail per
+	// test, first divergence, CPU/FPGA mean latency).
+	StageDifftest Stage = "difftest"
+	// StageFuzz caches whole fuzzing campaigns (generated corpus,
+	// coverage, virtual clock, and — when tracing — the event stream).
+	StageFuzz Stage = "fuzz"
+)
+
+// Stages lists every stage in reporting order.
+func Stages() []Stage {
+	return []Stage{StageCheck, StageSim, StageDifftest, StageFuzz}
+}
+
+// formatVersion salts every fingerprint. Bump it whenever the
+// serialized form of any cached verdict, or the meaning of any key
+// component, changes: old on-disk entries then miss instead of
+// deserializing into the wrong shape.
+const formatVersion = 1
+
+// Fingerprint hashes an ordered list of key components into a hex
+// content address. Components are length-prefixed, so the boundary
+// between them is part of the hash ("ab","c" differs from "a","bc"),
+// and the cache format version salts every key.
+func Fingerprint(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(formatVersion))
+	h.Write(n[:])
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Options configures a cache.
+type Options struct {
+	// Capacity bounds the in-memory LRU tier in entries (default 4096).
+	Capacity int
+	// Dir, when non-empty, enables the persistent tier: entries append
+	// to <dir>/entries.jsonl and cumulative statistics merge into
+	// <dir>/stats.json on Close. The directory is created if missing.
+	Dir string
+	// Metrics, when non-nil, mirrors hit/miss/store/evict counters into
+	// the run's metrics registry as cache.<kind>.<stage>. Statistics
+	// never ride in traces, which is what keeps traces byte-identical
+	// across cold and warm runs (hit counts legitimately differ).
+	Metrics *obs.Registry
+}
+
+// DefaultCapacity is the in-memory LRU bound when Options.Capacity is
+// zero. Sized for a full hgeval sweep: the largest repair searches try
+// a few hundred candidates, each contributing at most three entries.
+const DefaultCapacity = 4096
+
+// StageStats counts one stage's cache activity.
+type StageStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (s StageStats) add(o StageStats) StageStats {
+	return StageStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Stores:    s.Stores + o.Stores,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+// Stats is a point-in-time snapshot of cache activity, per stage plus
+// persistence health counters.
+type Stats struct {
+	Stages map[Stage]StageStats `json:"stages,omitempty"`
+	// DiskLoaded / DiskSkipped count persistent entries restored and
+	// rejected (corrupt or truncated lines) when the cache opened.
+	DiskLoaded  int64 `json:"disk_loaded,omitempty"`
+	DiskSkipped int64 `json:"disk_skipped,omitempty"`
+	// EncodeFailures counts values that could not be serialized (and
+	// were therefore not cached — Put degrades to a no-op).
+	EncodeFailures int64 `json:"encode_failures,omitempty"`
+}
+
+// Hits sums hits over all stages.
+func (s Stats) Hits() int64 {
+	var n int64
+	for _, st := range s.Stages {
+		n += st.Hits
+	}
+	return n
+}
+
+// Misses sums misses over all stages.
+func (s Stats) Misses() int64 {
+	var n int64
+	for _, st := range s.Stages {
+		n += st.Misses
+	}
+	return n
+}
+
+// Sub returns the activity between snapshot prev and this one, for
+// attributing deltas to one pipeline run on a shared cache.
+func (s Stats) Sub(prev Stats) Stats {
+	out := Stats{
+		DiskLoaded:     s.DiskLoaded - prev.DiskLoaded,
+		DiskSkipped:    s.DiskSkipped - prev.DiskSkipped,
+		EncodeFailures: s.EncodeFailures - prev.EncodeFailures,
+	}
+	for stage, st := range s.Stages {
+		p := prev.Stages[stage]
+		d := StageStats{
+			Hits:      st.Hits - p.Hits,
+			Misses:    st.Misses - p.Misses,
+			Stores:    st.Stores - p.Stores,
+			Evictions: st.Evictions - p.Evictions,
+		}
+		if d != (StageStats{}) {
+			if out.Stages == nil {
+				out.Stages = map[Stage]StageStats{}
+			}
+			out.Stages[stage] = d
+		}
+	}
+	return out
+}
+
+// merge accumulates another snapshot (used for the cumulative
+// stats.json sidecar).
+func (s Stats) merge(o Stats) Stats {
+	out := Stats{
+		DiskLoaded:     s.DiskLoaded + o.DiskLoaded,
+		DiskSkipped:    s.DiskSkipped + o.DiskSkipped,
+		EncodeFailures: s.EncodeFailures + o.EncodeFailures,
+	}
+	for _, src := range []Stats{s, o} {
+		for stage, st := range src.Stages {
+			if out.Stages == nil {
+				out.Stages = map[Stage]StageStats{}
+			}
+			out.Stages[stage] = out.Stages[stage].add(st)
+		}
+	}
+	return out
+}
+
+// String renders the snapshot as a compact per-stage summary, e.g.
+// "check 12h/3m; difftest 9h/3m".
+func (s Stats) String() string {
+	var parts []string
+	for _, stage := range Stages() {
+		st, ok := s.Stages[stage]
+		if !ok || (st.Hits == 0 && st.Misses == 0) {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %dh/%dm", stage, st.Hits, st.Misses))
+	}
+	if len(parts) == 0 {
+		return "idle"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// key addresses one entry.
+type key struct {
+	stage Stage
+	hash  string
+}
+
+// entry is one LRU element's payload.
+type entry struct {
+	k   key
+	val json.RawMessage
+}
+
+// Cache is the two-tier verdict store. All methods are safe for
+// concurrent use (repair workers and parallel eval subjects share one
+// cache), and all are nil-safe: a nil *Cache behaves as a disabled
+// cache (Get always misses without counting, Put and Close are no-ops),
+// so callers never need to branch on whether caching is on.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	mem      map[key]*list.Element
+	// disk is the persistent tier's in-process image: entries loaded
+	// from Dir at open plus everything stored since. It is unbounded —
+	// persistence means never forgetting within a run — while the LRU
+	// tier alone bounds memory for purely in-memory caches.
+	disk    map[key]json.RawMessage
+	store   *diskStore
+	metrics *obs.Registry
+	stats   Stats
+}
+
+// New opens a cache. With Options.Dir set, existing entries are loaded
+// (corrupt or truncated lines are counted and skipped, never fatal)
+// and the store is opened for append; the error is non-nil only when
+// the directory or its entries file cannot be created or opened.
+func New(opts Options) (*Cache, error) {
+	c := &Cache{
+		capacity: opts.Capacity,
+		ll:       list.New(),
+		mem:      map[key]*list.Element{},
+		metrics:  opts.Metrics,
+		stats:    Stats{Stages: map[Stage]StageStats{}},
+	}
+	if c.capacity <= 0 {
+		c.capacity = DefaultCapacity
+	}
+	if opts.Dir != "" {
+		store, loaded, skipped, err := openDiskStore(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+		c.disk = loaded
+		c.stats.DiskLoaded = int64(len(loaded))
+		c.stats.DiskSkipped = skipped
+	}
+	return c, nil
+}
+
+// Get looks an entry up and, on a hit, unmarshals the stored verdict
+// into out (a pointer), always into freshly allocated storage — two
+// hits never alias. Returns false (a counted miss) when absent or when
+// the stored bytes no longer decode.
+func (c *Cache) Get(stage Stage, hash string, out any) bool {
+	return c.GetIf(stage, hash, out, nil)
+}
+
+// GetIf is Get with an acceptance predicate, consulted after a
+// successful decode: an entry the caller rejects counts as a miss (the
+// caller will recompute and overwrite). The fuzz stage uses it — a
+// campaign memoized without its event stream cannot serve a traced
+// run.
+func (c *Cache) GetIf(stage Stage, hash string, out any, accept func() bool) bool {
+	if c == nil {
+		return false
+	}
+	k := key{stage, hash}
+	c.mu.Lock()
+	raw, found := c.lookup(k)
+	c.mu.Unlock()
+	ok := found
+	if ok && json.Unmarshal(raw, out) != nil {
+		ok = false
+	}
+	if ok && accept != nil && !accept() {
+		ok = false
+	}
+	c.count(stage, ok)
+	return ok
+}
+
+// lookup consults the LRU tier then the persistent image, promoting
+// hits to the LRU front. Caller holds c.mu.
+func (c *Cache) lookup(k key) (json.RawMessage, bool) {
+	if el, ok := c.mem[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).val, true
+	}
+	if raw, ok := c.disk[k]; ok {
+		c.insert(k, raw)
+		return raw, true
+	}
+	return nil, false
+}
+
+// count records one hit or miss under the lock and mirrors it to the
+// metrics registry outside it.
+func (c *Cache) count(stage Stage, hit bool) {
+	c.mu.Lock()
+	st := c.stats.Stages[stage]
+	if hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	c.stats.Stages[stage] = st
+	c.mu.Unlock()
+	if c.metrics != nil {
+		if hit {
+			c.metrics.Add("cache.hits."+string(stage), 1)
+		} else {
+			c.metrics.Add("cache.misses."+string(stage), 1)
+		}
+	}
+}
+
+// Put stores a verdict under its content address. Values that fail to
+// serialize (e.g. NaN latencies) are skipped — the cache degrades to a
+// recomputation, never an error.
+func (c *Cache) Put(stage Stage, hash string, val any) {
+	if c == nil {
+		return
+	}
+	raw, err := json.Marshal(val)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.EncodeFailures++
+		c.mu.Unlock()
+		return
+	}
+	k := key{stage, hash}
+	var evicted int64
+	c.mu.Lock()
+	if el, ok := c.mem[k]; ok {
+		el.Value.(*entry).val = raw
+		c.ll.MoveToFront(el)
+	} else {
+		c.insert(k, raw)
+	}
+	if c.disk != nil {
+		c.disk[k] = raw
+	}
+	st := c.stats.Stages[stage]
+	st.Stores++
+	c.stats.Stages[stage] = st
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		victim := back.Value.(*entry)
+		delete(c.mem, victim.k)
+		c.ll.Remove(back)
+		vs := c.stats.Stages[victim.k.stage]
+		vs.Evictions++
+		c.stats.Stages[victim.k.stage] = vs
+		evicted++
+	}
+	var storeErr error
+	if c.store != nil {
+		storeErr = c.store.append(k, raw)
+	}
+	c.mu.Unlock()
+	_ = storeErr // surfaced via Close; a failed append only loses persistence
+	if c.metrics != nil {
+		c.metrics.Add("cache.stores."+string(stage), 1)
+		if evicted > 0 {
+			c.metrics.Add("cache.evictions", evicted)
+		}
+	}
+}
+
+// insert adds a fresh LRU entry at the front. Caller holds c.mu.
+func (c *Cache) insert(k key, raw json.RawMessage) {
+	c.mem[k] = c.ll.PushFront(&entry{k: k, val: raw})
+}
+
+// Stats snapshots current activity.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{
+		DiskLoaded:     c.stats.DiskLoaded,
+		DiskSkipped:    c.stats.DiskSkipped,
+		EncodeFailures: c.stats.EncodeFailures,
+	}
+	if len(c.stats.Stages) > 0 {
+		out.Stages = make(map[Stage]StageStats, len(c.stats.Stages))
+		for k, v := range c.stats.Stages {
+			out.Stages[k] = v
+		}
+	}
+	return out
+}
+
+// Len reports the in-memory LRU entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Close flushes the persistent tier and merges this cache's lifetime
+// statistics into <dir>/stats.json, so hgtrace can report cumulative
+// hit rates across runs. A nil or memory-only cache closes trivially.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	store := c.store
+	c.store = nil
+	stats := c.stats
+	c.mu.Unlock()
+	if store == nil {
+		return nil
+	}
+	return store.close(stats)
+}
+
+// sortedStages returns a Stats' stages in canonical reporting order
+// (known stages first, unknown ones alphabetically after).
+func sortedStages(m map[Stage]StageStats) []Stage {
+	known := map[Stage]bool{}
+	var out []Stage
+	for _, s := range Stages() {
+		if _, ok := m[s]; ok {
+			out = append(out, s)
+			known[s] = true
+		}
+	}
+	var rest []Stage
+	for s := range m {
+		if !known[s] {
+			rest = append(rest, s)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	return append(out, rest...)
+}

@@ -1,0 +1,221 @@
+package evalcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The persistent tier is a single append-only JSONL file plus a small
+// statistics sidecar:
+//
+//	<dir>/entries.jsonl   one {"stage","hash","val"} object per line
+//	<dir>/stats.json      cumulative Stats merged on every Close
+//
+// Append-only JSONL makes the store crash-tolerant by construction: a
+// process killed mid-write leaves at most one truncated final line,
+// which the loader skips (and counts) like any other corrupt line.
+// Duplicate lines are legal — the last write for a key wins, matching
+// overwrite semantics of the in-memory tier.
+
+const (
+	entriesFile = "entries.jsonl"
+	statsFile   = "stats.json"
+)
+
+// maxEntryLine bounds one serialized entry (fuzz campaigns with event
+// streams are the largest, hundreds of KB). Longer lines are treated
+// as corrupt on load.
+const maxEntryLine = 64 << 20
+
+// diskEntry is the JSONL line format.
+type diskEntry struct {
+	Stage Stage           `json:"stage"`
+	Hash  string          `json:"hash"`
+	Val   json.RawMessage `json:"val"`
+}
+
+// diskStore is the open append handle.
+type diskStore struct {
+	dir string
+	f   *os.File
+	w   *bufio.Writer
+}
+
+// openDiskStore creates dir if needed, loads every well-formed entry
+// from entries.jsonl, and opens the file for append. Malformed lines
+// are skipped and counted, never fatal: the cache must survive a
+// corrupted or truncated store (e.g. a run killed mid-write).
+func openDiskStore(dir string) (*diskStore, map[key]json.RawMessage, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("evalcache: create dir: %w", err)
+	}
+	path := filepath.Join(dir, entriesFile)
+	loaded := map[key]json.RawMessage{}
+	var skipped int64
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 64*1024), maxEntryLine)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var e diskEntry
+			if json.Unmarshal(line, &e) != nil || e.Stage == "" || e.Hash == "" || len(e.Val) == 0 {
+				skipped++
+				continue
+			}
+			loaded[key{e.Stage, e.Hash}] = append(json.RawMessage(nil), e.Val...)
+		}
+		if sc.Err() != nil {
+			// An over-long or unreadable tail: everything before it
+			// loaded fine; what remains is unrecoverable.
+			skipped++
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("evalcache: open store: %w", err)
+	}
+	return &diskStore{dir: dir, f: f, w: bufio.NewWriter(f)}, loaded, skipped, nil
+}
+
+// append writes one entry line.
+func (s *diskStore) append(k key, raw json.RawMessage) error {
+	line, err := json.Marshal(diskEntry{Stage: k.stage, Hash: k.hash, Val: raw})
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return err
+	}
+	return s.w.WriteByte('\n')
+}
+
+// close flushes entries and merges stats into the cumulative sidecar.
+func (s *diskStore) close(stats Stats) error {
+	flushErr := s.w.Flush()
+	if err := s.f.Close(); flushErr == nil {
+		flushErr = err
+	}
+	// Merge this run's activity into the cumulative sidecar. A corrupt
+	// or missing sidecar restarts the count rather than failing.
+	path := filepath.Join(s.dir, statsFile)
+	var prior Stats
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &prior)
+	}
+	merged := prior.merge(stats)
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return err
+}
+
+// DirSummary describes a persistent cache directory: the live entry
+// population (after last-write-wins dedup) and the cumulative
+// statistics of every run that wrote to it.
+type DirSummary struct {
+	Dir string `json:"dir"`
+	// Entries / Bytes count live entries and their serialized size per
+	// stage.
+	Entries map[Stage]int   `json:"entries,omitempty"`
+	Bytes   map[Stage]int64 `json:"bytes,omitempty"`
+	// Skipped counts malformed entry lines encountered in this scan.
+	Skipped int64 `json:"skipped,omitempty"`
+	// Stats is the cumulative activity from stats.json (zero when no
+	// run has closed the cache yet).
+	Stats Stats `json:"stats"`
+}
+
+// SummarizeDir scans a persistent cache directory for reporting
+// (hgtrace's cache section). Missing files yield an empty summary, not
+// an error; the error is reserved for an unreadable directory.
+func SummarizeDir(dir string) (DirSummary, error) {
+	sum := DirSummary{Dir: dir}
+	if _, err := os.Stat(dir); err != nil {
+		return sum, fmt.Errorf("evalcache: %w", err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, entriesFile)); err == nil {
+		seen := map[key]int{}
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 64*1024), maxEntryLine)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var e diskEntry
+			if json.Unmarshal(line, &e) != nil || e.Stage == "" || e.Hash == "" || len(e.Val) == 0 {
+				sum.Skipped++
+				continue
+			}
+			seen[key{e.Stage, e.Hash}] = len(e.Val)
+		}
+		if sc.Err() != nil {
+			sum.Skipped++
+		}
+		for k, n := range seen {
+			if sum.Entries == nil {
+				sum.Entries = map[Stage]int{}
+				sum.Bytes = map[Stage]int64{}
+			}
+			sum.Entries[k.stage]++
+			sum.Bytes[k.stage] += int64(n)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, statsFile)); err == nil {
+		_ = json.Unmarshal(data, &sum.Stats)
+	}
+	return sum, nil
+}
+
+// Text renders the summary for terminal output.
+func (s DirSummary) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== evaluation cache (%s) ==\n", s.Dir)
+	total := 0
+	for _, n := range s.Entries {
+		total += n
+	}
+	if total == 0 {
+		sb.WriteString("no persistent entries\n")
+	}
+	for _, stage := range sortedStages(statsToStages(s.Entries)) {
+		fmt.Fprintf(&sb, "%-10s %6d entries %10d bytes\n", stage, s.Entries[stage], s.Bytes[stage])
+	}
+	if s.Skipped > 0 {
+		fmt.Fprintf(&sb, "skipped %d malformed line(s)\n", s.Skipped)
+	}
+	if len(s.Stats.Stages) > 0 {
+		sb.WriteString("cumulative across runs:\n")
+		for _, stage := range sortedStages(s.Stats.Stages) {
+			st := s.Stats.Stages[stage]
+			hitRate := 0.0
+			if st.Hits+st.Misses > 0 {
+				hitRate = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+			}
+			fmt.Fprintf(&sb, "%-10s %6d hits %6d misses (%.0f%% hit rate) %6d stores %d evictions\n",
+				stage, st.Hits, st.Misses, hitRate, st.Stores, st.Evictions)
+		}
+	}
+	return sb.String()
+}
+
+// statsToStages adapts an entry-count map to sortedStages' shape.
+func statsToStages(m map[Stage]int) map[Stage]StageStats {
+	out := make(map[Stage]StageStats, len(m))
+	for k := range m {
+		out[k] = StageStats{}
+	}
+	return out
+}

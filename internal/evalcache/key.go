@@ -1,0 +1,54 @@
+package evalcache
+
+import "fmt"
+
+// Key derivation — the single place that decides what each cached
+// verdict depends on (and therefore what invalidates it). Every
+// component is either canonical program text (cast.Print output,
+// passed in by callers since this package stays AST-agnostic) or a
+// rendered option value; anything that cannot affect the verdict —
+// Workers, observers, the cache itself, EvalDelay — is deliberately
+// absent, so cold and warm runs address the same entries regardless of
+// parallelism or tracing.
+
+// CheckSalt captures the toolchain configuration a synthesizability
+// verdict depends on. Combine with the candidate's printed text via
+// CheckKey.
+func CheckSalt(top, device string, clockMHz float64) string {
+	return Fingerprint("check-cfg", top, device, fmt.Sprintf("%g", clockMHz))
+}
+
+// CheckKey addresses one StageCheck verdict.
+func CheckKey(salt, printedUnit string) string {
+	return Fingerprint("check", salt, printedUnit)
+}
+
+// ResourceKey addresses one StageSim estimate. Resource estimation
+// walks only the design itself, so the printed text is the whole key.
+func ResourceKey(printedUnit string) string {
+	return Fingerprint("sim", printedUnit)
+}
+
+// DifftestSalt captures everything a differential-test verdict depends
+// on besides the candidate: the toolchain configuration, the kernel
+// under test, the oracle program, and the test corpus. Combine with
+// the candidate's printed text via DifftestKey.
+func DifftestSalt(top, device string, clockMHz float64, kernel, printedOriginal, corpusHash string) string {
+	return Fingerprint("difftest-cfg", top, device, fmt.Sprintf("%g", clockMHz),
+		kernel, printedOriginal, corpusHash)
+}
+
+// DifftestKey addresses one StageDifftest verdict.
+func DifftestKey(salt, printedCandidate string) string {
+	return Fingerprint("difftest", salt, printedCandidate)
+}
+
+// FuzzKey addresses one StageFuzz campaign: the program, the kernel,
+// and every option that shapes the campaign's outcome. Workers is
+// excluded by the determinism contract (campaigns are bit-identical
+// for any value), and observers never change what a campaign computes.
+func FuzzKey(printedUnit, kernel string, seed int64, maxExecs, plateau int, hostMain string, typedMutation bool, maxStepsPerExec int64) string {
+	return Fingerprint("fuzz", printedUnit, kernel,
+		fmt.Sprintf("%d|%d|%d|%t|%d", seed, maxExecs, plateau, typedMutation, maxStepsPerExec),
+		hostMain)
+}

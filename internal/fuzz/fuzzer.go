@@ -1,10 +1,12 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/interp"
 	"github.com/hetero/heterogen/internal/obs"
 )
@@ -39,6 +41,17 @@ type Options struct {
 	// a trace is byte-identical for any Workers value. Nil disables
 	// observation.
 	Obs obs.Observer
+	// Cache, when non-nil, memoizes whole campaigns on a fingerprint of
+	// (printed program, kernel, Seed, MaxExecs, Plateau, HostMain,
+	// TypedMutation, MaxStepsPerExec) — everything that shapes the
+	// outcome; Workers and observers are excluded by the determinism
+	// contract. A hit returns the stored campaign, replaying its
+	// recorded event stream when tracing, so results and traces are
+	// byte-identical to a cold run. An entry stored by an untraced run
+	// carries no events and cannot serve a traced run: that lookup
+	// misses and the recomputed campaign overwrites the entry. Nil
+	// disables memoization.
+	Cache *evalcache.Cache
 }
 
 // DefaultOptions returns the standard campaign configuration.
@@ -82,6 +95,16 @@ const execVirtualSeconds = 0.9
 
 // Run executes a fuzzing campaign against the kernel of u.
 func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
+	return RunContext(context.Background(), u, kernel, opts)
+}
+
+// RunContext is Run with cooperative cancellation. The context is
+// checked at execution commit points: when it is cancelled the
+// campaign stops where it is and returns the corpus gathered so far
+// with a nil error (a partial campaign is still a usable test suite —
+// callers that must distinguish inspect ctx.Err themselves). Cancelled
+// campaigns are never cached.
+func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 	if opts.MaxExecs == 0 {
 		opts.MaxExecs = 4000
 	}
@@ -95,6 +118,47 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 	if err != nil {
 		return Campaign{}, err
 	}
+
+	o := obs.OrNop(opts.Obs)
+	tracing := obs.Enabled(opts.Obs)
+
+	// Cache lookup: a memoized campaign short-circuits the whole run.
+	// The acceptance closure rejects (counting a miss) entries that
+	// cannot serve this call — no event stream while tracing, or a
+	// shape that no longer decodes against the recomputed spec.
+	var cacheKey string
+	if opts.Cache != nil {
+		cacheKey = evalcache.FuzzKey(cast.Print(u), kernel, opts.Seed,
+			opts.MaxExecs, opts.Plateau, opts.HostMain, opts.TypedMutation, opts.MaxStepsPerExec)
+		var cc cachedCampaign
+		var restored Campaign
+		hit := opts.Cache.GetIf(evalcache.StageFuzz, cacheKey, &cc, func() bool {
+			if tracing && !cc.HasEvents {
+				return false
+			}
+			camp, ok := cc.decode(sp)
+			if ok {
+				restored = camp
+			}
+			return ok
+		})
+		if hit {
+			if tracing {
+				for _, e := range cc.Events {
+					o.Emit(e)
+				}
+			}
+			return restored, nil
+		}
+	}
+	// Traced cold runs record their event stream into the cache entry
+	// so a warm replay can reproduce the trace byte-for-byte.
+	var rec *eventRecorder
+	if opts.Cache != nil && tracing {
+		rec = &eventRecorder{inner: o}
+		o = rec
+	}
+
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	camp := Campaign{Spec: sp}
@@ -129,8 +193,6 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 	// goroutine in mutation order — the pooled path below commits (and
 	// therefore emits) in exactly the same sequence, so traces are
 	// byte-identical for any Workers value.
-	o := obs.OrNop(opts.Obs)
-	tracing := obs.Enabled(opts.Obs)
 	sinceGain := 0
 	var queue []TestCase
 	emitExec := func(gained, crashed, invalid bool) {
@@ -176,6 +238,9 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 
 	// Initial corpus entries always count as tests.
 	for _, tc := range queue {
+		if ctx.Err() != nil {
+			break
+		}
 		gained, crashed, err := execute(tc)
 		if err != nil {
 			return camp, err
@@ -193,7 +258,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		defer pool.close()
 	}
 
-	for camp.Execs < opts.MaxExecs && sinceGain < opts.Plateau {
+	for camp.Execs < opts.MaxExecs && sinceGain < opts.Plateau && ctx.Err() == nil {
 		// Pop a corpus entry (round-robin over the retained queue).
 		parent := queue[camp.Execs%len(queue)]
 		children := mutate(parent, sp, rng, opts.TypedMutation)
@@ -209,7 +274,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 			}
 			results := pool.runBatch(children, schedule)
 			for i, child := range children {
-				if camp.Execs >= opts.MaxExecs {
+				if camp.Execs >= opts.MaxExecs || ctx.Err() != nil {
 					break
 				}
 				if !schedule[i] {
@@ -251,7 +316,7 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 		}
 
 		for _, child := range children {
-			if camp.Execs >= opts.MaxExecs {
+			if camp.Execs >= opts.MaxExecs || ctx.Err() != nil {
 				break
 			}
 			if !TypeValid(sp, child) {
@@ -308,6 +373,11 @@ func Run(u *cast.Unit, kernel string, opts Options) (Campaign, error) {
 			Corpus:     len(queue), Tests: len(camp.Tests), SinceGain: sinceGain,
 			Coverage: camp.Coverage, Plateaued: camp.Plateaued,
 		}})
+	}
+	// A cancelled campaign is partial and must not be memoized as the
+	// verdict for this fingerprint.
+	if opts.Cache != nil && ctx.Err() == nil {
+		opts.Cache.Put(evalcache.StageFuzz, cacheKey, encodeCampaign(camp, rec))
 	}
 	return camp, nil
 }

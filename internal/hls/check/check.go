@@ -51,16 +51,25 @@ func Run(u *cast.Unit, cfg hls.Config) hls.Report {
 // repair_candidate events at commit time instead (see internal/obs).
 func RunObserved(u *cast.Unit, cfg hls.Config, o obs.Observer) hls.Report {
 	rep := Run(u, cfg)
-	if obs.Enabled(o) {
-		byClass := map[string]int{}
-		for _, d := range rep.Diags {
-			byClass[d.Class.String()]++
-		}
-		o.Emit(obs.Event{Type: obs.EvCheck, Check: &obs.CheckEvent{
-			Top: cfg.Top, Errors: len(rep.Diags), ByClass: byClass,
-		}})
-	}
+	Observe(o, cfg, rep)
 	return rep
+}
+
+// Observe emits the structured hls_check event for an already-computed
+// report. The evaluation cache's hit path goes through it (core), so a
+// memoized verdict produces the identical event a fresh check would —
+// the trace cannot tell the difference.
+func Observe(o obs.Observer, cfg hls.Config, rep hls.Report) {
+	if !obs.Enabled(o) {
+		return
+	}
+	byClass := map[string]int{}
+	for _, d := range rep.Diags {
+		byClass[d.Class.String()]++
+	}
+	o.Emit(obs.Event{Type: obs.EvCheck, Check: &obs.CheckEvent{
+		Top: cfg.Top, Errors: len(rep.Diags), ByClass: byClass,
+	}})
 }
 
 type checker struct {

@@ -137,7 +137,7 @@ func (p *evalPool) evaluateBatch(s *searcher, batch []Candidate, predictSkip fun
 func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Candidate) bool, cur **cast.Unit, curScore *score) bool {
 	if s.pool == nil {
 		for _, cand := range cands {
-			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+			if s.stats.VirtualSeconds >= float64(s.opts.Budget) || s.ctx.Err() != nil {
 				return false
 			}
 			if skip != nil && skip(cand) {
@@ -154,12 +154,12 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 	for start := 0; start < len(cands); start += chunk {
 		end := min(start+chunk, len(cands))
 		batch := cands[start:end]
-		if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+		if s.stats.VirtualSeconds >= float64(s.opts.Budget) || s.ctx.Err() != nil {
 			return false
 		}
 		outcomes := s.pool.evaluateBatch(s, batch, predictSkip)
 		for i, cand := range batch {
-			if s.stats.VirtualSeconds >= float64(s.opts.Budget) {
+			if s.stats.VirtualSeconds >= float64(s.opts.Budget) || s.ctx.Err() != nil {
 				return false
 			}
 			if skip != nil && skip(cand) {

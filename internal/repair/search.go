@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
@@ -77,6 +79,19 @@ type Options struct {
 	// candidate enumeration order, so a trace is byte-identical for any
 	// Workers value. Nil disables observation.
 	Obs obs.Observer
+	// Cache, when non-nil, memoizes the expensive per-candidate
+	// verdicts on content-addressed fingerprints: the synthesizability
+	// Report (keyed on config + printed candidate), the resource
+	// estimate (printed candidate), and the differential-test outcome
+	// (config + kernel + printed oracle + corpus hash + printed
+	// candidate). A hit skips the recomputation and any EvalDelay
+	// pause, but is charged exactly the same virtual toolchain cost in
+	// the same commit order as a cold evaluation — the cost inputs
+	// (line count, whether simulation ran) are deterministic — so
+	// Result, Stats, and traces are byte-identical whether the cache is
+	// disabled, cold, or warm, for any Workers value. Nil disables
+	// memoization.
+	Cache *evalcache.Cache
 }
 
 // allows reports whether the options permit templates of class c.
@@ -187,12 +202,32 @@ type searcher struct {
 	// rejected, so successive perfSteps do not pay repeated compilations
 	// for the same configuration.
 	triedPerf map[string]bool
+	// ctx is checked at commit points: the search stops between
+	// candidates (never mid-verdict) and returns its best-so-far state.
+	ctx context.Context
+	// cache memoizes check/sim/difftest verdicts; nil disables. The
+	// salts fold in everything a verdict depends on besides the
+	// candidate itself, computed once per search (see
+	// internal/evalcache key derivation).
+	cache     *evalcache.Cache
+	checkSalt string
+	diffSalt  string
 }
 
 // Search runs HeteroGen's iterative repair from the initial version
 // (normally the bitwidth-profiled P_broken) against the original program
 // as behaviour oracle.
 func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, opts Options) Result {
+	return SearchContext(context.Background(), original, initial, kernel, tests, opts)
+}
+
+// SearchContext is Search with cooperative cancellation. The context
+// is checked at commit points — between candidate evaluations and
+// between iterations, never mid-verdict — so cancellation stops the
+// search promptly and returns the best version found so far, exactly
+// as a budget exhaustion would (nil error semantics: a partial repair
+// is still a result; callers that must distinguish inspect ctx.Err).
+func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, opts Options) Result {
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 64
 	}
@@ -210,6 +245,13 @@ func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, 
 		obs:       obs.OrNop(opts.Obs),
 		tracing:   obs.Enabled(opts.Obs),
 		triedPerf: map[string]bool{},
+		ctx:       ctx,
+		cache:     opts.Cache,
+	}
+	if s.cache != nil {
+		s.checkSalt = evalcache.CheckSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz)
+		s.diffSalt = evalcache.DifftestSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz,
+			kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
 	}
 	s.state.TestCount = len(tests)
 	if opts.Workers > 1 {
@@ -221,6 +263,9 @@ func Search(original, initial *cast.Unit, kernel string, tests []fuzz.TestCase, 
 	curScore := s.evaluate(cur)
 
 	for s.stats.VirtualSeconds < float64(opts.Budget) && s.stats.Iterations < opts.MaxIterations {
+		if s.ctx.Err() != nil {
+			break
+		}
 		s.stats.Iterations++
 
 		if curScore.errors == 0 && curScore.behaviorOK {
@@ -357,16 +402,41 @@ func (s *searcher) computeOutcome(u *cast.Unit) evalOutcome {
 // inputs alongside the score.
 func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score) {
 	lines = cast.CountLines(u)
-	if s.opts.EvalDelay > 0 {
-		time.Sleep(s.opts.EvalDelay)
+	// EvalDelay emulates the blocking invocation of one external
+	// toolchain process per evaluation; it is paid at most once, and
+	// only when some stage actually computes — a fully cache-served
+	// evaluation invokes no toolchain, which is the wall-clock saving
+	// the cache exists for. The virtual clock is untouched either way.
+	delayed := false
+	delay := func() {
+		if !delayed && s.opts.EvalDelay > 0 {
+			time.Sleep(s.opts.EvalDelay)
+		}
+		delayed = true
 	}
-	rep := check.Run(u, s.cfg)
+	var printed string
+	if s.cache != nil {
+		printed = cast.Print(u)
+	}
+
+	var rep hls.Report
+	if s.cache != nil {
+		key := evalcache.CheckKey(s.checkSalt, printed)
+		if !s.cache.Get(evalcache.StageCheck, key, &rep) {
+			delay()
+			rep = check.Run(u, s.cfg)
+			s.cache.Put(evalcache.StageCheck, key, rep)
+		}
+	} else {
+		delay()
+		rep = check.Run(u, s.cfg)
+	}
 	sc = score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
 	if sc.errors > 0 {
 		return lines, false, sc
 	}
 	if s.opts.Device.Name != "" {
-		if ok, over := sim.CheckCapacity(sim.Estimate(u), s.opts.Device); !ok {
+		if ok, over := sim.CheckCapacity(s.estimate(u, printed), s.opts.Device); !ok {
 			d := hls.Diagnostic{
 				Code: "IMPL 200-1",
 				Message: fmt.Sprintf(
@@ -379,12 +449,38 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score)
 			return lines, false, sc
 		}
 	}
-	dt := difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
+	var dt difftest.Report
+	if s.cache != nil {
+		key := evalcache.DifftestKey(s.diffSalt, printed)
+		if !s.cache.Get(evalcache.StageDifftest, key, &dt) {
+			delay()
+			dt = difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
+			s.cache.Put(evalcache.StageDifftest, key, dt)
+		}
+	} else {
+		dt = difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
+	}
 	sc.report = dt
 	sc.passRatio = dt.PassRatio()
 	sc.behaviorOK = dt.AllPass()
 	sc.latencyMS = dt.FPGAMeanMS()
 	return lines, true, sc
+}
+
+// estimate is the resource-estimation stage with memoization; printed
+// is the candidate's canonical text (empty when the cache is off).
+func (s *searcher) estimate(u *cast.Unit, printed string) sim.Resources {
+	if s.cache == nil {
+		return sim.Estimate(u)
+	}
+	key := evalcache.ResourceKey(printed)
+	var r sim.Resources
+	if s.cache.Get(evalcache.StageSim, key, &r) {
+		return r
+	}
+	r = sim.Estimate(u)
+	s.cache.Put(evalcache.StageSim, key, r)
+	return r
 }
 
 // costBreakdown itemizes the virtual seconds charged for one trial, so
