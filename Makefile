@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo
+.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke
 
 all: build
 
@@ -38,6 +38,14 @@ bench-parallel:
 # rate).
 bench-cache:
 	WRITE_BENCH=1 $(GO) test -run TestWriteCacheBenchReport -v .
+
+# Fixed-seed conformance smoke: 100 generated kernels with planted HLS
+# violations through the full pipeline (checker oracle, repair
+# convergence, differential test, sampled cache/trace parity), plus the
+# -short conformance unit suites. Deterministic — same seeds every run.
+conform-smoke:
+	$(GO) run ./cmd/hgconform -seed 1 -n 100
+	$(GO) test -short ./internal/progen/... ./internal/conform/...
 
 # Traces one evaluation subject end-to-end and cross-validates the trace
 # with hgtrace -check: the event stream must reproduce the run's

@@ -22,6 +22,7 @@ package heterogen
 import (
 	"context"
 
+	"github.com/hetero/heterogen/internal/conform"
 	"github.com/hetero/heterogen/internal/core"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
@@ -158,4 +159,33 @@ func GenerateTests(src, kernel string, opts FuzzOptions) (fuzz.Campaign, error) 
 		return fuzz.Campaign{}, err
 	}
 	return fuzz.Run(u, kernel, opts)
+}
+
+// ConformOptions configures a conformance run (Conform).
+type ConformOptions = conform.Options
+
+// ConformReport is the outcome of a conformance run; its Summary is
+// deterministic for fixed options.
+type ConformReport = conform.Report
+
+// ConformFailure is one minimized conformance failure.
+type ConformFailure = conform.Failure
+
+// Conform runs the seeded program-generation conformance harness:
+// generate ConformOptions.Count random kernels with known planted HLS
+// violations, and assert per program that the checker flags every
+// planted violation class, the repair search converges, the repaired
+// HLS-C agrees with the CPU interpreter on a fuzzed corpus, and the
+// evaluation cache and trace are bit-parity invariant. Failures come
+// back minimized by an AST-level delta-debugging reducer, ready to
+// commit as regression reproducers. The error reports harness-level
+// problems only; assertion failures live in ConformReport.Failures.
+func Conform(opts ConformOptions) (ConformReport, error) {
+	return conform.Run(opts)
+}
+
+// ConformContext is Conform with cooperative cancellation between
+// generated programs; the partial report is valid alongside the error.
+func ConformContext(ctx context.Context, opts ConformOptions) (ConformReport, error) {
+	return conform.RunContext(ctx, opts)
 }

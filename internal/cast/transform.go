@@ -1,0 +1,132 @@
+package cast
+
+// MapExprs rewrites every expression under n bottom-up: children are
+// transformed before f sees their parent, and whatever f returns
+// replaces the expression in its parent slot. Returning the argument
+// unchanged leaves the tree alone. Statements and declarations are
+// mutated in place; the walk covers the same shapes as Inspect.
+//
+// It exists for tools that restructure expressions wholesale — the
+// conformance reducer replaces subexpressions with their operands while
+// shrinking a failing program (internal/progen) — where Inspect's
+// read-only visit is not enough and hand-written per-field recursion
+// would have to be repeated in every client.
+func MapExprs(n Node, f func(Expr) Expr) {
+	if n == nil {
+		return
+	}
+	var expr func(e Expr) Expr
+	expr = func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		switch x := e.(type) {
+		case *Unary:
+			x.X = expr(x.X)
+		case *Postfix:
+			x.X = expr(x.X)
+		case *Binary:
+			x.L, x.R = expr(x.L), expr(x.R)
+		case *Assign:
+			x.L, x.R = expr(x.L), expr(x.R)
+		case *Cond:
+			x.C, x.T, x.F = expr(x.C), expr(x.T), expr(x.F)
+		case *Call:
+			x.Fun = expr(x.Fun)
+			for i := range x.Args {
+				x.Args[i] = expr(x.Args[i])
+			}
+		case *Index:
+			x.X, x.Idx = expr(x.X), expr(x.Idx)
+		case *Member:
+			x.X = expr(x.X)
+		case *Cast:
+			x.X = expr(x.X)
+		case *SizeofExpr:
+			x.X = expr(x.X)
+		case *InitList:
+			for i := range x.Elems {
+				x.Elems[i] = expr(x.Elems[i])
+			}
+		}
+		return f(e)
+	}
+	var stmt func(s Stmt)
+	stmt = func(s Stmt) {
+		switch x := s.(type) {
+		case *ExprStmt:
+			x.X = expr(x.X)
+		case *DeclStmt:
+			if x.Init != nil {
+				x.Init = expr(x.Init)
+			}
+			for i := range x.VLADims {
+				x.VLADims[i] = expr(x.VLADims[i])
+			}
+		case *Block:
+			for _, s := range x.Stmts {
+				stmt(s)
+			}
+		case *If:
+			x.Cond = expr(x.Cond)
+			stmt(x.Then)
+			if x.Else != nil {
+				stmt(x.Else)
+			}
+		case *For:
+			if x.Init != nil {
+				stmt(x.Init)
+			}
+			if x.Cond != nil {
+				x.Cond = expr(x.Cond)
+			}
+			if x.Post != nil {
+				x.Post = expr(x.Post)
+			}
+			stmt(x.Body)
+		case *While:
+			x.Cond = expr(x.Cond)
+			stmt(x.Body)
+		case *Return:
+			if x.X != nil {
+				x.X = expr(x.X)
+			}
+		case *Switch:
+			x.X = expr(x.X)
+			for _, c := range x.Cases {
+				if c.Value != nil {
+					c.Value = expr(c.Value)
+				}
+				for _, s := range c.Body {
+					stmt(s)
+				}
+			}
+		}
+	}
+	switch x := n.(type) {
+	case Expr:
+		// A bare expression root: rewrite children only (the caller
+		// holds the root slot and can apply f itself).
+		expr(x)
+	case Stmt:
+		stmt(x)
+	case *FuncDecl:
+		if x.Body != nil {
+			stmt(x.Body)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			x.Init = expr(x.Init)
+		}
+	case *StructDecl:
+		for _, m := range x.Methods {
+			if m.Body != nil {
+				stmt(m.Body)
+			}
+		}
+	case *Unit:
+		for _, d := range x.Decls {
+			MapExprs(d, f)
+		}
+	}
+}

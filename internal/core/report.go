@@ -29,7 +29,15 @@ func (r Result) Markdown(kernel string) string {
 	if pre.OK {
 		sb.WriteString("(none — the input was already synthesizable)\n")
 	}
-	for class, diags := range pre.ByClass() {
+	// Render classes in their fixed declaration order: ByClass returns
+	// a map, and ranging it directly leaks Go's randomized iteration
+	// order into the report (same inputs, shuffled sections).
+	by := pre.ByClass()
+	for _, class := range append(hls.AllClasses(), hls.ClassNone) {
+		diags := by[class]
+		if len(diags) == 0 {
+			continue
+		}
 		fmt.Fprintf(&sb, "- **%s** (%d)\n", class, len(diags))
 		for _, d := range diags {
 			fmt.Fprintf(&sb, "  - `%s`\n", d.Error())

@@ -52,3 +52,36 @@ out:
 		t.Error("report should carry the remaining goto diagnostic")
 	}
 }
+
+// The report is a pure function of the result: diagnostics sections
+// must come out in the fixed class order, not Go's randomized map
+// iteration order (a multi-class input renders identically on every
+// call).
+func TestMarkdownReportDeterministic(t *testing.T) {
+	src := `
+struct Node { int val; struct Node *next; };
+int kernel(int n, int out[16]) {
+    struct Node *head = (struct Node *)malloc(sizeof(struct Node));
+    head->val = n;
+    out[0] = head->val;
+    free(head);
+    return n;
+}`
+	res, err := Run(src, Options{Kernel: "kernel", Fuzz: quickFuzz()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Markdown("kernel")
+	if !strings.Contains(first, "Dynamic Data Structures") ||
+		!strings.Contains(first, "Unsupported Data Types") {
+		t.Fatalf("premise broken: want two diagnostic classes in the report:\n%s", first)
+	}
+	if strings.Index(first, "Dynamic Data Structures") > strings.Index(first, "Unsupported Data Types") {
+		t.Error("classes not in declaration order")
+	}
+	for i := 0; i < 10; i++ {
+		if got := res.Markdown("kernel"); got != first {
+			t.Fatalf("render %d differs from the first", i)
+		}
+	}
+}

@@ -20,12 +20,21 @@ import (
 func ParseVivadoLog(log string) []Diagnostic {
 	var out []Diagnostic
 	sc := bufio.NewScanner(strings.NewReader(log))
+	// Real logs can carry pathologically long lines (a dumped pragma or
+	// path list); grow past the scanner's 64K default instead of
+	// silently truncating the parse at the first oversized line.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if !strings.HasPrefix(line, "ERROR:") {
 			continue
 		}
 		rest := strings.TrimSpace(strings.TrimPrefix(line, "ERROR:"))
+		if rest == "" {
+			// A bare "ERROR:" (truncated log) carries nothing the
+			// repair engine could act on.
+			continue
+		}
 		d := Diagnostic{Message: rest}
 		if m := codeRe.FindStringSubmatch(rest); m != nil {
 			d.Code = m[1]

@@ -1,6 +1,9 @@
 package hls
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const sampleLog = `
 INFO: [HLS 200-10] Analyzing design file 'kernel.c' ...
@@ -40,5 +43,73 @@ func TestParseVivadoLogEmptyAndMalformed(t *testing.T) {
 	}
 	if diags[0].Message != "something unstructured happened" {
 		t.Errorf("message %q", diags[0].Message)
+	}
+}
+
+// Malformed and truncated lines are skipped or degraded gracefully —
+// never a panic, never an abort of the surrounding parse.
+func TestParseVivadoLogTruncatedLines(t *testing.T) {
+	cases := []struct {
+		name string
+		log  string
+		want int // diagnostics expected
+	}{
+		{"bare ERROR prefix", "ERROR:", 0},
+		{"ERROR with only spaces", "ERROR:    \n", 0},
+		{"truncated mid-code", "ERROR: [XFORM 202-", 1}, // kept: message text, no code
+		{"code with no closing bracket", "ERROR: [SYNCHK 200-61 unsupported 'x'", 1},
+		{"bracket but non-code text", "ERROR: [hello world] broken", 1},
+		{"missing severity", "[XFORM 202-876] recursive call to 'walk'", 0},
+		{"lowercase severity", "error: [XFORM 202-876] recursive call", 0},
+		{"interleaved binary junk", "ERROR: [SYNCHK 200-31] bad 'm'\n\x00\x01\x02\nERROR: [SYNCHK 200-41] bad 'p'", 2},
+		{"windows line endings", "ERROR: [SYNCHK 200-31] alloc on 'm'\r\nERROR: [SYNCHK 200-41] ptr on 'p'\r\n", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := ParseVivadoLog(tc.log) // must not panic
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %+v", len(diags), tc.want, diags)
+			}
+			for _, d := range diags {
+				if d.Message == "" {
+					t.Errorf("kept a diagnostic with an empty message: %+v", d)
+				}
+			}
+		})
+	}
+}
+
+// Unknown codes pass through verbatim when well-shaped, and fold into
+// the message when not — downstream classification is keyword-driven,
+// not code-table-driven, so nothing is dropped either way.
+func TestParseVivadoLogUnknownCode(t *testing.T) {
+	diags := ParseVivadoLog("ERROR: [FUTURE 123-456] dynamic memory operation 'malloc'")
+	if len(diags) != 1 || diags[0].Code != "FUTURE 123-456" {
+		t.Fatalf("unknown-but-well-formed code: %+v", diags)
+	}
+	if diags[0].Subject != "malloc" {
+		t.Errorf("subject = %q, want malloc", diags[0].Subject)
+	}
+
+	diags = ParseVivadoLog("ERROR: [NEWTOOL 999-1-alpha] some future diagnostic on 'v'")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	if d := diags[0]; d.Code != "" || !strings.Contains(d.Message, "NEWTOOL") || d.Subject != "v" {
+		t.Errorf("odd-shaped tag: %+v", d)
+	}
+}
+
+// An oversized line (beyond bufio.Scanner's 64K default) must not
+// truncate the parse: later diagnostics still come through.
+func TestParseVivadoLogLongLine(t *testing.T) {
+	long := "INFO: " + strings.Repeat("x", 200*1024)
+	log := "ERROR: [SYNCHK 200-31] before 'a'\n" + long + "\nERROR: [SYNCHK 200-41] after 'b'\n"
+	diags := ParseVivadoLog(log)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (long line swallowed the tail?)", len(diags))
+	}
+	if diags[1].Subject != "b" {
+		t.Errorf("tail diagnostic = %+v", diags[1])
 	}
 }

@@ -13,6 +13,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/hetero/heterogen/internal/ctypes"
@@ -172,19 +173,21 @@ func (v Value) DeepCopy() Value {
 func Equal(a, b Value, tol float64) bool {
 	if a.Kind == VFloat || b.Kind == VFloat {
 		af, bf := a.AsFloat(), b.AsFloat()
-		diff := af - bf
-		if diff < 0 {
-			diff = -diff
+		// Non-finite values compare by identity: both sides producing
+		// NaN (or the same-signed infinity) is behavioural agreement;
+		// non-finite against anything else is divergence. The
+		// relative-tolerance formula cannot express this — with an
+		// infinite operand both diff and bound are +Inf (calling +Inf
+		// equal to every finite number), and with NaN every comparison
+		// is false (calling NaN unequal even to itself).
+		if math.IsNaN(af) || math.IsNaN(bf) {
+			return math.IsNaN(af) && math.IsNaN(bf)
 		}
-		mag := af
-		if mag < 0 {
-			mag = -mag
+		if math.IsInf(af, 0) || math.IsInf(bf, 0) {
+			return af == bf
 		}
-		if bm := bf; bm > mag {
-			mag = bm
-		} else if -bf > mag {
-			mag = -bf
-		}
+		diff := math.Abs(af - bf)
+		mag := math.Max(math.Abs(af), math.Abs(bf))
 		return diff <= tol*(1+mag)
 	}
 	switch a.Kind {

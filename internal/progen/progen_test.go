@@ -1,0 +1,113 @@
+package progen
+
+import (
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/hls/check"
+)
+
+func cfg() hls.Config { return hls.DefaultConfig("kernel") }
+
+// The same seed must reproduce the identical program and oracle —
+// reproducer corpora and CI runs depend on it.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := MustGenerate(Options{Seed: seed})
+		b := MustGenerate(Options{Seed: seed})
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ", seed)
+		}
+		if len(a.Planted) != len(b.Planted) {
+			t.Fatalf("seed %d: oracle records differ in length", seed)
+		}
+		for i := range a.Planted {
+			if a.Planted[i] != b.Planted[i] {
+				t.Fatalf("seed %d: planted[%d] differs: %+v vs %+v", seed, i, a.Planted[i], b.Planted[i])
+			}
+		}
+	}
+}
+
+// A clean twin (same seed, Clean: true) must pass the checker with no
+// diagnostics: the generator never emits accidental violations.
+func TestCleanProgramsCheckerClean(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		p := MustGenerate(Options{Seed: seed, Clean: true})
+		if len(p.Planted) != 0 {
+			t.Fatalf("seed %d: clean program has %d planted violations", seed, len(p.Planted))
+		}
+		rep := check.Run(p.Unit, cfg())
+		if !rep.OK {
+			t.Fatalf("seed %d: checker reports %d diagnostics on clean program; first: %v",
+				seed, len(rep.Diags), rep.Diags[0])
+		}
+	}
+}
+
+// Every planted violation must be structurally present (the generator's
+// own invariant, re-checked here without going through Generate's
+// internal self-check) and flagged by the checker with its class.
+func TestPlantedViolationsFlagged(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		p := MustGenerate(Options{Seed: seed})
+		if len(p.Planted) == 0 {
+			t.Fatalf("seed %d: no planted violations", seed)
+		}
+		rep := check.Run(p.Unit, cfg())
+		for _, v := range p.Planted {
+			if !Present(p.Unit, v) {
+				t.Errorf("seed %d: planted %s (%s) not structurally present", seed, v.Kind, v.Subject)
+			}
+			if !rep.HasClass(v.Class) {
+				t.Errorf("seed %d: planted %s not flagged as %s", seed, v.Kind, v.Class)
+			}
+		}
+	}
+}
+
+// Generated source must round-trip: parse -> print -> parse -> print is
+// stable, so reducer output and reproducer files re-parse faithfully.
+func TestGeneratedSourceRoundTrips(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		p := MustGenerate(Options{Seed: seed})
+		s1 := cast.Print(p.Unit)
+		u2, err := cparser.Parse(s1)
+		if err != nil {
+			t.Fatalf("seed %d: printed source does not re-parse: %v", seed, err)
+		}
+		if s2 := cast.Print(u2); s1 != s2 {
+			t.Fatalf("seed %d: print -> parse -> print not stable", seed)
+		}
+	}
+}
+
+// Options.Kinds restricts injection to the requested violation kinds.
+func TestKindsRestriction(t *testing.T) {
+	for _, k := range AllKinds() {
+		p := MustGenerate(Options{Seed: 7, Kinds: []Kind{k}})
+		if len(p.Planted) != 1 || p.Planted[0].Kind != k {
+			t.Fatalf("Kinds=[%s]: planted %+v", k, p.Planted)
+		}
+		if ClassOf(k) == hls.ClassNone {
+			t.Fatalf("ClassOf(%s) unmapped", k)
+		}
+		if p.Planted[0].Class != ClassOf(k) {
+			t.Fatalf("kind %s: class %v, ClassOf says %v", k, p.Planted[0].Class, ClassOf(k))
+		}
+	}
+}
+
+// Present must reject a violation record whose construct is absent: a
+// clean program contains none of the planted kinds.
+func TestPresentNegative(t *testing.T) {
+	dirty := MustGenerate(Options{Seed: 3})
+	clean := MustGenerate(Options{Seed: 3, Clean: true})
+	for _, v := range dirty.Planted {
+		if Present(clean.Unit, v) {
+			t.Errorf("Present(%s) true on the clean twin", v.Kind)
+		}
+	}
+}

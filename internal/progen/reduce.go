@@ -1,0 +1,403 @@
+package progen
+
+import (
+	"github.com/hetero/heterogen/internal/cast"
+)
+
+// ReduceOptions bounds the delta-debugging search.
+type ReduceOptions struct {
+	// MaxTrials caps predicate invocations (default 3000). The cap is
+	// deterministic: the same input and predicate always make the same
+	// sequence of trials.
+	MaxTrials int
+}
+
+// DefaultMaxTrials is the default predicate-invocation budget.
+const DefaultMaxTrials = 3000
+
+// Reduce shrinks a failing program to a smaller one that still fails,
+// in the delta-debugging sense: keep is the "still interesting"
+// predicate (typically "this checker/repair/difftest assertion still
+// fails, and the planted construct is still present" — see Present),
+// and Reduce greedily applies node-count-reducing AST mutations —
+// dropping declarations, statement chunks and single statements,
+// unwrapping control flow, clearing pragmas, and replacing binary and
+// conditional expressions with their operands — keeping each mutation
+// only when the predicate still holds, until a fixed point or the
+// trial budget. The input unit is never modified; the result is a
+// fresh clone. If keep rejects the input itself, a clone of the input
+// is returned unchanged.
+//
+// The mutation enumeration order is a pure function of the program
+// shape, so a given (unit, predicate) pair reduces identically on
+// every run — reducer output is committed to testdata/conform/ as
+// regression input, where nondeterminism would churn the corpus.
+func Reduce(u *cast.Unit, keep func(*cast.Unit) bool, opts ReduceOptions) *cast.Unit {
+	maxTrials := opts.MaxTrials
+	if maxTrials <= 0 {
+		maxTrials = DefaultMaxTrials
+	}
+	trials := 0
+	try := func(c *cast.Unit) bool {
+		if trials >= maxTrials {
+			return false
+		}
+		trials++
+		return keep(c)
+	}
+
+	best := cast.CloneUnit(u)
+	if trials++; !keep(best) {
+		return best
+	}
+	for {
+		improved := false
+		muts := enumerate(best)
+		for k := 0; k < len(muts) && trials < maxTrials; {
+			c := cast.CloneUnit(best)
+			if !apply(c, muts[k]) || !try(c) {
+				k++
+				continue
+			}
+			best = c
+			improved = true
+			// The tree changed: re-enumerate, but resume at the same
+			// index — earlier mutations were already tried and the
+			// list only shrinks ahead of k after a removal.
+			muts = enumerate(best)
+		}
+		if !improved || trials >= maxTrials {
+			return best
+		}
+	}
+}
+
+// mutation addresses one candidate shrink on a unit by stable walk
+// indices, so it can be re-applied to any clone of that unit.
+type mutation struct {
+	kind    mkind
+	decl    int // dropDecl, clearFnPragmas
+	list    int // statement-list index (dropStmts, replaceStmt, clearLoopPragmas)
+	off     int // statement offset in the list
+	n       int // chunk length (dropStmts)
+	variant int // replaceStmt / simplifyExpr variant
+	expr    int // expression index (simplifyExpr)
+}
+
+type mkind int
+
+const (
+	mDropDecl mkind = iota
+	mDropStmts
+	mReplaceStmt
+	mClearFnPragmas
+	mClearLoopPragmas
+	mSimplifyExpr
+)
+
+// Statement-replacement variants.
+const (
+	rIfThen = iota
+	rIfElse
+	rForBody
+	rWhileBody
+	rBlockSplice
+)
+
+// Expression-simplification variants.
+const (
+	eBinaryL = iota
+	eBinaryR
+	eCondT
+	eCondF
+)
+
+// enumerate lists every applicable mutation of u in deterministic
+// order: coarse shrinks (whole declarations, statement chunks) before
+// fine ones (single statements, control-flow unwrapping, pragmas,
+// expression operands), so the greedy loop removes big subtrees first.
+func enumerate(u *cast.Unit) []mutation {
+	var out []mutation
+	for i := range u.Decls {
+		out = append(out, mutation{kind: mDropDecl, decl: i})
+	}
+	// Statement chunks, large to small, then singles.
+	lists := listLengths(u)
+	for _, size := range []int{8, 4, 2, 1} {
+		for li, n := range lists {
+			for off := 0; off+size <= n; off += size {
+				out = append(out, mutation{kind: mDropStmts, list: li, off: off, n: size})
+			}
+		}
+	}
+	// Control-flow unwrapping and loop-pragma clearing.
+	eachList(u, func(li int, stmts []cast.Stmt) {
+		for off, s := range stmts {
+			switch x := s.(type) {
+			case *cast.If:
+				out = append(out, mutation{kind: mReplaceStmt, list: li, off: off, variant: rIfThen})
+				if x.Else != nil {
+					out = append(out, mutation{kind: mReplaceStmt, list: li, off: off, variant: rIfElse})
+				}
+			case *cast.For:
+				out = append(out, mutation{kind: mReplaceStmt, list: li, off: off, variant: rForBody})
+				if len(x.Pragmas) > 0 {
+					out = append(out, mutation{kind: mClearLoopPragmas, list: li, off: off})
+				}
+			case *cast.While:
+				out = append(out, mutation{kind: mReplaceStmt, list: li, off: off, variant: rWhileBody})
+				if len(x.Pragmas) > 0 {
+					out = append(out, mutation{kind: mClearLoopPragmas, list: li, off: off})
+				}
+			case *cast.Block:
+				out = append(out, mutation{kind: mReplaceStmt, list: li, off: off, variant: rBlockSplice})
+			}
+		}
+	})
+	for i, d := range u.Decls {
+		if fn, ok := d.(*cast.FuncDecl); ok && len(fn.Pragmas) > 0 {
+			out = append(out, mutation{kind: mClearFnPragmas, decl: i})
+		}
+	}
+	// Expression operands.
+	ei := 0
+	cast.MapExprs(u, func(e cast.Expr) cast.Expr {
+		switch x := e.(type) {
+		case *cast.Binary:
+			out = append(out, mutation{kind: mSimplifyExpr, expr: ei, variant: eBinaryL})
+			out = append(out, mutation{kind: mSimplifyExpr, expr: ei, variant: eBinaryR})
+		case *cast.Cond:
+			out = append(out, mutation{kind: mSimplifyExpr, expr: ei, variant: eCondT})
+			_ = x
+			out = append(out, mutation{kind: mSimplifyExpr, expr: ei, variant: eCondF})
+		}
+		ei++
+		return e
+	})
+	return out
+}
+
+// apply performs m on u (a clone), returning false when the mutation no
+// longer addresses a valid site (stale index after a prior shrink).
+func apply(u *cast.Unit, m mutation) bool {
+	switch m.kind {
+	case mDropDecl:
+		if m.decl >= len(u.Decls) {
+			return false
+		}
+		u.Decls = append(u.Decls[:m.decl], u.Decls[m.decl+1:]...)
+		return true
+	case mDropStmts:
+		return editList(u, m.list, func(stmts []cast.Stmt) ([]cast.Stmt, bool) {
+			if m.off+m.n > len(stmts) {
+				return stmts, false
+			}
+			out := append([]cast.Stmt{}, stmts[:m.off]...)
+			return append(out, stmts[m.off+m.n:]...), true
+		})
+	case mReplaceStmt:
+		return editList(u, m.list, func(stmts []cast.Stmt) ([]cast.Stmt, bool) {
+			if m.off >= len(stmts) {
+				return stmts, false
+			}
+			var repl []cast.Stmt
+			switch x := stmts[m.off].(type) {
+			case *cast.If:
+				switch m.variant {
+				case rIfThen:
+					repl = []cast.Stmt{x.Then}
+				case rIfElse:
+					if x.Else == nil {
+						return stmts, false
+					}
+					repl = []cast.Stmt{x.Else}
+				default:
+					return stmts, false
+				}
+			case *cast.For:
+				if m.variant != rForBody {
+					return stmts, false
+				}
+				repl = []cast.Stmt{x.Body}
+			case *cast.While:
+				if m.variant != rWhileBody {
+					return stmts, false
+				}
+				repl = []cast.Stmt{x.Body}
+			case *cast.Block:
+				if m.variant != rBlockSplice {
+					return stmts, false
+				}
+				repl = x.Stmts
+			default:
+				return stmts, false
+			}
+			out := append([]cast.Stmt{}, stmts[:m.off]...)
+			out = append(out, repl...)
+			return append(out, stmts[m.off+1:]...), true
+		})
+	case mClearFnPragmas:
+		if m.decl >= len(u.Decls) {
+			return false
+		}
+		fn, ok := u.Decls[m.decl].(*cast.FuncDecl)
+		if !ok || len(fn.Pragmas) == 0 {
+			return false
+		}
+		fn.Pragmas = nil
+		return true
+	case mClearLoopPragmas:
+		return editList(u, m.list, func(stmts []cast.Stmt) ([]cast.Stmt, bool) {
+			if m.off >= len(stmts) {
+				return stmts, false
+			}
+			switch x := stmts[m.off].(type) {
+			case *cast.For:
+				if len(x.Pragmas) == 0 {
+					return stmts, false
+				}
+				x.Pragmas = nil
+			case *cast.While:
+				if len(x.Pragmas) == 0 {
+					return stmts, false
+				}
+				x.Pragmas = nil
+			default:
+				return stmts, false
+			}
+			return stmts, true
+		})
+	case mSimplifyExpr:
+		ei, done := 0, false
+		cast.MapExprs(u, func(e cast.Expr) cast.Expr {
+			idx := ei
+			ei++
+			if idx != m.expr || done {
+				return e
+			}
+			switch x := e.(type) {
+			case *cast.Binary:
+				if m.variant == eBinaryL {
+					done = true
+					return x.L
+				}
+				if m.variant == eBinaryR {
+					done = true
+					return x.R
+				}
+			case *cast.Cond:
+				if m.variant == eCondT {
+					done = true
+					return x.T
+				}
+				if m.variant == eCondF {
+					done = true
+					return x.F
+				}
+			}
+			return e
+		})
+		return done
+	}
+	return false
+}
+
+// eachList visits every statement list in the unit — function bodies,
+// nested blocks, loop and branch bodies that are blocks, switch-case
+// arms — in a stable depth-first order, assigning consecutive indices.
+func eachList(u *cast.Unit, f func(li int, stmts []cast.Stmt)) {
+	li := 0
+	var walkStmt func(s cast.Stmt)
+	walkBlock := func(b *cast.Block) {
+		f(li, b.Stmts)
+		li++
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s cast.Stmt) {
+		switch x := s.(type) {
+		case *cast.Block:
+			walkBlock(x)
+		case *cast.If:
+			walkStmt(x.Then)
+			if x.Else != nil {
+				walkStmt(x.Else)
+			}
+		case *cast.For:
+			walkStmt(x.Body)
+		case *cast.While:
+			walkStmt(x.Body)
+		case *cast.Switch:
+			for _, c := range x.Cases {
+				f(li, c.Body)
+				li++
+				for _, s := range c.Body {
+					walkStmt(s)
+				}
+			}
+		}
+	}
+	for _, d := range u.Decls {
+		if fn, ok := d.(*cast.FuncDecl); ok && fn.Body != nil {
+			walkBlock(fn.Body)
+		}
+	}
+}
+
+// listLengths returns the length of each statement list in eachList
+// order.
+func listLengths(u *cast.Unit) []int {
+	var out []int
+	eachList(u, func(li int, stmts []cast.Stmt) { out = append(out, len(stmts)) })
+	return out
+}
+
+// editList applies f to statement list #target, writing the returned
+// slice back into its container. Returns f's ok alongside whether the
+// list was found.
+func editList(u *cast.Unit, target int, f func([]cast.Stmt) ([]cast.Stmt, bool)) bool {
+	li := 0
+	ok := false
+	var walkStmt func(s cast.Stmt)
+	walkBlock := func(b *cast.Block) {
+		if li == target {
+			b.Stmts, ok = f(b.Stmts)
+		}
+		li++
+		for _, s := range b.Stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s cast.Stmt) {
+		switch x := s.(type) {
+		case *cast.Block:
+			walkBlock(x)
+		case *cast.If:
+			walkStmt(x.Then)
+			if x.Else != nil {
+				walkStmt(x.Else)
+			}
+		case *cast.For:
+			walkStmt(x.Body)
+		case *cast.While:
+			walkStmt(x.Body)
+		case *cast.Switch:
+			for _, c := range x.Cases {
+				if li == target {
+					c.Body, ok = f(c.Body)
+				}
+				li++
+				for _, s := range c.Body {
+					walkStmt(s)
+				}
+			}
+		}
+	}
+	for _, d := range u.Decls {
+		if fn, ok := d.(*cast.FuncDecl); ok && fn.Body != nil {
+			walkBlock(fn.Body)
+		}
+	}
+	return ok
+}

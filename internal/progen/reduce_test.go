@@ -1,0 +1,144 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/hls/check"
+)
+
+// keepReparses wraps a predicate so it only accepts programs whose
+// printed form re-parses — the invariant the conformance harness
+// demands of every committed reproducer.
+func keepReparses(pred func(*cast.Unit) bool) func(*cast.Unit) bool {
+	return func(u *cast.Unit) bool {
+		ru, err := cparser.Parse(cast.Print(u))
+		return err == nil && pred(ru)
+	}
+}
+
+// Reduce must preserve the predicate and shrink hard: on generated
+// programs with a planted violation, the minimized program still
+// exhibits the violation and is at most 25% of the original AST node
+// count (the acceptance bound for conformance reproducers).
+func TestReducePreservesPredicateAndShrinks(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := MustGenerate(Options{Seed: seed})
+		v := p.Planted[0]
+		keep := keepReparses(func(u *cast.Unit) bool {
+			return Present(u, v) && check.Run(u, cfg()).HasClass(v.Class)
+		})
+		red := Reduce(p.Unit, keep, ReduceOptions{})
+		if !keep(red) {
+			t.Fatalf("seed %d: reduced program no longer satisfies the predicate", seed)
+		}
+		orig, got := cast.CountNodes(p.Unit), cast.CountNodes(red)
+		if got*4 > orig {
+			t.Errorf("seed %d (%s): reduced to %d of %d nodes, want <= 25%%", seed, v.Kind, got, orig)
+		}
+	}
+}
+
+// The reducer must not mutate its input.
+func TestReduceLeavesInputIntact(t *testing.T) {
+	p := MustGenerate(Options{Seed: 4})
+	before := cast.Print(p.Unit)
+	Reduce(p.Unit, keepReparses(func(u *cast.Unit) bool {
+		return check.Run(u, cfg()).HasClass(p.Planted[0].Class)
+	}), ReduceOptions{})
+	if after := cast.Print(p.Unit); after != before {
+		t.Fatal("Reduce mutated its input unit")
+	}
+}
+
+// Same input, same predicate => byte-identical output, on every run.
+func TestReduceDeterministic(t *testing.T) {
+	p := MustGenerate(Options{Seed: 9})
+	v := p.Planted[0]
+	keep := keepReparses(func(u *cast.Unit) bool { return Present(u, v) })
+	a := cast.Print(Reduce(p.Unit, keep, ReduceOptions{}))
+	b := cast.Print(Reduce(p.Unit, keep, ReduceOptions{}))
+	if a != b {
+		t.Fatalf("nondeterministic reduction:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// A predicate the input does not satisfy returns the input unchanged
+// (as a fresh clone).
+func TestReduceRejectedInput(t *testing.T) {
+	p := MustGenerate(Options{Seed: 2, Clean: true})
+	red := Reduce(p.Unit, func(u *cast.Unit) bool { return false }, ReduceOptions{})
+	if cast.Print(red) != cast.Print(p.Unit) {
+		t.Fatal("rejected input was not returned unchanged")
+	}
+	if red == p.Unit {
+		t.Fatal("Reduce returned the input unit itself, not a clone")
+	}
+}
+
+// The trial budget is a hard cap: a tiny budget still terminates and
+// still satisfies the predicate.
+func TestReduceTrialBudget(t *testing.T) {
+	p := MustGenerate(Options{Seed: 5})
+	calls := 0
+	keep := func(u *cast.Unit) bool {
+		calls++
+		return strings.Contains(cast.Print(u), "kernel")
+	}
+	red := Reduce(p.Unit, keep, ReduceOptions{MaxTrials: 10})
+	if calls > 11 { // initial acceptance check + MaxTrials
+		t.Fatalf("predicate called %d times, budget was 10", calls)
+	}
+	if !strings.Contains(cast.Print(red), "kernel") {
+		t.Fatal("budget-capped reduction broke the predicate")
+	}
+}
+
+// Statement-chunk removal, control-flow unwrapping, and expression
+// simplification compose: a predicate tied to a single deep construct
+// reduces to a near-minimal program.
+func TestReduceDeepConstruct(t *testing.T) {
+	src := `
+int kernel(int a[16], int s, int out[16]) {
+	int acc = 0;
+	for (int i = 0; i < 16; i++) {
+		if (a[i] > 4) {
+			acc = acc + (a[i] * 3 + s);
+		} else {
+			acc = acc - 1;
+		}
+	}
+	while (s > 0) {
+		int vbuf[s];
+		vbuf[0] = acc;
+		acc = acc + vbuf[0];
+		s = s - 1;
+	}
+	for (int o = 0; o < 16; o++) {
+		out[o] = acc;
+	}
+	return acc;
+}
+`
+	u, err := cparser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasVLA := keepReparses(func(u *cast.Unit) bool {
+		return Present(u, Violation{Kind: KindVLA})
+	})
+	red := Reduce(u, hasVLA, ReduceOptions{})
+	if !hasVLA(red) {
+		t.Fatal("reduced program lost the VLA")
+	}
+	orig, got := cast.CountNodes(u), cast.CountNodes(red)
+	if got*4 > orig {
+		t.Errorf("reduced to %d of %d nodes, want <= 25%%", got, orig)
+	}
+	s := cast.Print(red)
+	if strings.Contains(s, "else") || strings.Contains(s, "* 3") {
+		t.Errorf("irrelevant constructs survived:\n%s", s)
+	}
+}

@@ -1,0 +1,6 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=longdouble subject=lacc
+// nodes=5/112 detail: minimized oracle witness for the Unsupported Data Types class
+int kernel(int a[64], int s, int out[64]) {
+    long double lacc = 3.5;
+}

@@ -1,0 +1,8 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=loop_pragma subject=a
+// nodes=11/88 detail: minimized oracle witness for the Loop Parallelization class
+int kernel(int a[64], int s, int out[64]) {
+    for (int i1 = 0; i1; i1++) {
+        #pragma HLS array_partition variable=a cyclic factor=3
+    }
+}

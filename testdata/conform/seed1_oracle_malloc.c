@@ -1,0 +1,6 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=malloc subject=malloc
+// nodes=8/119 detail: minimized oracle witness for the Dynamic Data Structures class
+int kernel(int a[64], int s, int out[64]) {
+    struct Pack *pk = (struct Pack *)malloc(sizeof(struct Pack));
+}

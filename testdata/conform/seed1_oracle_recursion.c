@@ -1,0 +1,6 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=recursion subject=rec_add
+// nodes=9/121 detail: minimized oracle witness for the Dynamic Data Structures class
+static void rec_add(int a[64], int out[64], int ri) {
+    rec_add(a, out, ri);
+}

@@ -1,0 +1,6 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=top_pragma subject=main_entry
+// nodes=4/88 detail: minimized oracle witness for the Top Function class
+int kernel(int a[64], int s, int out[64]) {
+    #pragma HLS top name=main_entry
+}

@@ -1,0 +1,6 @@
+// hgconform reproducer: regenerate with `hgconform -seed 1 -n 1`
+// seed=1 stage=oracle kind=vla subject=vbuf
+// nodes=4/121 detail: minimized oracle witness for the Dynamic Data Structures class
+int kernel(int a[64], int s, int out[64]) {
+    int vbuf[vn];
+}
