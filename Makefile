@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke
+.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke chaos-smoke
 
 all: build
 
@@ -46,6 +46,15 @@ bench-cache:
 conform-smoke:
 	$(GO) run ./cmd/hgconform -seed 1 -n 100
 	$(GO) test -short ./internal/progen/... ./internal/conform/...
+
+# Chaos smoke: the deterministic fault-injection matrix (every guarded
+# stage crossed with every failure class) plus the guard unit suite,
+# under the race detector — the proof that no stage panic, hang, or
+# corrupt output escapes containment and that fault-free guarded runs
+# stay byte-identical. -short trims the subject-parity sweep to three
+# subjects; the matrix itself always runs in full.
+chaos-smoke:
+	$(GO) test -race -short ./internal/guard/... ./internal/chaos/...
 
 # Traces one evaluation subject end-to-end and cross-validates the trace
 # with hgtrace -check: the event stream must reproduce the run's

@@ -135,6 +135,71 @@ int kernel(int x) {
 	}
 }
 
+func TestPublicGenerateTestsContext(t *testing.T) {
+	src := `
+int kernel(int x) {
+    if (x > 10) { return 1; }
+    return 0;
+}`
+	opts := heterogen.FuzzOptions{Seed: 1, MaxExecs: 200, Plateau: 80, TypedMutation: true}
+	camp, err := heterogen.GenerateTestsContext(context.Background(), src, "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Coverage < 1.0 {
+		t.Errorf("coverage %.2f", camp.Coverage)
+	}
+
+	// Cancellation stops the campaign at a commit point; the partial
+	// corpus is a usable suite, so the error stays nil.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := heterogen.GenerateTestsContext(ctx, src, "kernel", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Execs >= camp.Execs {
+		t.Errorf("cancelled campaign ran %d execs, complete one %d", partial.Execs, camp.Execs)
+	}
+
+	if _, err := heterogen.GenerateTestsContext(context.Background(), "int f(", "f", opts); err == nil {
+		t.Error("parse error must surface")
+	}
+}
+
+func TestPublicGuard(t *testing.T) {
+	src := `
+int top(int in) {
+    long double in_ld = in;
+    in_ld = in_ld + 1;
+    return (int)in_ld;
+}`
+	g := heterogen.NewGuard(heterogen.GuardOptions{})
+	opts := heterogen.Options{
+		Kernel: "top",
+		Fuzz:   heterogen.FuzzOptions{Seed: 1, MaxExecs: 120, Plateau: 50, TypedMutation: true},
+		Guard:  g,
+	}
+	res, err := heterogen.Transpile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := heterogen.Transpile(src, heterogen.Options{
+		Kernel: "top",
+		Fuzz:   heterogen.FuzzOptions{Seed: 1, MaxExecs: 120, Plateau: 50, TypedMutation: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != plain.Source {
+		t.Error("a guard without injection must not change the output")
+	}
+	var sf *heterogen.StageFailure
+	if errors.As(err, &sf) {
+		t.Error("clean run classified a StageFailure")
+	}
+}
+
 func TestPublicParseAndPrint(t *testing.T) {
 	u, err := heterogen.Parse(`int f(int a) { return a + 1; }`)
 	if err != nil {

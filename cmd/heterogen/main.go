@@ -22,6 +22,12 @@
 // evaluation cache by default; -cache-dir persists it across runs so a
 // repeated transpilation is near-instant, and -no-cache disables it.
 // The result and trace are byte-identical either way.
+//
+// Stage calls run inside a failure-containment guard. -stage-deadline
+// bounds each call's wall time, -interp-steps bounds interpreter
+// executions, -quarantine-dir collects minimized reproducers for
+// contained failures, and -chaos/-chaos-seed drive the deterministic
+// fault injector for soak testing (see internal/guard, internal/chaos).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"runtime"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/chaos"
 	"github.com/hetero/heterogen/internal/obs"
 )
 
@@ -47,6 +54,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
+	var cf chaos.Flags
+	cf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *kernel == "" || flag.NArg() != 1 {
@@ -82,6 +91,9 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	opts.Obs = obs.Multi(sinks...)
+	opts.Guard = cf.Build(reg, func(msg string) {
+		fmt.Fprintln(os.Stderr, "heterogen:", msg)
+	})
 	if !*noCache {
 		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir, Metrics: reg})
 		if err != nil {

@@ -16,6 +16,11 @@
 // `seed<N>_<stage>.c` for committing under testdata/conform/. Exit
 // status is 0 on a clean batch, 1 on conformance failures, 2 on usage
 // errors.
+//
+// Pipeline stages run inside a failure-containment guard;
+// -stage-deadline, -interp-steps, -quarantine-dir, and
+// -chaos/-chaos-seed configure the budgets and the deterministic fault
+// injector (see internal/guard).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/chaos"
 )
 
 func main() {
@@ -38,6 +44,8 @@ func main() {
 	maxIter := flag.Int("max-iterations", 0, "repair iteration budget per program (0 = harness default)")
 	out := flag.String("out", "", "write minimized reproducers for failures into this directory")
 	verbose := flag.Bool("v", false, "print each failure's minimized source")
+	var cf chaos.Flags
+	cf.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hgconform [-seed s] [-n count] [-check-only] [-parity-every k] [-fuzz-execs n] [-max-iterations n] [-out dir] [-v]")
@@ -55,6 +63,9 @@ func main() {
 		FuzzExecs:     *fuzzExecs,
 		MaxIterations: *maxIter,
 		OutDir:        *out,
+		Guard: cf.Build(nil, func(msg string) {
+			fmt.Fprintln(os.Stderr, "hgconform:", msg)
+		}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hgconform:", err)

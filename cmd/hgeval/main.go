@@ -19,6 +19,10 @@
 // id (read it with hgtrace). Single-subject traces (-subject) are
 // byte-deterministic; full runs interleave subjects in scheduler order.
 // -metrics prints aggregated counters and histograms to stderr.
+//
+// Stage calls run inside a failure-containment guard; -stage-deadline,
+// -interp-steps, -quarantine-dir, and -chaos/-chaos-seed configure the
+// budgets and the deterministic fault injector (see internal/guard).
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"os"
 	"runtime"
 
+	"github.com/hetero/heterogen/internal/chaos"
 	"github.com/hetero/heterogen/internal/eval"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/obs"
@@ -50,6 +55,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (all numbers are identical either way)")
+	var cf chaos.Flags
+	cf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *deps {
@@ -88,6 +95,9 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	cfg.Obs = obs.Multi(sinks...)
+	cfg.Guard = cf.Build(reg, func(msg string) {
+		fmt.Fprintln(os.Stderr, "hgeval:", msg)
+	})
 	if !*noCache {
 		cache, err := evalcache.New(evalcache.Options{Dir: *cacheDir, Metrics: reg})
 		if err != nil {

@@ -16,6 +16,12 @@
 // a repeated run over the same kernel, seed, and budget replays the
 // recorded campaign (identical tests, coverage, and trace) instead of
 // re-executing; -no-cache disables the cache.
+//
+// Executions run inside a failure-containment guard: -interp-steps
+// bounds each execution's step count, -stage-deadline its wall time,
+// -quarantine-dir collects minimized reproducers for contained
+// failures, and -chaos/-chaos-seed drive the deterministic fault
+// injector (see internal/guard, internal/chaos).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/chaos"
 	"github.com/hetero/heterogen/internal/obs"
 )
 
@@ -36,6 +43,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print aggregated run metrics to stderr")
 	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
+	var cf chaos.Flags
+	cf.Register(flag.CommandLine)
 	flag.Parse()
 	if *kernel == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] file.c")
@@ -70,6 +79,12 @@ func main() {
 		TypedMutation: true,
 		HostMain:      *host,
 		Obs:           obs.Multi(sinks...),
+	}
+	opts.Guard = cf.Build(reg, func(msg string) {
+		fmt.Fprintln(os.Stderr, "hgfuzz:", msg)
+	})
+	if s := opts.Guard.InterpSteps(); s != 0 {
+		opts.MaxStepsPerExec = s
 	}
 	if !*noCache {
 		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir, Metrics: reg})

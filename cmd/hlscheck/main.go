@@ -10,6 +10,10 @@
 // program text, so re-checking an unchanged file (a CI gate's common
 // case) is a cache hit; -no-cache disables the cache. Diagnostics are
 // identical either way.
+//
+// The check runs inside a failure-containment guard; -stage-deadline,
+// -quarantine-dir, and -chaos/-chaos-seed configure its budget and the
+// deterministic fault injector (see internal/guard).
 package main
 
 import (
@@ -18,12 +22,15 @@ import (
 	"os"
 
 	"github.com/hetero/heterogen"
+	"github.com/hetero/heterogen/internal/chaos"
 )
 
 func main() {
 	top := flag.String("top", "", "top function of the design (required)")
 	cacheDir := flag.String("cache-dir", "", "persist the evaluation cache in this directory (reused across runs)")
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (diagnostics are identical either way)")
+	var cf chaos.Flags
+	cf.Register(flag.CommandLine)
 	flag.Parse()
 	if *top == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> [-cache-dir d] [-no-cache] file.c")
@@ -35,6 +42,9 @@ func main() {
 		os.Exit(1)
 	}
 	opts := heterogen.Options{Kernel: *top}
+	opts.Guard = cf.Build(nil, func(msg string) {
+		fmt.Fprintln(os.Stderr, "hlscheck:", msg)
+	})
 	if !*noCache {
 		cache, err := heterogen.NewCache(heterogen.CacheOptions{Dir: *cacheDir})
 		if err != nil {

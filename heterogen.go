@@ -26,6 +26,7 @@ import (
 	"github.com/hetero/heterogen/internal/core"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/sim"
 	"github.com/hetero/heterogen/internal/repair"
@@ -159,6 +160,47 @@ func GenerateTests(src, kernel string, opts FuzzOptions) (fuzz.Campaign, error) 
 		return fuzz.Campaign{}, err
 	}
 	return fuzz.Run(u, kernel, opts)
+}
+
+// GenerateTestsContext is GenerateTests with cooperative cancellation.
+// The context is checked between executions, never mid-run, so
+// cancellation returns promptly with the corpus gathered so far — a
+// partial campaign is still a usable test suite, so the error stays nil
+// for cancellation; callers that must distinguish inspect ctx.Err.
+func GenerateTestsContext(ctx context.Context, src, kernel string, opts FuzzOptions) (fuzz.Campaign, error) {
+	u, err := parse(src)
+	if err != nil {
+		return fuzz.Campaign{}, err
+	}
+	return fuzz.RunContext(ctx, u, kernel, opts)
+}
+
+// Guard is the failure-containment layer: it wraps every expensive
+// stage call (parsing, printing, style checking, the synthesizability
+// checker, resource estimation, differential testing, interpreter
+// executions) so that a panic, hang, or corrupted output inside one
+// stage becomes a typed StageFailure instead of a crashed process.
+// Attach one via Options.Guard; a nil guard still contains panics but
+// applies no deadlines, fault injection, or quarantine.
+type Guard = guard.Guard
+
+// GuardOptions configures NewGuard: per-stage deadlines, interpreter
+// step budgets, transient-failure retries, the quarantine directory for
+// minimized reproducers, and (for testing) a deterministic fault
+// injector.
+type GuardOptions = guard.Options
+
+// StageFailure is one contained stage failure: which stage failed, how
+// (panic, deadline, corrupt output, transient), and — when quarantine
+// is enabled — the path of the minimized reproducer written for it.
+// Failed stage calls return it as their error; errors.As extracts it.
+type StageFailure = guard.StageFailure
+
+// NewGuard builds a failure-containment guard to share across calls via
+// Options.Guard. The zero GuardOptions value is valid: containment
+// only, no deadlines or quarantine.
+func NewGuard(opts GuardOptions) *Guard {
+	return guard.New(opts)
 }
 
 // ConformOptions configures a conformance run (Conform).

@@ -1,0 +1,155 @@
+// Package chaos is the deterministic fault injector behind the guard
+// layer's test harness: it plants panics, deadline overruns, corrupted
+// stage outputs, and transient faults at internal/guard hook points on
+// a seed-driven schedule.
+//
+// Determinism contract: an injection decision is a pure hash of
+// (seed, stage, invocation key) — invocation keys are content-derived
+// (printed candidate text, rendered test case), never call counters —
+// so the same program reaches the same faults regardless of worker
+// scheduling, Workers value, or prior cache state. Running the same
+// seed twice degrades the pipeline identically; running with Rate 0 (or
+// no injector at all) is byte-identical to an unguarded run.
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/hetero/heterogen/internal/guard"
+	"github.com/hetero/heterogen/internal/obs"
+)
+
+// Options configures an injector.
+type Options struct {
+	// Seed drives the schedule: same seed, same faults.
+	Seed int64
+	// Rate is the per-invocation fault probability in [0, 1].
+	Rate float64
+	// Stages restricts injection to the listed hook points (nil = all).
+	Stages []guard.Stage
+	// Kinds restricts the planted failure classes (nil = all).
+	Kinds []guard.Class
+	// TransientFailures is how many attempts an injected transient fault
+	// fails before succeeding (default 1, so a guard with at least one
+	// retry survives it).
+	TransientFailures int
+}
+
+// Injector implements guard.Injector over a seeded hash schedule.
+type Injector struct {
+	opts   Options
+	stages map[guard.Stage]bool // nil means every stage
+	kinds  []guard.Class
+}
+
+// New builds an injector.
+func New(opts Options) *Injector {
+	inj := &Injector{opts: opts, kinds: opts.Kinds}
+	if len(opts.Stages) > 0 {
+		inj.stages = make(map[guard.Stage]bool, len(opts.Stages))
+		for _, s := range opts.Stages {
+			inj.stages[s] = true
+		}
+	}
+	if len(inj.kinds) == 0 {
+		inj.kinds = guard.Classes()
+	}
+	return inj
+}
+
+// Always injects the given class at the given stage on every invocation
+// — the chaos matrix's (stage × class) cell.
+func Always(stage guard.Stage, class guard.Class) *Injector {
+	return New(Options{Rate: 1, Stages: []guard.Stage{stage}, Kinds: []guard.Class{class}})
+}
+
+// Fault implements guard.Injector.
+func (i *Injector) Fault(stage guard.Stage, key string, attempt int) guard.Fault {
+	if i == nil || i.opts.Rate <= 0 {
+		return guard.Fault{}
+	}
+	if i.stages != nil && !i.stages[stage] {
+		return guard.Fault{}
+	}
+	if i.opts.Rate < 1 {
+		// Top 53 bits of the hash → uniform float in [0, 1).
+		if float64(i.hash("fire", stage, key)>>11)/float64(1<<53) >= i.opts.Rate {
+			return guard.Fault{}
+		}
+	}
+	class := i.kinds[int(i.hash("kind", stage, key)%uint64(len(i.kinds)))]
+	if class == guard.ClassTransient {
+		n := i.opts.TransientFailures
+		if n <= 0 {
+			n = 1
+		}
+		if attempt > n {
+			return guard.Fault{} // the "environment" recovered; the retry succeeds
+		}
+	}
+	return guard.Fault{Class: class,
+		Detail: fmt.Sprintf("chaos: injected %s at %s (seed %d)", class, stage, i.opts.Seed)}
+}
+
+// hash folds the schedule inputs into 64 bits. The purpose tag keeps
+// the fire decision and the class pick independent.
+func (i *Injector) hash(purpose string, stage guard.Stage, key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for n := 0; n < 8; n++ {
+		b[n] = byte(uint64(i.opts.Seed) >> (8 * n))
+	}
+	h.Write(b[:])
+	h.Write([]byte(purpose))
+	h.Write([]byte{0})
+	h.Write([]byte(stage))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Flags bundles the containment and chaos knobs the five CLIs expose,
+// so each binary registers the same flag vocabulary with four lines.
+type Flags struct {
+	StageDeadline time.Duration
+	InterpSteps   int64
+	QuarantineDir string
+	Rate          float64
+	Seed          int64
+}
+
+// Register installs the shared flags on fs (normally flag.CommandLine).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&f.StageDeadline, "stage-deadline", 0,
+		"wall-clock deadline per guarded stage invocation (0 disables)")
+	fs.Int64Var(&f.InterpSteps, "interp-steps", 0,
+		"interpreter step budget for execution stages (0 = package defaults)")
+	fs.StringVar(&f.QuarantineDir, "quarantine-dir", "",
+		"directory for minimized reproducers of contained stage failures (empty disables)")
+	fs.Float64Var(&f.Rate, "chaos", 0,
+		"deterministic fault-injection rate in [0,1] (0 disables; testing only)")
+	fs.Int64Var(&f.Seed, "chaos-seed", 1,
+		"seed for the chaos injection schedule")
+}
+
+// Build assembles the guard the flags describe, or nil when every knob
+// is off (a nil guard still contains panics at the built-in backstops).
+func (f *Flags) Build(metrics *obs.Registry, warn func(string)) *guard.Guard {
+	if f.StageDeadline == 0 && f.InterpSteps == 0 && f.QuarantineDir == "" && f.Rate == 0 {
+		return nil
+	}
+	opts := guard.Options{
+		StageDeadline: f.StageDeadline,
+		InterpSteps:   f.InterpSteps,
+		QuarantineDir: f.QuarantineDir,
+		Metrics:       metrics,
+		Warn:          warn,
+	}
+	if f.Rate > 0 {
+		opts.Injector = New(Options{Seed: f.Seed, Rate: f.Rate})
+	}
+	return guard.New(opts)
+}

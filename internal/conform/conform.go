@@ -33,6 +33,7 @@ import (
 	"github.com/hetero/heterogen/internal/cparser"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/obs"
@@ -67,6 +68,10 @@ type Options struct {
 	// (progen default; pipeline-stage reductions use a tenth of it,
 	// since each trial is a full pipeline run).
 	ReduceTrials int
+	// Guard, when non-nil, contains stage failures inside the pipeline
+	// runs instead of crashing the harness. With injection disabled the
+	// report is bit-identical with or without it.
+	Guard *guard.Guard
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +186,7 @@ func (h *harness) pipeline(ctx context.Context, u *cast.Unit, kernel string,
 	ro.MaxIterations = h.opts.MaxIterations
 	return core.RunUnitContext(ctx, cast.CloneUnit(u), core.Options{
 		Kernel: kernel, Fuzz: fo, Repair: ro, Obs: o, Cache: c,
+		Guard: h.opts.Guard,
 	})
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/hetero/heterogen/internal/difftest"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/hls/sim"
@@ -62,6 +63,15 @@ type Options struct {
 	// whether the cache is disabled, cold, or warm. Nil disables
 	// caching.
 	Cache *evalcache.Cache
+	// Guard is the failure-containment layer wrapped around every
+	// expensive stage call (parse, final print, synthesizability checks,
+	// resource estimation, kernel executions, differential tests). It is
+	// passed down to Fuzz.Guard / Repair.Guard unless those are already
+	// set, and its InterpSteps budget seeds the fuzzer's per-exec step
+	// bound and the repair search's difftest budget when the caller left
+	// them unset. Nil still contains panics (guard.Do is nil-safe) but
+	// has no deadlines, injection, or quarantine.
+	Guard *guard.Guard
 }
 
 // Result is the full pipeline outcome.
@@ -108,7 +118,13 @@ func Run(src string, opts Options) (Result, error) {
 // RunContext is Run with cooperative cancellation — see RunUnitContext
 // for the partial-result semantics.
 func RunContext(ctx context.Context, src string, opts Options) (Result, error) {
-	orig, err := cparser.Parse(src)
+	// The parser is guarded on the source text itself (there is no unit
+	// yet to quarantine; a contained parser panic surfaces as a typed
+	// *guard.StageFailure error instead of killing the process).
+	orig, err := guard.Do(opts.Guard, guard.Invocation{Stage: guard.StageParse, Key: src},
+		func(*cast.Unit) (*cast.Unit, error) {
+			return cparser.Parse(src)
+		})
 	if err != nil {
 		return Result{}, fmt.Errorf("heterogen: parse: %w", err)
 	}
@@ -157,6 +173,7 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	}
 
 	// Stage 1: test input generation.
+	userSteps := opts.Fuzz.MaxStepsPerExec != 0
 	fopts := opts.Fuzz
 	if fopts.MaxExecs == 0 {
 		fopts = fuzz.DefaultOptions()
@@ -169,6 +186,12 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	}
 	if fopts.Cache == nil {
 		fopts.Cache = opts.Cache
+	}
+	if fopts.Guard == nil {
+		fopts.Guard = opts.Guard
+	}
+	if steps := opts.Guard.InterpSteps(); steps != 0 && !userSteps {
+		fopts.MaxStepsPerExec = steps
 	}
 	endFuzz := phase("fuzz")
 	camp, err := fuzz.RunContext(ctx, orig, opts.Kernel, fopts)
@@ -220,19 +243,46 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	if ropts.Cache == nil {
 		ropts.Cache = opts.Cache
 	}
+	if ropts.Guard == nil {
+		ropts.Guard = opts.Guard
+	}
+	if ropts.InterpSteps == 0 {
+		ropts.InterpSteps = opts.Guard.InterpSteps()
+	}
 	endRepair := phase("repair")
 	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
 	endRepair(rr.Stats.VirtualSeconds)
 	res.Repair = rr
 	res.Final = rr.Unit
-	res.Source = cast.Print(rr.Unit)
 	res.Compatible = rr.Compatible
 	res.BehaviorOK = rr.BehaviorOK
 	res.Improved = rr.Improved
 	res.DeltaLOC = repair.EditedLines(orig, rr.Unit)
 	res.CPUMeanMS = rr.Report.CPUMeanMS()
 	res.FPGAMeanMS = rr.Report.FPGAMeanMS()
-	res.Resources = estimateResources(opts.Cache, rr.Unit)
+	// The final print is guarded: a printer panic on the repaired design
+	// is a hard failure (there is no HLS source to hand back), reported
+	// as a typed error instead of a crash.
+	src, perr := guard.Do(opts.Guard,
+		guard.Invocation{Stage: guard.StagePrint, Key: "print|" + opts.Kernel, Unit: rr.Unit},
+		func(cu *cast.Unit) (string, error) {
+			return cast.Print(cu), nil
+		})
+	if perr != nil {
+		finish()
+		return res, fmt.Errorf("heterogen: print: %w", perr)
+	}
+	res.Source = src
+	est, eerr := estimateResources(opts.Cache, opts.Guard, rr.Unit)
+	if eerr != nil {
+		// Estimation is reporting-only at this point: degrade to a zero
+		// estimate with a warning instead of discarding the repair.
+		if tracing {
+			o.Emit(obs.Event{Type: obs.EvWarning, Virtual: pipelineVirtual,
+				Warn: fmt.Sprintf("resource estimation failed: %v", eerr)})
+		}
+	}
+	res.Resources = est
 	finish()
 	if err := ctx.Err(); err != nil {
 		return res, fmt.Errorf("heterogen: cancelled during repair: %w", err)
@@ -240,21 +290,30 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	return res, nil
 }
 
-// estimateResources is sim.Estimate through the cache. The key scheme
-// is shared with the repair search's device-capacity gate, so the
-// final design's estimate is often already present.
-func estimateResources(c *evalcache.Cache, u *cast.Unit) sim.Resources {
-	if c == nil {
-		return sim.Estimate(u)
+// estimateResources is sim.Estimate through the cache and the guard.
+// The key scheme is shared with the repair search's device-capacity
+// gate, so the final design's estimate is often already present. The
+// only possible error is a contained *guard.StageFailure.
+func estimateResources(c *evalcache.Cache, g *guard.Guard, u *cast.Unit) (sim.Resources, error) {
+	var key string
+	if c != nil {
+		key = evalcache.ResourceKey(cast.Print(u))
+		var r sim.Resources
+		if c.Get(evalcache.StageSim, key, &r) {
+			return r, nil
+		}
 	}
-	key := evalcache.ResourceKey(cast.Print(u))
-	var r sim.Resources
-	if c.Get(evalcache.StageSim, key, &r) {
-		return r
+	r, err := guard.Do(g, guard.Invocation{Stage: guard.StageEstimate, Key: key, Unit: u},
+		func(cu *cast.Unit) (sim.Resources, error) {
+			return sim.Estimate(cu), nil
+		})
+	if err != nil {
+		return sim.Resources{}, err
 	}
-	r = sim.Estimate(u)
-	c.Put(evalcache.StageSim, key, r)
-	return r
+	if c != nil {
+		c.Put(evalcache.StageSim, key, r)
+	}
+	return r, nil
 }
 
 // Check exposes the full synthesizability checker for a source text.
@@ -271,23 +330,33 @@ func CheckObserved(src, top string, o obs.Observer) (hls.Report, error) {
 // CheckWith runs only the synthesizability-checker stage, taking the
 // same option struct as the other entry points: Kernel names the top
 // function, Obs receives the hls_check event, Cache memoizes the
-// verdict; the remaining fields are ignored. A cache hit emits the
-// identical event a fresh check would.
+// verdict, Guard contains checker failures; the remaining fields are
+// ignored. A cache hit emits the identical event a fresh check would.
 func CheckWith(src string, opts Options) (hls.Report, error) {
 	u, err := cparser.Parse(src)
 	if err != nil {
 		return hls.Report{}, err
 	}
 	cfg := hls.DefaultConfig(opts.Kernel)
-	if opts.Cache == nil {
-		return check.RunObserved(u, cfg, opts.Obs), nil
-	}
-	key := evalcache.CheckKey(
-		evalcache.CheckSalt(cfg.Top, cfg.Device, cfg.ClockMHz), cast.Print(u))
+	var key string
 	var rep hls.Report
-	if !opts.Cache.Get(evalcache.StageCheck, key, &rep) {
-		rep = check.Run(u, cfg)
-		opts.Cache.Put(evalcache.StageCheck, key, rep)
+	cached := false
+	if opts.Cache != nil {
+		key = evalcache.CheckKey(
+			evalcache.CheckSalt(cfg.Top, cfg.Device, cfg.ClockMHz), cast.Print(u))
+		cached = opts.Cache.Get(evalcache.StageCheck, key, &rep)
+	}
+	if !cached {
+		rep, err = guard.Do(opts.Guard, guard.Invocation{Stage: guard.StageCheck, Unit: u},
+			func(cu *cast.Unit) (hls.Report, error) {
+				return check.Run(cu, cfg), nil
+			})
+		if err != nil {
+			return hls.Report{}, err
+		}
+		if opts.Cache != nil {
+			opts.Cache.Put(evalcache.StageCheck, key, rep)
+		}
 	}
 	check.Observe(opts.Obs, cfg, rep)
 	return rep, nil
@@ -327,7 +396,10 @@ func Simulate(src string, opts Options) (SimReport, error) {
 		return SimReport{}, err
 	}
 	out := SimReport{Report: rep, Device: sim.XCVU9P}
-	out.Resources = estimateResources(opts.Cache, u)
+	out.Resources, err = estimateResources(opts.Cache, opts.Guard, u)
+	if err != nil {
+		return SimReport{}, err
+	}
 	out.Fits, out.Over = sim.CheckCapacity(out.Resources, out.Device)
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/interp"
+)
+
+// loopy costs hundreds of interpreter steps per call, so a tiny
+// InterpSteps budget exhausts on both sides.
+const loopy = `
+int kernel(int n) {
+    if (n < 0) { n = -n; }
+    int s = 0;
+    for (int i = 0; i < n % 64 + 32; i++) { s = s + i; }
+    return s;
+}`
+
+// TestBudgetExhaustionIsInconclusive is the oracle-integrity rule: a
+// step-budget timeout says nothing about behavioural agreement, so it
+// must surface as inconclusive(timeout) — never as a mismatch that
+// would steer the repair search away from a correct candidate.
+func TestBudgetExhaustionIsInconclusive(t *testing.T) {
+	u := cparser.MustParse(loopy)
+	cfg := hls.DefaultConfig("kernel")
+	cfg.InterpSteps = 20
+	tests := []fuzz.TestCase{intCase(5), intCase(40), intCase(-7)}
+	rep := Run(u, cparser.MustParse(loopy), "kernel", cfg, tests)
+	if rep.Inconclusive != len(tests) {
+		t.Fatalf("Inconclusive = %d, want %d", rep.Inconclusive, len(tests))
+	}
+	if len(rep.Mismatches) != 0 {
+		t.Fatalf("budget exhaustion reported as mismatches: %v", rep.Mismatches)
+	}
+	if !strings.Contains(rep.FirstDiff, "inconclusive(timeout)") {
+		t.Errorf("FirstDiff = %q", rep.FirstDiff)
+	}
+	if len(rep.Timeouts) != len(tests) {
+		t.Errorf("Timeouts = %v", rep.Timeouts)
+	}
+	if rep.AllPass() {
+		t.Error("an inconclusive suite must not count as all-pass")
+	}
+	if rep.PassRatio() != 0 {
+		t.Errorf("PassRatio = %v with zero conclusive passes", rep.PassRatio())
+	}
+}
+
+// TestRealMismatchOutranksInconclusive: when a suite has both timeouts
+// and a genuine disagreement, FirstDiff must explain the disagreement.
+func TestRealMismatchOutranksInconclusive(t *testing.T) {
+	orig := cparser.MustParse(`
+int kernel(int n) {
+    if (n < 0) { n = -n; }
+    int s = 0;
+    for (int i = 0; i < n % 64; i++) { s = s + i; }
+    return s;
+}`)
+	// Same shape, different arithmetic: disagrees on every test cheap
+	// enough to complete.
+	broken := cparser.MustParse(`
+int kernel(int n) {
+    if (n < 0) { n = -n; }
+    int s = 1;
+    for (int i = 0; i < n % 64; i++) { s = s + i; }
+    return s;
+}`)
+	cfg := hls.DefaultConfig("kernel")
+	cfg.InterpSteps = 150 // small inputs finish, big ones time out
+	tests := []fuzz.TestCase{intCase(63), intCase(1)}
+	rep := Run(orig, broken, "kernel", cfg, tests)
+	if rep.Inconclusive == 0 {
+		t.Fatal("expected at least one timeout (budget choice too generous)")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("expected at least one conclusive mismatch")
+	}
+	if strings.Contains(rep.FirstDiff, "inconclusive") {
+		t.Errorf("a real mismatch must own FirstDiff, got %q", rep.FirstDiff)
+	}
+}
+
+// TestDefaultBudgetUnchanged pins that InterpSteps == 0 keeps the
+// interpreter's package default — the pre-guard behaviour.
+func TestDefaultBudgetUnchanged(t *testing.T) {
+	u := cparser.MustParse(loopy)
+	cfg := hls.DefaultConfig("kernel")
+	rep := Run(u, cparser.MustParse(loopy), "kernel", cfg, []fuzz.TestCase{intCase(12)})
+	if !rep.AllPass() || rep.Inconclusive != 0 {
+		t.Fatalf("identical programs under default budget: %+v", rep)
+	}
+}
+
+// TestIsBudgetClassification pins the typed-error satellite: only
+// step-limit RuntimeErrors classify as budget exhaustion.
+func TestIsBudgetClassification(t *testing.T) {
+	u := cparser.MustParse(loopy)
+	in, err := interp.New(u, interp.Options{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, callErr := in.CallKernel("kernel", intCase(40).Values())
+	if !interp.IsBudget(callErr) {
+		t.Fatalf("step-limited run returned %v, want a budget RuntimeError", callErr)
+	}
+	if interp.IsBudget(nil) {
+		t.Error("nil classifies as budget exhaustion")
+	}
+}

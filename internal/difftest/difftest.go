@@ -33,7 +33,13 @@ type Outcome struct {
 
 // RunCPU executes the kernel of u on the CPU interpreter for one test.
 func RunCPU(u *cast.Unit, kernel string, tc fuzz.TestCase) Outcome {
-	in, err := interp.New(u, interp.Options{})
+	return runCPU(u, kernel, tc, 0)
+}
+
+// runCPU is RunCPU with an explicit step budget (0 = interpreter
+// default).
+func runCPU(u *cast.Unit, kernel string, tc fuzz.TestCase, maxSteps int64) Outcome {
+	in, err := interp.New(u, interp.Options{MaxSteps: maxSteps})
 	if err != nil {
 		return Outcome{Err: err}
 	}
@@ -107,7 +113,14 @@ type Report struct {
 	Total, Passed int
 	// Mismatches lists the indexes of disagreeing tests (capped).
 	Mismatches []int
-	// FirstDiff explains the first mismatch.
+	// Inconclusive counts tests where either side exhausted its
+	// interpreter step budget. A budget exhaustion says nothing about
+	// behavioural agreement, so these are neither passes nor mismatches.
+	Inconclusive int
+	// Timeouts lists the indexes of inconclusive tests (capped).
+	Timeouts []int
+	// FirstDiff explains the first mismatch (or, when there are no
+	// mismatches, the first inconclusive test).
 	FirstDiff string
 	// CPUMeanCost / FPGAMeanCycles average the per-test execution costs
 	// over tests where both sides succeeded.
@@ -136,8 +149,25 @@ func Run(original, candidate *cast.Unit, kernel string, cfg hls.Config, tests []
 	var cpuSum, fpgaSum float64
 	measured := 0
 	for i, tc := range tests {
-		ref := RunCPU(original, kernel, tc)
+		ref := runCPU(original, kernel, tc, cfg.InterpSteps)
 		got := RunFPGA(candidate, cfg, tc)
+		if interp.IsBudget(ref.Err) || interp.IsBudget(got.Err) {
+			// A step-budget exhaustion is a verdict about the budget, not
+			// the behaviour: the run was cut short, so agreement is
+			// unknowable. Never report it as a mismatch.
+			rep.Inconclusive++
+			if len(rep.Timeouts) < 16 {
+				rep.Timeouts = append(rep.Timeouts, i)
+			}
+			if rep.FirstDiff == "" {
+				side := "CPU"
+				if !interp.IsBudget(ref.Err) {
+					side = "FPGA"
+				}
+				rep.FirstDiff = fmt.Sprintf("inconclusive(timeout): test %d: %s side exhausted its step budget", i, side)
+			}
+			continue
+		}
 		if Agree(ref, got) {
 			rep.Passed++
 			if ref.Err == nil && got.Err == nil {
@@ -150,7 +180,7 @@ func Run(original, candidate *cast.Unit, kernel string, cfg hls.Config, tests []
 		if len(rep.Mismatches) < 16 {
 			rep.Mismatches = append(rep.Mismatches, i)
 		}
-		if rep.FirstDiff == "" {
+		if rep.FirstDiff == "" || len(rep.Mismatches) == 1 {
 			rep.FirstDiff = describeDiff(i, ref, got)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/forum"
 	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/profile"
@@ -55,6 +56,12 @@ type Config struct {
 	// bit-identical with or without it. Safe to share across the
 	// concurrent subjects of RunAll.
 	Cache *evalcache.Cache
+	// Guard, when non-nil, contains stage failures (panics, deadline
+	// overruns) inside each subject's fuzzing campaign and repair
+	// search instead of crashing the harness. With injection disabled,
+	// reported numbers are bit-identical with or without it. Safe to
+	// share across the concurrent subjects of RunAll.
+	Guard *guard.Guard
 }
 
 // DefaultConfig is the full-effort harness configuration.
@@ -124,6 +131,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	fopts := cfg.fuzzOptions()
 	fopts.Obs = o
 	fopts.Cache = cfg.Cache
+	fopts.Guard = cfg.Guard
 	camp, err := fuzz.Run(orig, s.Kernel, fopts)
 	if err != nil {
 		return run, fmt.Errorf("%s: fuzz: %w", s.ID, err)
@@ -153,6 +161,8 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	ropts.Workers = cfg.Workers
 	ropts.Obs = o
 	ropts.Cache = cfg.Cache
+	ropts.Guard = cfg.Guard
+	ropts.InterpSteps = cfg.Guard.InterpSteps()
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK

@@ -64,7 +64,7 @@ func Stages() []Stage {
 // serialized form of any cached verdict, or the meaning of any key
 // component, changes: old on-disk entries then miss instead of
 // deserializing into the wrong shape.
-const formatVersion = 1
+const formatVersion = 2
 
 // Fingerprint hashes an ordered list of key components into a hex
 // content address. Components are length-prefixed, so the boundary
@@ -96,6 +96,10 @@ type Options struct {
 	// never ride in traces, which is what keeps traces byte-identical
 	// across cold and warm runs (hit counts legitimately differ).
 	Metrics *obs.Registry
+	// Warn, when non-nil, receives the one-line notice emitted when the
+	// persistent tier degrades (unopenable directory, failed append).
+	// Emitted at most once per cache.
+	Warn func(string)
 }
 
 // DefaultCapacity is the in-memory LRU bound when Options.Capacity is
@@ -131,6 +135,10 @@ type Stats struct {
 	// EncodeFailures counts values that could not be serialized (and
 	// were therefore not cached — Put degrades to a no-op).
 	EncodeFailures int64 `json:"encode_failures,omitempty"`
+	// DiskWriteFailures counts persistent-tier writes that failed. After
+	// the first one the cache degrades to in-memory operation: verdicts
+	// stay correct, they just stop persisting.
+	DiskWriteFailures int64 `json:"disk_write_failures,omitempty"`
 }
 
 // Hits sums hits over all stages.
@@ -155,9 +163,10 @@ func (s Stats) Misses() int64 {
 // attributing deltas to one pipeline run on a shared cache.
 func (s Stats) Sub(prev Stats) Stats {
 	out := Stats{
-		DiskLoaded:     s.DiskLoaded - prev.DiskLoaded,
-		DiskSkipped:    s.DiskSkipped - prev.DiskSkipped,
-		EncodeFailures: s.EncodeFailures - prev.EncodeFailures,
+		DiskLoaded:        s.DiskLoaded - prev.DiskLoaded,
+		DiskSkipped:       s.DiskSkipped - prev.DiskSkipped,
+		EncodeFailures:    s.EncodeFailures - prev.EncodeFailures,
+		DiskWriteFailures: s.DiskWriteFailures - prev.DiskWriteFailures,
 	}
 	for stage, st := range s.Stages {
 		p := prev.Stages[stage]
@@ -181,9 +190,10 @@ func (s Stats) Sub(prev Stats) Stats {
 // stats.json sidecar).
 func (s Stats) merge(o Stats) Stats {
 	out := Stats{
-		DiskLoaded:     s.DiskLoaded + o.DiskLoaded,
-		DiskSkipped:    s.DiskSkipped + o.DiskSkipped,
-		EncodeFailures: s.EncodeFailures + o.EncodeFailures,
+		DiskLoaded:        s.DiskLoaded + o.DiskLoaded,
+		DiskSkipped:       s.DiskSkipped + o.DiskSkipped,
+		EncodeFailures:    s.EncodeFailures + o.EncodeFailures,
+		DiskWriteFailures: s.DiskWriteFailures + o.DiskWriteFailures,
 	}
 	for _, src := range []Stats{s, o} {
 		for stage, st := range src.Stages {
@@ -242,19 +252,26 @@ type Cache struct {
 	disk    map[key]json.RawMessage
 	store   *diskStore
 	metrics *obs.Registry
+	warn    func(string)
+	warned  bool
 	stats   Stats
 }
 
 // New opens a cache. With Options.Dir set, existing entries are loaded
 // (corrupt or truncated lines are counted and skipped, never fatal)
-// and the store is opened for append; the error is non-nil only when
-// the directory or its entries file cannot be created or opened.
+// and the store is opened for append. A persistent tier that cannot be
+// opened is never fatal either: the cache degrades to in-memory
+// operation with a one-line warning and a DiskWriteFailures count —
+// verdicts are an optimization, so losing persistence must not abort
+// the run. The returned error is always nil today; the signature keeps
+// room for future hard failures.
 func New(opts Options) (*Cache, error) {
 	c := &Cache{
 		capacity: opts.Capacity,
 		ll:       list.New(),
 		mem:      map[key]*list.Element{},
 		metrics:  opts.Metrics,
+		warn:     opts.Warn,
 		stats:    Stats{Stages: map[Stage]StageStats{}},
 	}
 	if c.capacity <= 0 {
@@ -263,7 +280,8 @@ func New(opts Options) (*Cache, error) {
 	if opts.Dir != "" {
 		store, loaded, skipped, err := openDiskStore(opts.Dir)
 		if err != nil {
-			return nil, err
+			c.degrade(fmt.Sprintf("evalcache: persistent tier disabled: %v", err))
+			return c, nil
 		}
 		c.store = store
 		c.disk = loaded
@@ -271,6 +289,28 @@ func New(opts Options) (*Cache, error) {
 		c.stats.DiskSkipped = skipped
 	}
 	return c, nil
+}
+
+// degrade records a persistent-tier failure and drops to in-memory
+// operation. The warning fires at most once per cache; the counter and
+// metric record every occurrence.
+func (c *Cache) degrade(msg string) {
+	c.mu.Lock()
+	if c.store != nil {
+		c.store.discard()
+		c.store = nil
+	}
+	c.stats.DiskWriteFailures++
+	first := !c.warned
+	c.warned = true
+	warn := c.warn
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.Add("cache.disk_degraded", 1)
+	}
+	if first && warn != nil {
+		warn(msg)
+	}
 }
 
 // Get looks an entry up and, on a hit, unmarshals the stored verdict
@@ -384,7 +424,11 @@ func (c *Cache) Put(stage Stage, hash string, val any) {
 		storeErr = c.store.append(k, raw)
 	}
 	c.mu.Unlock()
-	_ = storeErr // surfaced via Close; a failed append only loses persistence
+	if storeErr != nil {
+		// A failed append only loses persistence: drop the disk tier,
+		// keep serving from memory.
+		c.degrade(fmt.Sprintf("evalcache: persistent tier disabled: %v", storeErr))
+	}
 	if c.metrics != nil {
 		c.metrics.Add("cache.stores."+string(stage), 1)
 		if evicted > 0 {
@@ -406,9 +450,10 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := Stats{
-		DiskLoaded:     c.stats.DiskLoaded,
-		DiskSkipped:    c.stats.DiskSkipped,
-		EncodeFailures: c.stats.EncodeFailures,
+		DiskLoaded:        c.stats.DiskLoaded,
+		DiskSkipped:       c.stats.DiskSkipped,
+		EncodeFailures:    c.stats.EncodeFailures,
+		DiskWriteFailures: c.stats.DiskWriteFailures,
 	}
 	if len(c.stats.Stages) > 0 {
 		out.Stages = make(map[Stage]StageStats, len(c.stats.Stages))

@@ -97,6 +97,13 @@ func (s *diskStore) append(k key, raw json.RawMessage) error {
 	return s.w.WriteByte('\n')
 }
 
+// discard abandons the append handle without flushing buffered writes
+// or touching the stats sidecar — used when the cache degrades to
+// in-memory operation after a write failure.
+func (s *diskStore) discard() {
+	_ = s.f.Close()
+}
+
 // close flushes entries and merges stats into the cumulative sidecar.
 func (s *diskStore) close(stats Stats) error {
 	flushErr := s.w.Flush()

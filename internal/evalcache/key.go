@@ -30,11 +30,13 @@ func ResourceKey(printedUnit string) string {
 }
 
 // DifftestSalt captures everything a differential-test verdict depends
-// on besides the candidate: the toolchain configuration, the kernel
-// under test, the oracle program, and the test corpus. Combine with
-// the candidate's printed text via DifftestKey.
-func DifftestSalt(top, device string, clockMHz float64, kernel, printedOriginal, corpusHash string) string {
-	return Fingerprint("difftest-cfg", top, device, fmt.Sprintf("%g", clockMHz),
+// on besides the candidate: the toolchain configuration (including the
+// interpreter step budget, which decides pass vs inconclusive), the
+// kernel under test, the oracle program, and the test corpus. Combine
+// with the candidate's printed text via DifftestKey.
+func DifftestSalt(top, device string, clockMHz float64, interpSteps int64, kernel, printedOriginal, corpusHash string) string {
+	return Fingerprint("difftest-cfg", top, device,
+		fmt.Sprintf("%g|%d", clockMHz, interpSteps),
 		kernel, printedOriginal, corpusHash)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/interp"
 	"github.com/hetero/heterogen/internal/obs"
 )
@@ -52,6 +53,15 @@ type Options struct {
 	// misses and the recomputed campaign overwrites the entry. Nil
 	// disables memoization.
 	Cache *evalcache.Cache
+	// Guard contains kernel-execution failures: an input whose execution
+	// panics outside the interpreter's own fault model (or overruns the
+	// guard deadline) is dropped — it contributes no coverage and is
+	// never retained — instead of killing the campaign. A nil guard
+	// still contains panics; failure decisions are keyed on the rendered
+	// test case, so they are identical for any Workers value. When the
+	// guard injects faults, the campaign cache is bypassed entirely and
+	// campaigns that contained failures are never memoized.
+	Guard *guard.Guard
 }
 
 // DefaultOptions returns the standard campaign configuration.
@@ -87,6 +97,10 @@ type Campaign struct {
 	// the last new path". Callers should surface this: the generated
 	// suite may under-cover the kernel.
 	Plateaued bool
+	// StageFailures counts executions contained by Options.Guard (they
+	// consumed budget but contributed nothing). A campaign with
+	// StageFailures > 0 is never memoized.
+	StageFailures int
 }
 
 // execVirtualSeconds is the simulated cost of one fuzz execution,
@@ -121,6 +135,14 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 
 	o := obs.OrNop(opts.Obs)
 	tracing := obs.Enabled(opts.Obs)
+
+	// Fault injection bypasses the campaign cache in both directions: a
+	// memoized clean campaign would skip the very faults the injector
+	// plants, and an injected campaign must never be memoized as the
+	// verdict for this fingerprint.
+	if opts.Guard.Injecting() {
+		opts.Cache = nil
+	}
 
 	// Cache lookup: a memoized campaign short-circuits the whole run.
 	// The acceptance closure rejects (counting a miss) entries that
@@ -195,7 +217,7 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 	// byte-identical for any Workers value.
 	sinceGain := 0
 	var queue []TestCase
-	emitExec := func(gained, crashed, invalid bool) {
+	emitExec := func(gained, crashed, invalid bool, failure string) {
 		if !tracing {
 			return
 		}
@@ -204,25 +226,61 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 			Covered: len(covered), TotalOutcomes: camp.TotalOutcomes,
 			BitmapBits: len(in.CoverageBits),
 			Corpus:     len(queue), Tests: len(camp.Tests), SinceGain: sinceGain,
+			Failure: failure,
 		}})
 	}
 
-	execute := func(tc TestCase) (gained, crashed bool, err error) {
+	execute := func(tc TestCase) (gained, crashed bool, failure *guard.StageFailure, err error) {
 		// Fresh globals per test, preserving cumulative coverage bits.
 		saved := in.CoverageBits
 		if err := in.Reset(); err != nil {
-			return false, false, err
+			return false, false, nil, err
 		}
 		copy(in.CoverageBits, saved)
 		camp.Execs++
 		camp.VirtualSeconds += execVirtualSeconds
-		_, runErr := in.CallKernel(kernel, tc.Values())
+		var runErr error
+		_, doErr := guard.Do(opts.Guard,
+			guard.Invocation{Stage: guard.StageInterp, Key: "exec|" + tc.String(), Unit: u},
+			func(cu *cast.Unit) (struct{}, error) {
+				if cu != u {
+					// Quarantine replay on a reduced clone: run it on a
+					// private interpreter so campaign state stays intact.
+					rin, rerr := interp.New(cu, interp.Options{Coverage: true, MaxSteps: opts.MaxStepsPerExec})
+					if rerr != nil {
+						return struct{}{}, rerr
+					}
+					_, _ = rin.CallKernel(kernel, tc.Values())
+					return struct{}{}, nil
+				}
+				_, runErr = in.CallKernel(kernel, tc.Values())
+				return struct{}{}, nil
+			})
+		if sf := guard.AsFailure(doErr); sf != nil {
+			// The execution was contained mid-flight: its partial coverage
+			// must not leak (the pooled path merges no hits on failure).
+			// Reset reallocates CoverageBits, so the pre-exec snapshot in
+			// saved is intact — but a deadline-abandoned goroutine may
+			// still be writing through the old interpreter, so replace it
+			// entirely when the fault actually ran.
+			if sf.Injected {
+				in.CoverageBits = saved
+			} else {
+				nin, nerr := interp.New(u, interp.Options{Coverage: true, MaxSteps: opts.MaxStepsPerExec})
+				if nerr != nil {
+					return false, false, nil, nerr
+				}
+				copy(nin.CoverageBits, saved)
+				in = nin
+			}
+			return false, false, sf, nil
+		}
 		if runErr != nil {
 			// Crashing inputs still contribute coverage but are not
 			// retained: the repair oracle needs clean reference outputs.
-			return newCoverage(), true, nil
+			return newCoverage(), true, nil, nil
 		}
-		return newCoverage(), false, nil
+		return newCoverage(), false, nil, nil
 	}
 
 	// Seed: host capture when available, else type-valid random.
@@ -236,22 +294,29 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 		queue = append(queue, randomCase(sp, rng))
 	}
 
-	// Initial corpus entries always count as tests.
+	// Initial corpus entries always count as tests (even when their
+	// execution crashed or was contained — the corpus membership rule
+	// predates the guard and stays put).
 	for _, tc := range queue {
 		if ctx.Err() != nil {
 			break
 		}
-		gained, crashed, err := execute(tc)
+		gained, crashed, failure, err := execute(tc)
 		if err != nil {
 			return camp, err
 		}
 		camp.Tests = append(camp.Tests, tc)
-		emitExec(gained, crashed, false)
+		if failure != nil {
+			camp.StageFailures++
+			emitExec(false, false, false, failure.Label())
+			continue
+		}
+		emitExec(gained, crashed, false, "")
 	}
 
 	var pool *execPool
 	if opts.Workers > 1 {
-		pool, err = newExecPool(u, kernel, opts.Workers, opts.MaxStepsPerExec)
+		pool, err = newExecPool(u, kernel, opts.Workers, opts.MaxStepsPerExec, opts.Guard)
 		if err != nil {
 			return camp, err
 		}
@@ -284,11 +349,19 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 					camp.Execs++
 					camp.VirtualSeconds += execVirtualSeconds
 					sinceGain++
-					emitExec(false, false, true)
+					emitExec(false, false, true, "")
 					continue
 				}
 				camp.Execs++
 				camp.VirtualSeconds += execVirtualSeconds
+				if results[i].failed != "" {
+					// Contained execution: no coverage merged, nothing
+					// retained — identical to the sequential path.
+					camp.StageFailures++
+					sinceGain++
+					emitExec(false, false, false, results[i].failed)
+					continue
+				}
 				gained := false
 				for _, idx := range results[i].hits {
 					if !covered[idx] && inSites[idx/2] {
@@ -300,7 +373,7 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 					// Crashing inputs contribute coverage but are not
 					// retained (the repair oracle needs clean outputs).
 					sinceGain++
-					emitExec(gained, true, false)
+					emitExec(gained, true, false, "")
 					continue
 				}
 				if gained {
@@ -310,7 +383,7 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 				} else {
 					sinceGain++
 				}
-				emitExec(gained, false, false)
+				emitExec(gained, false, false, "")
 			}
 			continue
 		}
@@ -329,16 +402,22 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 				camp.Execs++
 				camp.VirtualSeconds += execVirtualSeconds
 				sinceGain++
-				emitExec(false, false, true)
+				emitExec(false, false, true, "")
 				continue
 			}
-			gained, crashed, err := execute(child)
+			gained, crashed, failure, err := execute(child)
 			if err != nil {
 				return camp, err
 			}
+			if failure != nil {
+				camp.StageFailures++
+				sinceGain++
+				emitExec(false, false, false, failure.Label())
+				continue
+			}
 			if crashed {
 				sinceGain++
-				emitExec(gained, true, false)
+				emitExec(gained, true, false, "")
 				continue
 			}
 			if gained {
@@ -348,7 +427,7 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 			} else {
 				sinceGain++
 			}
-			emitExec(gained, false, false)
+			emitExec(gained, false, false, "")
 		}
 	}
 
@@ -372,11 +451,13 @@ func RunContext(ctx context.Context, u *cast.Unit, kernel string, opts Options) 
 			BitmapBits: len(in.CoverageBits),
 			Corpus:     len(queue), Tests: len(camp.Tests), SinceGain: sinceGain,
 			Coverage: camp.Coverage, Plateaued: camp.Plateaued,
+			StageFailures: camp.StageFailures,
 		}})
 	}
-	// A cancelled campaign is partial and must not be memoized as the
-	// verdict for this fingerprint.
-	if opts.Cache != nil && ctx.Err() == nil {
+	// A cancelled campaign is partial, and one that contained failures
+	// reflects this run's environment, not the fingerprint's verdict:
+	// neither is memoized.
+	if opts.Cache != nil && ctx.Err() == nil && camp.StageFailures == 0 {
 		opts.Cache.Put(evalcache.StageFuzz, cacheKey, encodeCampaign(camp, rec))
 	}
 	return camp, nil

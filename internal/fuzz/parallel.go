@@ -15,14 +15,18 @@ import (
 	"sync"
 
 	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/interp"
 )
 
 // execResult is one speculative kernel execution: the coverage bit
-// indexes it hit and whether it crashed.
+// indexes it hit and whether it crashed. failed carries the label of a
+// contained stage failure ("interp/panic") — such a result has no hits
+// and is never retained.
 type execResult struct {
 	hits    []int
 	crashed bool
+	failed  string
 }
 
 // execPool executes test cases on a bounded set of workers, each owning
@@ -41,7 +45,7 @@ type execJob struct {
 // newExecPool starts workers interpreter-owning goroutines. The unit is
 // shared read-only; every worker gets its own interpreter (and thus its
 // own globals, coverage bits, and step budget).
-func newExecPool(u *cast.Unit, kernel string, workers int, maxSteps int64) (*execPool, error) {
+func newExecPool(u *cast.Unit, kernel string, workers int, maxSteps int64, g *guard.Guard) (*execPool, error) {
 	// Fail construction eagerly if the program cannot initialize, like
 	// the sequential path's interp.New call.
 	if _, err := interp.New(u, interp.Options{Coverage: true, MaxSteps: maxSteps}); err != nil {
@@ -49,21 +53,52 @@ func newExecPool(u *cast.Unit, kernel string, workers int, maxSteps int64) (*exe
 	}
 	p := &execPool{jobs: make(chan execJob, workers)}
 	for i := 0; i < workers; i++ {
-		go p.worker(u, kernel, maxSteps)
+		go p.worker(u, kernel, maxSteps, g)
 	}
 	return p, nil
 }
 
-func (p *execPool) worker(u *cast.Unit, kernel string, maxSteps int64) {
+func (p *execPool) worker(u *cast.Unit, kernel string, maxSteps int64, g *guard.Guard) {
 	in, err := interp.New(u, interp.Options{Coverage: true, MaxSteps: maxSteps})
 	for job := range p.jobs {
 		if err == nil {
-			*job.out = runOnce(in, kernel, job.tc)
+			res, discard := guardedRun(g, u, in, kernel, maxSteps, job.tc)
+			*job.out = res
+			if discard {
+				// A contained execution may have left the private
+				// interpreter dirty (or a deadline-abandoned goroutine
+				// still writing to it): replace it before the next job.
+				in, err = interp.New(u, interp.Options{Coverage: true, MaxSteps: maxSteps})
+			}
 		} else {
 			job.out.crashed = true
 		}
 		job.wg.Done()
 	}
+}
+
+// guardedRun is runOnce under the guard. discard reports that the
+// worker's interpreter actually ran the contained execution and must be
+// replaced (injected faults never run it).
+func guardedRun(g *guard.Guard, u *cast.Unit, in *interp.Interp, kernel string, maxSteps int64, tc TestCase) (execResult, bool) {
+	res, err := guard.Do(g,
+		guard.Invocation{Stage: guard.StageInterp, Key: "exec|" + tc.String(), Unit: u},
+		func(cu *cast.Unit) (execResult, error) {
+			if cu != u {
+				// Quarantine replay on a reduced clone: use a private
+				// interpreter so the worker's stays untouched.
+				rin, rerr := interp.New(cu, interp.Options{Coverage: true, MaxSteps: maxSteps})
+				if rerr != nil {
+					return execResult{}, rerr
+				}
+				return runOnce(rin, kernel, tc), nil
+			}
+			return runOnce(in, kernel, tc), nil
+		})
+	if sf := guard.AsFailure(err); sf != nil {
+		return execResult{failed: sf.Label()}, !sf.Injected
+	}
+	return res, false
 }
 
 func (p *execPool) close() { close(p.jobs) }
@@ -117,7 +152,7 @@ func collectHits(u *cast.Unit, kernel string, tests []TestCase, workers int) ([]
 		}
 		return out, nil
 	}
-	pool, err := newExecPool(u, kernel, workers, 0)
+	pool, err := newExecPool(u, kernel, workers, 0, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,131 @@
+// Quarantine: deterministic failures become committable reproducers.
+//
+// When a guarded stage fails deterministically on a concrete input, the
+// input is minimized with the conformance harness's AST delta-debugging
+// reducer (progen.Reduce) against a keep-predicate that replays the
+// failing stage, then written under Options.QuarantineDir as a .c file
+// plus a .json sidecar describing the failure. The convention mirrors
+// testdata/conform/: reproducers are meant to be committed under
+// testdata/quarantine/ and replayed by a regression test.
+//
+// Policy details:
+//
+//   - At most one reproducer per (stage, class) per Guard instance:
+//     under heavy injection (chaos matrix, Rate=1) thousands of
+//     identical failures would otherwise reduce and write thousands of
+//     files.
+//   - Transient failures are never quarantined — they are environmental,
+//     not input-determined.
+//   - Real (non-injected) deadline overruns are never quarantined
+//     either: every reducer trial would have to run to the deadline,
+//     turning minimization into minutes of wall-clock. Injected
+//     deadline faults classify instantly and do quarantine, which is
+//     what the chaos matrix exercises.
+//   - Quarantine itself never fails the pipeline: I/O errors degrade to
+//     a warning.
+package guard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/progen"
+)
+
+// contain records one terminal failure: metrics, the single warning per
+// (stage, class), and — for deterministic classes on quarantinable
+// inputs — the minimized reproducer. Runs on whatever goroutine hit the
+// failure; everything here is either mutex-protected or process-local,
+// and nothing emits trace events (the commit-in-order contract).
+func (g *Guard) contain(opts Options, sf *StageFailure, u *cast.Unit, keep func(*cast.Unit) bool) {
+	if opts.Metrics != nil {
+		opts.Metrics.Add("guard.failures."+string(sf.Stage)+"."+string(sf.Class), 1)
+	}
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	first := !g.seen[sf.Label()]
+	g.seen[sf.Label()] = true
+	g.mu.Unlock()
+	if !first {
+		return
+	}
+	if opts.Warn != nil {
+		opts.Warn(fmt.Sprintf("guard: contained %s failure in %s stage: %s", sf.Class, sf.Stage, sf.Detail))
+	}
+	if opts.QuarantineDir == "" || u == nil || !quarantinable(sf) {
+		return
+	}
+	g.quarantine(opts, sf, u, keep)
+}
+
+// quarantinable reports whether a failure class warrants a reproducer.
+func quarantinable(sf *StageFailure) bool {
+	switch sf.Class {
+	case ClassTransient:
+		return false
+	case ClassDeadline:
+		return sf.Injected
+	}
+	return true
+}
+
+// sidecar is the .json description written beside each reproducer.
+type sidecar struct {
+	Stage    Stage  `json:"stage"`
+	Class    Class  `json:"class"`
+	Detail   string `json:"detail"`
+	Attempts int    `json:"attempts"`
+	Injected bool   `json:"injected,omitempty"`
+	// ReducedLOC / OriginalLOC record how far minimization got.
+	OriginalLOC int `json:"original_loc"`
+	ReducedLOC  int `json:"reduced_loc"`
+}
+
+// quarantine minimizes u against the replay predicate and writes the
+// reproducer pair, recording the path on the failure.
+func (g *Guard) quarantine(opts Options, sf *StageFailure, u *cast.Unit, keep func(*cast.Unit) bool) {
+	warn := func(err error) {
+		if opts.Warn != nil {
+			opts.Warn(fmt.Sprintf("guard: quarantine of %s failure failed: %v", sf.Label(), err))
+		}
+	}
+	input := cast.CloneUnit(u)
+	reduced := input
+	// Reduce assumes the predicate holds on its input; a failure that
+	// does not replay (e.g. one whose trigger was environmental after
+	// all) is quarantined unreduced.
+	if keep(input) {
+		reduced = progen.Reduce(input, keep, progen.ReduceOptions{MaxTrials: opts.ReduceTrials})
+	}
+	printed := cast.Print(reduced)
+	if err := os.MkdirAll(opts.QuarantineDir, 0o755); err != nil {
+		warn(err)
+		return
+	}
+	base := fmt.Sprintf("%s-%s-%s", sf.Stage, sf.Class, shortHash(printed))
+	cPath := filepath.Join(opts.QuarantineDir, base+".c")
+	if err := os.WriteFile(cPath, []byte(printed+"\n"), 0o644); err != nil {
+		warn(err)
+		return
+	}
+	meta, err := json.MarshalIndent(sidecar{
+		Stage: sf.Stage, Class: sf.Class, Detail: sf.Detail,
+		Attempts: sf.Attempts, Injected: sf.Injected,
+		OriginalLOC: cast.CountLines(u), ReducedLOC: cast.CountLines(reduced),
+	}, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(opts.QuarantineDir, base+".json"), append(meta, '\n'), 0o644)
+	}
+	if err != nil {
+		warn(err)
+	}
+	sf.Reproducer = cPath
+	if opts.Metrics != nil {
+		opts.Metrics.Add("guard.quarantined", 1)
+	}
+}

@@ -78,6 +78,12 @@ type Config struct {
 	Device string
 	// ClockMHz is the requested kernel clock.
 	ClockMHz float64
+	// InterpSteps bounds each interpreter-backed execution (CPU
+	// reference runs and FPGA simulations in the differential test); 0
+	// keeps the interpreter's default budget. Exhaustion surfaces as an
+	// inconclusive(timeout) differential-test verdict, never as a
+	// behaviour mismatch.
+	InterpSteps int64
 }
 
 // DefaultConfig targets the evaluation platform of the paper.

@@ -29,7 +29,7 @@ type Simulator struct {
 // passed the synthesizability check; runtime faults (allocation, deep
 // recursion) still surface as errors.
 func New(u *cast.Unit, cfg hls.Config) (*Simulator, error) {
-	in, err := interp.New(u, interp.Options{Mode: interp.FPGA})
+	in, err := interp.New(u, interp.Options{Mode: interp.FPGA, MaxSteps: cfg.InterpSteps})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}

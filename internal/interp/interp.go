@@ -67,6 +67,10 @@ func (r *Range) Note(v int64) {
 type RuntimeError struct {
 	Msg string
 	Pos ctoken.Pos
+	// Budget marks step-limit exhaustion: the execution was cut off, not
+	// observed to misbehave. Differential testing reports budget errors
+	// as inconclusive rather than as behavioural divergence.
+	Budget bool
 }
 
 func (e *RuntimeError) Error() string {
@@ -74,6 +78,13 @@ func (e *RuntimeError) Error() string {
 		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
 	}
 	return "runtime error: " + e.Msg
+}
+
+// IsBudget reports whether err is a step-budget exhaustion — an
+// execution cut off by its limit rather than one that misbehaved.
+func IsBudget(err error) bool {
+	re, ok := err.(*RuntimeError)
+	return ok && re.Budget
 }
 
 // Result is the outcome of a kernel invocation.
@@ -294,7 +305,11 @@ func (in *Interp) fail(p ctoken.Pos, format string, args ...any) {
 func (in *Interp) step(p ctoken.Pos) {
 	in.steps++
 	if in.steps > in.opts.MaxSteps {
-		in.fail(p, "step limit exceeded (%d)", in.opts.MaxSteps)
+		panic(&RuntimeError{
+			Msg:    fmt.Sprintf("step limit exceeded (%d)", in.opts.MaxSteps),
+			Pos:    p,
+			Budget: true,
+		})
 	}
 }
 

@@ -73,6 +73,13 @@ func (r *Registry) Add(name string, n int64) {
 	r.mu.Unlock()
 }
 
+// Counter reads one named counter's current value (0 when absent).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
 // Observe records one duration sample into a named histogram.
 func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
@@ -100,6 +107,9 @@ func (r *Registry) Emit(e Event) {
 			if e.Fuzz.Invalid {
 				r.Add("fuzz.invalid", 1)
 			}
+			if e.Fuzz.Failure != "" {
+				r.Add("fuzz.stage_failures", 1)
+			}
 		}
 	case EvFuzzDone:
 		r.Add("fuzz.campaigns", 1)
@@ -123,6 +133,9 @@ func (r *Registry) Emit(e Event) {
 			}
 			if e.Repair.Style == "reject" {
 				r.Add("repair.style_rejections", 1)
+			}
+			if e.Repair.Failure != "" {
+				r.Add("repair.stage_failures", 1)
 			}
 			if e.Repair.Evaluated {
 				r.Add("repair.hls_invocations", 1)

@@ -111,9 +111,15 @@ type FuzzEvent struct {
 	Tests  int `json:"tests"`
 	// SinceGain is the plateau counter after this execution.
 	SinceGain int `json:"since_gain"`
+	// Failure labels a contained stage failure ("<stage>/<class>") when
+	// the execution was swallowed by the guard layer instead of running.
+	Failure string `json:"failure,omitempty"`
 	// Campaign-summary fields (EvFuzzDone only).
 	Coverage  float64 `json:"coverage,omitempty"`
 	Plateaued bool    `json:"plateaued,omitempty"`
+	// StageFailures is the campaign's contained-failure total (EvFuzzDone
+	// only).
+	StageFailures int `json:"stage_failures,omitempty"`
 }
 
 // RepairEvent is one tried repair candidate (EvCandidate) or the initial
@@ -144,9 +150,12 @@ type RepairEvent struct {
 	// reached simulation).
 	LatencyMS float64 `json:"latency_ms,omitempty"`
 	// Accepted / Reason is the search decision: "accepted",
-	// "no-improvement", or "style-reject".
+	// "no-improvement", "style-reject", or "stage-failure".
 	Accepted bool   `json:"accepted,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// Failure labels the contained stage failure ("<stage>/<class>")
+	// when Reason is "stage-failure".
+	Failure string `json:"failure,omitempty"`
 	// VirtualDelta is the total virtual cost charged for this trial,
 	// split into its components (one toolchain license ⇒ these sum over
 	// the trace to the search's VirtualSeconds).
@@ -172,6 +181,9 @@ type DoneEvent struct {
 	Compatible          bool     `json:"compatible"`
 	BehaviorOK          bool     `json:"behavior_ok"`
 	Improved            bool     `json:"improved,omitempty"`
+	// StageFailures counts candidates rejected because a toolchain stage
+	// crashed or overran its budget (contained by the guard layer).
+	StageFailures int `json:"stage_failures,omitempty"`
 }
 
 // CheckEvent is one standalone synthesizability-checker run.

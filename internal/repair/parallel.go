@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/obs"
 )
 
@@ -73,10 +74,25 @@ func newEvalPool(workers int, budget float64) *evalPool {
 func (p *evalPool) worker() {
 	for job := range p.jobs {
 		if !p.budgetExhausted() {
-			*job.out = job.s.computeOutcome(job.unit)
+			*job.out = job.s.safeOutcome(job.unit)
 		}
 		job.wg.Done()
 	}
+}
+
+// safeOutcome is computeOutcome with a last-resort recover. The stage
+// bodies are individually contained by guard.Do, but the glue between
+// them (printing for cache keys, line counting) runs unguarded, and a
+// panic on a worker goroutine would kill the whole process. The
+// backstop converts it into a contained failure under the synthetic
+// "eval" stage label.
+func (s *searcher) safeOutcome(u *cast.Unit) (out evalOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = evalOutcome{computed: true, failure: guard.PanicFailure(guard.StageEval, r)}
+		}
+	}()
+	return s.computeOutcome(u)
 }
 
 // close shuts the workers down; the pool must not be used afterwards.
@@ -143,7 +159,7 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 			if skip != nil && skip(cand) {
 				continue
 			}
-			if s.commitOutcome(cand, s.computeOutcome(cand.Unit), cur, curScore) {
+			if s.commitOutcome(cand, s.safeOutcome(cand.Unit), cur, curScore) {
 				return true
 			}
 		}
@@ -170,7 +186,7 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 				// The worker declined the job (budget raced exhausted)
 				// or predictSkip mispredicted; fall back to computing
 				// here so commit semantics never depend on speculation.
-				o = s.computeOutcome(cand.Unit)
+				o = s.safeOutcome(cand.Unit)
 			}
 			if s.commitOutcome(cand, o, cur, curScore) {
 				return true
@@ -191,7 +207,7 @@ func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit,
 	if s.pool != nil {
 		s.pool.commit(s.stats.VirtualSeconds)
 	}
-	accepted := o.evaluated && o.sc.better(*curScore)
+	accepted := o.failure == nil && o.evaluated && o.sc.better(*curScore)
 	if accepted {
 		s.accept(cand)
 		*cur = cand.Unit
@@ -199,6 +215,9 @@ func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit,
 		s.stats.AcceptedCandidates++
 	} else {
 		s.stats.RejectedCandidates++
+		if o.failure != nil {
+			s.stats.StageFailures++
+		}
 	}
 	if s.tracing {
 		s.emitCandidate(cand, o, accepted, cb)
@@ -224,6 +243,9 @@ func (s *searcher) emitCandidate(cand Candidate, o evalOutcome, accepted bool, c
 		CostStyle:    cb.style, CostCompile: cb.compile, CostSim: cb.sim,
 	}
 	switch {
+	case o.failure != nil:
+		re.Reason = "stage-failure"
+		re.Failure = o.failure.Label()
 	case o.styleRan && !o.styleOK:
 		re.Style, re.Reason = "reject", "style-reject"
 	case accepted:
@@ -234,7 +256,7 @@ func (s *searcher) emitCandidate(cand Candidate, o evalOutcome, accepted bool, c
 	if o.styleRan && o.styleOK {
 		re.Style = "ok"
 	}
-	if o.evaluated {
+	if o.evaluated && o.failure == nil {
 		re.Evaluated = true
 		re.Errors = o.sc.errors
 		re.PassRatio = o.sc.passRatio

@@ -11,6 +11,7 @@ import (
 	"github.com/hetero/heterogen/internal/difftest"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/hls/sim"
@@ -92,6 +93,19 @@ type Options struct {
 	// disabled, cold, or warm, for any Workers value. Nil disables
 	// memoization.
 	Cache *evalcache.Cache
+	// Guard contains stage failures: a candidate whose style check,
+	// compatibility check, resource estimate, or differential test
+	// panics (or overruns Guard's deadline) becomes a rejected candidate
+	// with a recorded reason instead of crashing the search. A nil guard
+	// still contains panics (guard.Do is nil-safe) but has no deadlines,
+	// injection, or quarantine. Failure decisions are content-keyed, so
+	// they are identical for any Workers value.
+	Guard *guard.Guard
+	// InterpSteps bounds each interpreter execution inside the
+	// differential test (both CPU reference and FPGA simulation); 0
+	// keeps package defaults. Exhaustion yields inconclusive(timeout)
+	// verdicts, never behaviour mismatches.
+	InterpSteps int64
 }
 
 // allows reports whether the options permit templates of class c.
@@ -130,7 +144,11 @@ type Stats struct {
 	AcceptedCandidates int
 	RejectedCandidates int
 	Iterations         int
-	EditLog            []string
+	// StageFailures counts candidates rejected because a toolchain stage
+	// crashed or overran its budget (contained by Options.Guard). They
+	// are included in RejectedCandidates.
+	StageFailures int
+	EditLog       []string
 }
 
 // VirtualMinutes converts the virtual time for reporting.
@@ -234,10 +252,12 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 	if opts.Budget == 0 {
 		opts.Budget = 3 * 3600
 	}
+	cfg := hls.DefaultConfig(kernel)
+	cfg.InterpSteps = opts.InterpSteps
 	s := &searcher{
 		original:  original,
 		kernel:    kernel,
-		cfg:       hls.DefaultConfig(kernel),
+		cfg:       cfg,
 		tests:     tests,
 		opts:      opts,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
@@ -251,7 +271,7 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 	if s.cache != nil {
 		s.checkSalt = evalcache.CheckSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz)
 		s.diffSalt = evalcache.DifftestSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz,
-			kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
+			s.cfg.InterpSteps, kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
 	}
 	s.state.TestCount = len(tests)
 	if opts.Workers > 1 {
@@ -318,6 +338,7 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 			Compatible:          res.Compatible,
 			BehaviorOK:          res.BehaviorOK,
 			Improved:            res.Improved,
+			StageFailures:       s.stats.StageFailures,
 		}})
 	}
 	return res
@@ -373,6 +394,10 @@ type evalOutcome struct {
 	// the per-test simulation cost applies.
 	simRan bool
 	sc     score
+	// failure, when non-nil, records a contained stage failure: the
+	// candidate never produced a verdict and is rejected with this
+	// reason. The score fields are meaningless when set.
+	failure *guard.StageFailure
 }
 
 // computeOutcome runs the style check and (when it passes) the full
@@ -384,7 +409,14 @@ func (s *searcher) computeOutcome(u *cast.Unit) evalOutcome {
 	out := evalOutcome{computed: true}
 	if s.opts.UseStyleChecker {
 		out.styleRan = true
-		out.styleOK = stylecheck.Run(u, s.cfg).OK
+		ok, err := guard.Do(s.opts.Guard, guard.Invocation{Stage: guard.StageStyle, Unit: u},
+			func(cu *cast.Unit) (bool, error) {
+				return stylecheck.Run(cu, s.cfg).OK, nil
+			})
+		if out.failure = guard.AsFailure(err); out.failure != nil {
+			return out
+		}
+		out.styleOK = ok
 		if !out.styleOK {
 			return out
 		}
@@ -392,7 +424,7 @@ func (s *searcher) computeOutcome(u *cast.Unit) evalOutcome {
 		out.styleOK = true
 	}
 	out.evaluated = true
-	out.lines, out.simRan, out.sc = s.computeScore(u)
+	out.lines, out.simRan, out.sc, out.failure = s.computeScore(u)
 	return out
 }
 
@@ -400,7 +432,7 @@ func (s *searcher) computeOutcome(u *cast.Unit) evalOutcome {
 // compatibility check, the device-capacity gate, and differential
 // testing with latency simulation. It returns the deterministic cost
 // inputs alongside the score.
-func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score) {
+func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score, failure *guard.StageFailure) {
 	lines = cast.CountLines(u)
 	// EvalDelay emulates the blocking invocation of one external
 	// toolchain process per evaluation; it is paid at most once, and
@@ -419,24 +451,42 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score)
 		printed = cast.Print(u)
 	}
 
+	sc = score{latencyMS: 1e18}
+	// Cache lookups happen outside the guard on purpose: only complete,
+	// successful verdicts are ever stored, so a hit can never replay a
+	// contained failure, and a hit legitimately skips injection — the
+	// stage it would have faulted never runs.
 	var rep hls.Report
+	cached := false
+	var checkKey string
 	if s.cache != nil {
-		key := evalcache.CheckKey(s.checkSalt, printed)
-		if !s.cache.Get(evalcache.StageCheck, key, &rep) {
-			delay()
-			rep = check.Run(u, s.cfg)
-			s.cache.Put(evalcache.StageCheck, key, rep)
-		}
-	} else {
+		checkKey = evalcache.CheckKey(s.checkSalt, printed)
+		cached = s.cache.Get(evalcache.StageCheck, checkKey, &rep)
+	}
+	if !cached {
 		delay()
-		rep = check.Run(u, s.cfg)
+		var err error
+		rep, err = guard.Do(s.opts.Guard, guard.Invocation{Stage: guard.StageCheck, Key: printed, Unit: u},
+			func(cu *cast.Unit) (hls.Report, error) {
+				return check.Run(cu, s.cfg), nil
+			})
+		if sf := guard.AsFailure(err); sf != nil {
+			return lines, false, sc, sf
+		}
+		if s.cache != nil {
+			s.cache.Put(evalcache.StageCheck, checkKey, rep)
+		}
 	}
 	sc = score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
 	if sc.errors > 0 {
-		return lines, false, sc
+		return lines, false, sc, nil
 	}
 	if s.opts.Device.Name != "" {
-		if ok, over := sim.CheckCapacity(s.estimate(u, printed), s.opts.Device); !ok {
+		est, err := s.estimate(u, printed)
+		if sf := guard.AsFailure(err); sf != nil {
+			return lines, false, sc, sf
+		}
+		if ok, over := sim.CheckCapacity(est, s.opts.Device); !ok {
 			d := hls.Diagnostic{
 				Code: "IMPL 200-1",
 				Message: fmt.Sprintf(
@@ -446,41 +496,60 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score)
 			}
 			sc.errors = 1
 			sc.diags = []hls.Diagnostic{d}
-			return lines, false, sc
+			return lines, false, sc, nil
 		}
 	}
 	var dt difftest.Report
+	cached = false
+	var diffKey string
 	if s.cache != nil {
-		key := evalcache.DifftestKey(s.diffSalt, printed)
-		if !s.cache.Get(evalcache.StageDifftest, key, &dt) {
-			delay()
-			dt = difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
-			s.cache.Put(evalcache.StageDifftest, key, dt)
+		diffKey = evalcache.DifftestKey(s.diffSalt, printed)
+		cached = s.cache.Get(evalcache.StageDifftest, diffKey, &dt)
+	}
+	if !cached {
+		delay()
+		var err error
+		dt, err = guard.Do(s.opts.Guard, guard.Invocation{Stage: guard.StageDifftest, Key: printed, Unit: u},
+			func(cu *cast.Unit) (difftest.Report, error) {
+				return difftest.Run(s.original, cu, s.kernel, s.cfg, s.tests), nil
+			})
+		if sf := guard.AsFailure(err); sf != nil {
+			return lines, false, sc, sf
 		}
-	} else {
-		dt = difftest.Run(s.original, u, s.kernel, s.cfg, s.tests)
+		if s.cache != nil {
+			s.cache.Put(evalcache.StageDifftest, diffKey, dt)
+		}
 	}
 	sc.report = dt
 	sc.passRatio = dt.PassRatio()
 	sc.behaviorOK = dt.AllPass()
 	sc.latencyMS = dt.FPGAMeanMS()
-	return lines, true, sc
+	return lines, true, sc, nil
 }
 
 // estimate is the resource-estimation stage with memoization; printed
-// is the candidate's canonical text (empty when the cache is off).
-func (s *searcher) estimate(u *cast.Unit, printed string) sim.Resources {
-	if s.cache == nil {
-		return sim.Estimate(u)
-	}
-	key := evalcache.ResourceKey(printed)
+// is the candidate's canonical text (empty when the cache is off). The
+// only possible error is a contained *guard.StageFailure.
+func (s *searcher) estimate(u *cast.Unit, printed string) (sim.Resources, error) {
 	var r sim.Resources
-	if s.cache.Get(evalcache.StageSim, key, &r) {
-		return r
+	var key string
+	if s.cache != nil {
+		key = evalcache.ResourceKey(printed)
+		if s.cache.Get(evalcache.StageSim, key, &r) {
+			return r, nil
+		}
 	}
-	r = sim.Estimate(u)
-	s.cache.Put(evalcache.StageSim, key, r)
-	return r
+	r, err := guard.Do(s.opts.Guard, guard.Invocation{Stage: guard.StageEstimate, Key: printed, Unit: u},
+		func(cu *cast.Unit) (sim.Resources, error) {
+			return sim.Estimate(cu), nil
+		})
+	if err != nil {
+		return sim.Resources{}, err
+	}
+	if s.cache != nil {
+		s.cache.Put(evalcache.StageSim, key, r)
+	}
+	return r, nil
 }
 
 // costBreakdown itemizes the virtual seconds charged for one trial, so
@@ -505,12 +574,25 @@ func (s *searcher) chargeOutcome(o evalOutcome) costBreakdown {
 		s.stats.StyleChecks++
 		cb.style = float64(hls.StyleCheckSeconds)
 		s.stats.VirtualSeconds += cb.style
+		if o.failure != nil && o.failure.Stage == guard.StageStyle {
+			// The style check crashed: its cost was spent, but it neither
+			// accepted nor rejected, so StyleRejections stays honest.
+			return cb
+		}
 		if !o.styleOK {
 			s.stats.StyleRejections++
 			return cb
 		}
 	}
 	if !o.evaluated {
+		return cb
+	}
+	if o.failure != nil {
+		// A later stage crashed mid-evaluation: the compilation was
+		// invoked (and is charged) but simulation never completed.
+		cb.compile = float64(hls.CompileCost(o.lines))
+		s.stats.VirtualSeconds += cb.compile
+		s.stats.HLSInvocations++
 		return cb
 	}
 	cb.compile = float64(hls.CompileCost(o.lines))
@@ -528,7 +610,14 @@ func (s *searcher) chargeOutcome(o evalOutcome) costBreakdown {
 // charge pair, used for the initial program version. It emits the
 // repair_init event, the t=0 point of Figure 2's trajectory.
 func (s *searcher) evaluate(u *cast.Unit) score {
-	lines, simRan, sc := s.computeScore(u)
+	lines, simRan, sc, failure := s.computeScore(u)
+	if failure != nil {
+		// The initial version itself crashed a stage: give it the worst
+		// possible fitness so any candidate that evaluates at all is an
+		// improvement, and let the search continue instead of aborting.
+		sc = score{errors: 1 << 20, latencyMS: 1e18}
+		s.stats.StageFailures++
+	}
 	var cb costBreakdown
 	cb.compile = float64(hls.CompileCost(lines))
 	s.stats.VirtualSeconds += cb.compile
@@ -542,6 +631,9 @@ func (s *searcher) evaluate(u *cast.Unit) score {
 			Step: "init", Evaluated: true,
 			Errors: sc.errors, PassRatio: sc.passRatio, BehaviorOK: sc.behaviorOK,
 			VirtualDelta: cb.total(), CostCompile: cb.compile, CostSim: cb.sim,
+		}
+		if failure != nil {
+			re.Failure = failure.Label()
 		}
 		if sc.errors == 0 && simRan {
 			re.LatencyMS = sc.latencyMS
@@ -689,11 +781,16 @@ func (r Result) Summary() string {
 	if r.Compatible && r.BehaviorOK {
 		status = "compatible"
 	}
-	return fmt.Sprintf("%s: %d edits (%d/%d candidates accepted, %d rejected: %d style, %d fitness), %d HLS invocations, %.0f virtual min [%s]",
+	failures := ""
+	if r.Stats.StageFailures > 0 {
+		failures = fmt.Sprintf(", %d stage failures contained", r.Stats.StageFailures)
+	}
+	return fmt.Sprintf("%s: %d edits (%d/%d candidates accepted, %d rejected: %d style, %d fitness%s), %d HLS invocations, %.0f virtual min [%s]",
 		status, len(r.Stats.EditLog),
 		r.Stats.AcceptedCandidates, r.Stats.CandidatesTried,
 		r.Stats.RejectedCandidates, r.Stats.StyleRejections,
 		r.Stats.RejectedCandidates-r.Stats.StyleRejections,
+		failures,
 		r.Stats.HLSInvocations,
 		r.Stats.VirtualMinutes(), strings.Join(r.Stats.EditLog, "; "))
 }
