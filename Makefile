@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke chaos-smoke
+.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke chaos-smoke serve-smoke docs-check
 
 all: build
 
@@ -55,6 +55,20 @@ conform-smoke:
 # subjects; the matrix itself always runs in full.
 chaos-smoke:
 	$(GO) test -race -short ./internal/guard/... ./internal/chaos/...
+
+# Service smoke: build the real hgserve binary, start it on a free
+# port, run one job of every kind over HTTP, and assert the /metrics
+# and /healthz contracts. The only test that exercises the daemon as a
+# process (startup line, flags, signal shutdown); the API behaviour
+# itself is covered by internal/serve's httptest suite.
+serve-smoke:
+	SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v ./cmd/hgserve
+
+# Docs gate: every flag registered by any cmd/ binary (including the
+# shared chaos.Flags vocabulary) must appear in the README's
+# consolidated CLI reference table.
+docs-check:
+	$(GO) test -run TestDocsFlagReference -v .
 
 # Traces one evaluation subject end-to-end and cross-validates the trace
 # with hgtrace -check: the event stream must reproduce the run's

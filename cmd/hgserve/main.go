@@ -1,0 +1,143 @@
+// Command hgserve is the HeteroGen transpilation service: a
+// long-running HTTP+JSON daemon that runs transpile / check / repair /
+// fuzz jobs on a bounded worker pool with admission control, per-job
+// budgets, streamed observability events, and cooperative cancellation.
+//
+// Usage:
+//
+//	hgserve [-addr host:port] [-pool n] [-queue n] [-per-client n]
+//	        [-cache-dir d] [-cache-shards n] [-cache-capacity n] [-no-cache]
+//	        [-quarantine-dir d] [-chaos rate] [-chaos-seed n]
+//	        [-max-stage-deadline d] [-max-interp-steps n]
+//	        [-max-fuzz-execs n] [-max-iterations n] [-max-workers n]
+//
+// The HTTP API:
+//
+//	POST   /v1/jobs             submit {"kind","source","kernel",...}
+//	GET    /v1/jobs/{id}        status + result once terminal
+//	GET    /v1/jobs/{id}/events NDJSON stream of the job's trace events
+//	DELETE /v1/jobs/{id}        cancel; the job keeps its partial result
+//	GET    /metrics             counters + histograms (?format=text)
+//	GET    /healthz             liveness and pool gauges
+//
+// See docs/OPERATIONS.md for the full operator's manual: budget
+// clamps, capacity planning, the metrics catalog, and quarantine
+// triage.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hetero/heterogen/internal/chaos"
+	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/guard"
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	pool := flag.Int("pool", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth; a full queue answers 429 (0 = 4*pool)")
+	perClient := flag.Int("per-client", 8, "max queued+running jobs per client, by X-Client-ID header or remote host (negative disables)")
+	cacheDir := flag.String("cache-dir", "", "persist the shared evaluation cache in this directory (reused across restarts)")
+	cacheShards := flag.Int("cache-shards", 8, "evaluation-cache shard count (concurrent jobs contend per shard, not globally)")
+	cacheCapacity := flag.Int("cache-capacity", 0, "in-memory cache entry bound across all shards (0 = package default)")
+	noCache := flag.Bool("no-cache", false, "disable the shared evaluation cache")
+	quarantineDir := flag.String("quarantine-dir", "", "directory for minimized reproducers of contained stage failures (empty disables)")
+	chaosRate := flag.Float64("chaos", 0, "deterministic fault-injection rate in [0,1] (0 disables; testing only)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos injection schedule")
+	maxStageDeadline := flag.Duration("max-stage-deadline", 60*time.Second, "ceiling on a job's per-stage deadline budget")
+	maxInterpSteps := flag.Int64("max-interp-steps", 50_000_000, "ceiling on a job's interpreter step budget")
+	maxFuzzExecs := flag.Int("max-fuzz-execs", 20_000, "ceiling on a job's fuzz execution budget")
+	maxIterations := flag.Int("max-iterations", 256, "ceiling on a job's repair iteration budget")
+	maxWorkers := flag.Int("max-workers", 0, "ceiling on a job's internal parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: hgserve [flags] (see -h)")
+		os.Exit(2)
+	}
+
+	warn := func(msg string) { fmt.Fprintln(os.Stderr, "hgserve:", msg) }
+	metrics := obs.NewRegistry()
+
+	var cache *evalcache.Cache
+	if !*noCache {
+		var err error
+		cache, err = evalcache.New(evalcache.Options{
+			Dir:      *cacheDir,
+			Shards:   *cacheShards,
+			Capacity: *cacheCapacity,
+			Metrics:  metrics,
+			Warn:     warn,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	var injector guard.Injector
+	if *chaosRate > 0 {
+		injector = chaos.New(chaos.Options{Seed: *chaosSeed, Rate: *chaosRate})
+	}
+
+	srv := serve.New(serve.Options{
+		Pool:       *pool,
+		QueueDepth: *queue,
+		PerClient:  *perClient,
+		Limits: serve.Budget{
+			StageDeadlineMS: maxStageDeadline.Milliseconds(),
+			InterpSteps:     *maxInterpSteps,
+			FuzzExecs:       *maxFuzzExecs,
+			MaxIterations:   *maxIterations,
+			Workers:         *maxWorkers,
+		},
+		Cache:         cache,
+		Metrics:       metrics,
+		QuarantineDir: *quarantineDir,
+		Injector:      injector,
+		Warn:          warn,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgserve:", err)
+		os.Exit(1)
+	}
+	// The resolved address on stdout is the startup contract scripts
+	// (and make serve-smoke) parse; keep the format stable.
+	fmt.Printf("hgserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "hgserve:", err)
+		os.Exit(1)
+	case <-sig:
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutCtx)
+	srv.Close()
+	if cache != nil {
+		if cerr := cache.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "hgserve: cache:", cerr)
+		}
+	}
+	fmt.Fprint(os.Stderr, metrics.Text())
+}

@@ -1,0 +1,166 @@
+package main
+
+// The serve-smoke gate (`make serve-smoke`, SERVE_SMOKE=1): build the
+// real binary, start it on a free port, run one job of every kind over
+// HTTP, and assert the /metrics and /healthz contracts. This is the
+// only test that exercises the daemon as a process — flag parsing, the
+// startup line, signal shutdown — rather than through httptest; the
+// API behaviour itself is covered by internal/serve.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const smokeSource = `
+int top(int in) {
+    long double x = in;
+    for (int i = 0; i < 4; i++) {
+        if (in > i) { x = x + i; }
+    }
+    return (int)x;
+}
+`
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("SERVE_SMOKE") == "" {
+		t.Skip("set SERVE_SMOKE=1 (make serve-smoke) to run")
+	}
+
+	bin := filepath.Join(t.TempDir(), "hgserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", filepath.Join(t.TempDir(), "cache"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	// The startup line is a documented contract:
+	// "hgserve: listening on http://<addr>".
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading startup line: %v", err)
+	}
+	base, ok := strings.CutPrefix(strings.TrimSpace(line), "hgserve: listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	go io.Copy(io.Discard, stdout)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for _, kind := range []string{"transpile", "check", "repair", "fuzz"} {
+		body := fmt.Sprintf(`{"kind":%q,"kernel":"top","source":%q,
+			"budget":{"fuzz_execs":150,"max_iterations":16}}`, kind, smokeSource)
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: submit: %v", kind, err)
+		}
+		var st struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("%s: decoding submit response: %v", kind, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+			t.Fatalf("%s: submit = %d %+v, want 202 with id", kind, resp.StatusCode, st)
+		}
+
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			resp, err := client.Get(base + "/v1/jobs/" + st.ID)
+			if err != nil {
+				t.Fatalf("%s: poll: %v", kind, err)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatalf("%s: decoding status: %v", kind, err)
+			}
+			resp.Body.Close()
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "cancelled" {
+				t.Fatalf("%s: job %s ended %s", kind, st.ID, st.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: job %s still %s after 2m", kind, st.ID, st.State)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	resp.Body.Close()
+	if metrics.Counters["serve.jobs.submitted"] != 4 || metrics.Counters["serve.jobs.done"] != 4 {
+		t.Errorf("metrics: submitted=%d done=%d, want 4/4",
+			metrics.Counters["serve.jobs.submitted"], metrics.Counters["serve.jobs.done"])
+	}
+
+	resp, err = client.Get(base + "/metrics?format=text")
+	if err != nil {
+		t.Fatalf("metrics text: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(text, []byte("serve.jobs.submitted")) {
+		t.Errorf("text metrics missing serve.jobs.submitted:\n%s", text)
+	}
+
+	resp, err = client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		OK      bool  `json:"ok"`
+		Running int64 `json:"running"`
+		Pool    int   `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Pool < 1 || health.Running != 0 {
+		t.Errorf("healthz = %+v, want ok with idle pool", health)
+	}
+}

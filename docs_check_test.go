@@ -1,0 +1,80 @@
+package heterogen
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsFlagReference is the docs gate behind `make docs-check`: every
+// flag any binary registers must appear in the README's consolidated CLI
+// reference table (the region between the flag-reference markers). Flags
+// are read from the source — flag.X(...) registrations in cmd/*/main.go
+// plus the shared containment/chaos vocabulary a binary pulls in via
+// chaos.Flags.Register — so adding a flag without documenting it fails
+// the build, and the README can never silently drift from the CLIs.
+func TestDocsFlagReference(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const startMark = "<!-- flag-reference:start -->"
+	const endMark = "<!-- flag-reference:end -->"
+	start := strings.Index(string(readme), startMark)
+	end := strings.Index(string(readme), endMark)
+	if start < 0 || end < 0 || end < start {
+		t.Fatalf("README.md is missing the %s / %s markers", startMark, endMark)
+	}
+	table := string(readme[start:end])
+
+	// The shared flag vocabulary registered by chaos.Flags.Register.
+	chaosSrc, err := os.ReadFile(filepath.Join("internal", "chaos", "chaos.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedRe := regexp.MustCompile(`fs\.[A-Za-z0-9]+Var\([^,]+, "([^"]+)"`)
+	var shared []string
+	for _, m := range sharedRe.FindAllStringSubmatch(string(chaosSrc), -1) {
+		shared = append(shared, m[1])
+	}
+	if len(shared) == 0 {
+		t.Fatal("found no shared flags in internal/chaos/chaos.go; the extraction regexp is stale")
+	}
+
+	mains, err := filepath.Glob(filepath.Join("cmd", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no cmd/*/main.go files found")
+	}
+
+	flagRe := regexp.MustCompile(`flag\.[A-Za-z0-9]+\("([^"]+)"`)
+	for _, main := range mains {
+		src, err := os.ReadFile(main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{}
+		for _, m := range flagRe.FindAllStringSubmatch(string(src), -1) {
+			names = append(names, m[1])
+		}
+		if strings.Contains(string(src), ".Register(flag.CommandLine)") {
+			names = append(names, shared...)
+		}
+		if len(names) == 0 {
+			t.Errorf("%s: registers no flags; the extraction regexp is stale", main)
+		}
+		binary := filepath.Base(filepath.Dir(main))
+		for _, name := range names {
+			// Documented as `-name` or `-name <operand>`; require a
+			// boundary after the name so -n can't hide behind -no-cache.
+			entry := regexp.MustCompile("`-" + regexp.QuoteMeta(name) + "(`|[^a-z0-9-])")
+			if !entry.MatchString(table) {
+				t.Errorf("%s: flag -%s is not in the README CLI reference table", binary, name)
+			}
+		}
+	}
+}

@@ -17,6 +17,15 @@
 // kernel fuzzer (internal/fuzz), bitwidth finitization
 // (internal/profile), and the dependence-guided repair search
 // (internal/repair).
+//
+// Every entry point has a Context variant (TranspileContext,
+// RepairContext, GenerateTestsContext, ConformContext) with cooperative
+// cancellation at commit points and best-so-far partial results, and
+// every run can share an evaluation Cache (Options.Cache) and a
+// failure-containment Guard (Options.Guard). For a long-running
+// multi-client deployment, NewServer wraps the same pipeline in an
+// HTTP+JSON job service with admission control — the cmd/hgserve
+// daemon; see docs/OPERATIONS.md.
 package heterogen
 
 import (
@@ -30,6 +39,7 @@ import (
 	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/hls/sim"
 	"github.com/hetero/heterogen/internal/repair"
+	"github.com/hetero/heterogen/internal/serve"
 )
 
 // Options configures a transpilation. The zero value plus a Kernel name
@@ -152,6 +162,14 @@ func Repair(src string, opts Options) (RepairResult, error) {
 	return core.RepairStage(src, opts)
 }
 
+// RepairContext is Repair with cooperative cancellation. The context
+// is checked between candidate evaluations, never mid-verdict; a
+// cancelled search returns the best version reached so far (the
+// RepairResult is always valid) alongside an error wrapping ctx.Err().
+func RepairContext(ctx context.Context, src string, opts Options) (RepairResult, error) {
+	return core.RepairStageContext(ctx, src, opts)
+}
+
 // GenerateTests runs only the coverage-guided test generator against the
 // kernel of the given source.
 func GenerateTests(src, kernel string, opts FuzzOptions) (fuzz.Campaign, error) {
@@ -230,4 +248,35 @@ func Conform(opts ConformOptions) (ConformReport, error) {
 // generated programs; the partial report is valid alongside the error.
 func ConformContext(ctx context.Context, opts ConformOptions) (ConformReport, error) {
 	return conform.RunContext(ctx, opts)
+}
+
+// Server is the transpilation service: jobs (transpile | check |
+// repair | fuzz) submitted over HTTP+JSON run on a bounded worker pool
+// behind admission control, with per-job budgets clamped by server
+// limits, streamed observability events, and cooperative cancellation
+// that keeps best-so-far partial results. It is what cmd/hgserve
+// serves; embed it in another process via NewServer + Server.Handler.
+type Server = serve.Server
+
+// ServerOptions configures NewServer: pool size, queue depth,
+// per-client caps, budget limits and defaults, the shared evaluation
+// cache, and the failure-containment knobs.
+type ServerOptions = serve.Options
+
+// JobRequest is one job submission (the POST /v1/jobs body).
+type JobRequest = serve.Request
+
+// JobStatus is a job's API representation: lifecycle state, effective
+// budget, and the kind-specific result once terminal.
+type JobStatus = serve.Status
+
+// JobBudget bounds one job's resources; zero fields take server
+// defaults and every field is clamped by server limits.
+type JobBudget = serve.Budget
+
+// NewServer starts a transpilation service (its worker pool runs until
+// Close). Expose it with Server.Handler; see docs/OPERATIONS.md for
+// the HTTP API and operational guidance.
+func NewServer(opts ServerOptions) *Server {
+	return serve.New(opts)
 }

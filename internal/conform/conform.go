@@ -1,23 +1,3 @@
-// Package conform is the end-to-end conformance harness over generated
-// programs (internal/progen): for each seed it builds a kernel with a
-// known set of planted HLS violations and asserts, stage by stage, that
-// the pipeline honours its contracts —
-//
-//  1. clean:     the violation-free twin passes the checker with zero
-//     diagnostics (no false positives on the supported subset);
-//  2. roundtrip: printing is stable (print → parse → print is identity);
-//  3. oracle:    the checker flags every planted violation's class;
-//  4. pipeline:  the repair search converges to a synthesizable
-//     candidate whose behaviour matches the CPU interpreter on the
-//     fuzzed corpus (differential testing);
-//  5. parity:    disabled-vs-cold-vs-warm evaluation cache runs produce
-//     byte-identical traces and verdicts (on a deterministic subset of
-//     seeds — three full pipeline runs each).
-//
-// Any failed assertion is delta-debugged down to a minimal reproducer
-// (progen.Reduce) and written, with its seed and stage, to a corpus
-// directory (testdata/conform/) so escaped bugs become permanent
-// regression tests — Replay re-asserts a committed reproducer.
 package conform
 
 import (

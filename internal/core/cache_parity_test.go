@@ -114,6 +114,49 @@ func TestPipelineCacheParity(t *testing.T) {
 	}
 }
 
+// TestPipelineShardedCacheParity is the acceptance check for cache
+// sharding at the pipeline level: with the cache split across N
+// independent shards, the Result and the byte-exact JSONL trace must be
+// identical to the unsharded cache's, cold and warm — and, for a
+// sequential run, even the out-of-band CacheStats must agree, because
+// lookup order is deterministic and sharding only changes which lock an
+// entry lives behind.
+func TestPipelineShardedCacheParity(t *testing.T) {
+	flat, err := evalcache.New(evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCold, flatColdTrace := cachedRun(t, "P2", 1, flat)
+	flatWarm, flatWarmTrace := cachedRun(t, "P2", 1, flat)
+
+	sharded, err := evalcache.New(evalcache.Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldTrace := cachedRun(t, "P2", 1, sharded)
+	warm, warmTrace := cachedRun(t, "P2", 1, sharded)
+
+	assertResultParity(t, "sharded/cold", flatCold, cold)
+	assertResultParity(t, "sharded/warm", flatWarm, warm)
+	if !bytes.Equal(flatColdTrace, coldTrace) {
+		t.Errorf("sharded cold trace differs from unsharded (%d vs %d bytes)", len(coldTrace), len(flatColdTrace))
+	}
+	if !bytes.Equal(flatWarmTrace, warmTrace) {
+		t.Errorf("sharded warm trace differs from unsharded (%d vs %d bytes)", len(warmTrace), len(flatWarmTrace))
+	}
+	if !reflect.DeepEqual(flatCold.CacheStats.Stages, cold.CacheStats.Stages) {
+		t.Errorf("sequential cold-run cache stats diverge:\n  flat:    %+v\n  sharded: %+v",
+			flatCold.CacheStats.Stages, cold.CacheStats.Stages)
+	}
+	if !reflect.DeepEqual(flatWarm.CacheStats.Stages, warm.CacheStats.Stages) {
+		t.Errorf("sequential warm-run cache stats diverge:\n  flat:    %+v\n  sharded: %+v",
+			flatWarm.CacheStats.Stages, warm.CacheStats.Stages)
+	}
+	if warm.CacheStats.Hits() == 0 {
+		t.Errorf("sharded warm run never hit: %s", warm.CacheStats)
+	}
+}
+
 // TestPipelineCacheDiskWarm exercises the persistent store end to end:
 // a cold run populates a directory, a fresh cache opened on the same
 // directory serves the warm run from disk, and the result and trace

@@ -413,7 +413,18 @@ func Simulate(src string, opts Options) (SimReport, error) {
 // Repair, Workers, Obs, and Cache are honoured; Fuzz and HostMain are
 // ignored.
 func RepairStage(src string, opts Options) (repair.Result, error) {
-	orig, err := cparser.Parse(src)
+	return RepairStageContext(context.Background(), src, opts)
+}
+
+// RepairStageContext is RepairStage with cooperative cancellation. The
+// context is checked between candidate evaluations, never mid-verdict;
+// a cancelled search returns the best version reached so far (the
+// repair.Result is always valid) alongside an error wrapping ctx.Err().
+func RepairStageContext(ctx context.Context, src string, opts Options) (repair.Result, error) {
+	orig, err := guard.Do(opts.Guard, guard.Invocation{Stage: guard.StageParse, Key: src},
+		func(*cast.Unit) (*cast.Unit, error) {
+			return cparser.Parse(src)
+		})
 	if err != nil {
 		return repair.Result{}, fmt.Errorf("heterogen: parse: %w", err)
 	}
@@ -443,7 +454,17 @@ func RepairStage(src string, opts Options) (repair.Result, error) {
 	if ropts.Cache == nil {
 		ropts.Cache = opts.Cache
 	}
-	return repair.Search(orig, initial, opts.Kernel, tests, ropts), nil
+	if ropts.Guard == nil {
+		ropts.Guard = opts.Guard
+	}
+	if ropts.InterpSteps == 0 {
+		ropts.InterpSteps = opts.Guard.InterpSteps()
+	}
+	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
+	if err := ctx.Err(); err != nil {
+		return rr, fmt.Errorf("heterogen: cancelled during repair: %w", err)
+	}
+	return rr, nil
 }
 
 // Validate differential-tests an already-produced HLS version against the

@@ -1,26 +1,3 @@
-// Package evalcache is a content-addressed cache for the expensive
-// verdicts of the simulated HLS toolchain: the synthesizability
-// checker's Report, the FPGA simulator's resource estimate, the
-// differential-test outcome, and whole fuzzing campaigns. Every
-// verdict in this module is a pure function of program text and
-// configuration — the toolchain is deterministic and runs on a virtual
-// clock — so a verdict computed once is correct forever and can be
-// keyed on a fingerprint of its inputs.
-//
-// The cache carries *outcomes only*, never accounting: a hit skips the
-// recomputation (and any real-time EvalDelay emulating an external
-// toolchain process) but the caller still charges the same virtual
-// toolchain cost, in the same commit order, as a cold run. That is
-// what keeps Result, repair trajectories, and JSONL traces
-// byte-identical whether the cache is disabled, cold, or warm — see
-// the "Evaluation cache" section of docs/ARCHITECTURE.md.
-//
-// Storage is two-tier: a bounded in-memory LRU always, plus an
-// optional on-disk JSONL store (Options.Dir) that persists entries
-// across process runs, so a repeated `hgeval` sweep over P1-P10 warms
-// once. Values cross the cache boundary as canonical JSON, which Go
-// round-trips exactly (including float64), so a restored verdict is
-// bit-identical to the stored one.
 package evalcache
 
 import (
@@ -30,9 +7,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hetero/heterogen/internal/obs"
 )
@@ -86,11 +65,26 @@ func Fingerprint(parts ...string) string {
 // Options configures a cache.
 type Options struct {
 	// Capacity bounds the in-memory LRU tier in entries (default 4096).
+	// With Shards > 1 the bound is divided evenly across shards
+	// (rounding up), so the whole-cache bound stays within one entry
+	// per shard of the configured value.
 	Capacity int
 	// Dir, when non-empty, enables the persistent tier: entries append
-	// to <dir>/entries.jsonl and cumulative statistics merge into
+	// to <dir>/entries.jsonl (shard 0; additional shards use
+	// <dir>/entries-<i>.jsonl) and cumulative statistics merge into
 	// <dir>/stats.json on Close. The directory is created if missing.
+	// On open, every entries file present is loaded and each entry is
+	// routed to its owning shard under the current shard count, so a
+	// directory written with any Shards value serves a cache opened
+	// with any other.
 	Dir string
+	// Shards splits the cache into that many independent shards, each
+	// with its own lock, LRU tier, disk image, and append file, keyed
+	// by a hash of the entry's content address. Concurrent jobs (the
+	// hgserve pool) then contend on len(shards) locks instead of one.
+	// 0 or 1 keeps the single-shard layout; sharded and unsharded
+	// caches return byte-identical verdicts (TestShardParity).
+	Shards int
 	// Metrics, when non-nil, mirrors hit/miss/store/evict counters into
 	// the run's metrics registry as cache.<kind>.<stage>. Statistics
 	// never ride in traces, which is what keeps traces byte-identical
@@ -125,7 +119,8 @@ func (s StageStats) add(o StageStats) StageStats {
 }
 
 // Stats is a point-in-time snapshot of cache activity, per stage plus
-// persistence health counters.
+// persistence health counters. For a sharded cache every field is the
+// aggregate over all shards.
 type Stats struct {
 	Stages map[Stage]StageStats `json:"stages,omitempty"`
 	// DiskLoaded / DiskSkipped count persistent entries restored and
@@ -136,8 +131,8 @@ type Stats struct {
 	// were therefore not cached — Put degrades to a no-op).
 	EncodeFailures int64 `json:"encode_failures,omitempty"`
 	// DiskWriteFailures counts persistent-tier writes that failed. After
-	// the first one the cache degrades to in-memory operation: verdicts
-	// stay correct, they just stop persisting.
+	// the first one the affected shard degrades to in-memory operation:
+	// verdicts stay correct, they just stop persisting.
 	DiskWriteFailures int64 `json:"disk_write_failures,omitempty"`
 }
 
@@ -187,7 +182,7 @@ func (s Stats) Sub(prev Stats) Stats {
 }
 
 // merge accumulates another snapshot (used for the cumulative
-// stats.json sidecar).
+// stats.json sidecar and for aggregating shard snapshots).
 func (s Stats) merge(o Stats) Stats {
 	out := Stats{
 		DiskLoaded:        s.DiskLoaded + o.DiskLoaded,
@@ -235,12 +230,10 @@ type entry struct {
 	val json.RawMessage
 }
 
-// Cache is the two-tier verdict store. All methods are safe for
-// concurrent use (repair workers and parallel eval subjects share one
-// cache), and all are nil-safe: a nil *Cache behaves as a disabled
-// cache (Get always misses without counting, Put and Close are no-ops),
-// so callers never need to branch on whether caching is on.
-type Cache struct {
+// shard is one independent slice of the cache: its own lock, LRU tier,
+// persistent image, append handle, and statistics. All cross-shard
+// aggregation happens in Cache; a shard never touches another shard.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
@@ -249,68 +242,139 @@ type Cache struct {
 	// from Dir at open plus everything stored since. It is unbounded —
 	// persistence means never forgetting within a run — while the LRU
 	// tier alone bounds memory for purely in-memory caches.
-	disk    map[key]json.RawMessage
-	store   *diskStore
+	disk  map[key]json.RawMessage
+	store *diskStore
+	stats Stats
+}
+
+// Cache is the two-tier, optionally sharded verdict store. All methods
+// are safe for concurrent use (repair workers, parallel eval subjects,
+// and hgserve jobs share one cache), and all are nil-safe: a nil *Cache
+// behaves as a disabled cache (Get always misses without counting, Put
+// and Close are no-ops), so callers never need to branch on whether
+// caching is on.
+type Cache struct {
+	shards  []*shard
+	dir     string
 	metrics *obs.Registry
-	warn    func(string)
-	warned  bool
-	stats   Stats
+
+	// diskLoaded / diskSkipped are set once at open, before the cache
+	// is shared.
+	diskLoaded  int64
+	diskSkipped int64
+	// encodeFailures counts Put values that failed to serialize; it is
+	// the one counter incremented before an entry is routed to a shard.
+	encodeFailures atomic.Int64
+
+	warnMu sync.Mutex
+	warn   func(string)
+	warned bool
 }
 
 // New opens a cache. With Options.Dir set, existing entries are loaded
 // (corrupt or truncated lines are counted and skipped, never fatal)
-// and the store is opened for append. A persistent tier that cannot be
-// opened is never fatal either: the cache degrades to in-memory
-// operation with a one-line warning and a DiskWriteFailures count —
-// verdicts are an optimization, so losing persistence must not abort
-// the run. The returned error is always nil today; the signature keeps
-// room for future hard failures.
+// and one append store is opened per shard. A persistent tier that
+// cannot be opened is never fatal either: the cache degrades to
+// in-memory operation with a one-line warning and a DiskWriteFailures
+// count — verdicts are an optimization, so losing persistence must not
+// abort the run. The returned error is always nil today; the signature
+// keeps room for future hard failures.
 func New(opts Options) (*Cache, error) {
-	c := &Cache{
-		capacity: opts.Capacity,
-		ll:       list.New(),
-		mem:      map[key]*list.Element{},
-		metrics:  opts.Metrics,
-		warn:     opts.Warn,
-		stats:    Stats{Stages: map[Stage]StageStats{}},
+	nshards := opts.Shards
+	if nshards <= 0 {
+		nshards = 1
 	}
-	if c.capacity <= 0 {
-		c.capacity = DefaultCapacity
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := (capacity + nshards - 1) / nshards
+	c := &Cache{
+		shards:  make([]*shard, nshards),
+		metrics: opts.Metrics,
+		warn:    opts.Warn,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: perShard,
+			ll:       list.New(),
+			mem:      map[key]*list.Element{},
+			stats:    Stats{Stages: map[Stage]StageStats{}},
+		}
 	}
 	if opts.Dir != "" {
-		store, loaded, skipped, err := openDiskStore(opts.Dir)
+		c.dir = opts.Dir
+		loaded, skipped, err := loadDir(opts.Dir)
 		if err != nil {
-			c.degrade(fmt.Sprintf("evalcache: persistent tier disabled: %v", err))
+			// The whole persistent tier is unusable (e.g. the directory
+			// cannot be created): every shard stays memory-only.
+			c.shards[0].stats.DiskWriteFailures++
+			c.degradeNotice(fmt.Sprintf("evalcache: persistent tier disabled: %v", err))
 			return c, nil
 		}
-		c.store = store
-		c.disk = loaded
-		c.stats.DiskLoaded = int64(len(loaded))
-		c.stats.DiskSkipped = skipped
+		c.diskLoaded = int64(len(loaded))
+		c.diskSkipped = skipped
+		for i, sh := range c.shards {
+			sh.disk = map[key]json.RawMessage{}
+			store, err := openAppend(opts.Dir, i)
+			if err != nil {
+				sh.stats.DiskWriteFailures++
+				c.degradeNotice(fmt.Sprintf("evalcache: persistent tier disabled: %v", err))
+				continue
+			}
+			sh.store = store
+		}
+		// Entries are routed to their owning shard under the *current*
+		// shard count, regardless of which file they were read from, so
+		// reopening a directory with a different Shards value loses
+		// nothing.
+		for k, raw := range loaded {
+			c.shardFor(k.hash).disk[k] = raw
+		}
 	}
 	return c, nil
 }
 
-// degrade records a persistent-tier failure and drops to in-memory
-// operation. The warning fires at most once per cache; the counter and
-// metric record every occurrence.
-func (c *Cache) degrade(msg string) {
-	c.mu.Lock()
-	if c.store != nil {
-		c.store.discard()
-		c.store = nil
+// shardFor routes a content address to its owning shard. The routing
+// hash is independent of the sha256 content address' own structure, so
+// any key string — hex or not — distributes.
+func (c *Cache) shardFor(hash string) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
 	}
-	c.stats.DiskWriteFailures++
+	h := fnv.New32a()
+	h.Write([]byte(hash))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// degradeNotice emits the once-per-cache persistence warning and the
+// per-occurrence metric. Counting into shard stats is the caller's job
+// (it owns the relevant lock).
+func (c *Cache) degradeNotice(msg string) {
+	c.warnMu.Lock()
 	first := !c.warned
 	c.warned = true
 	warn := c.warn
-	c.mu.Unlock()
+	c.warnMu.Unlock()
 	if c.metrics != nil {
 		c.metrics.Add("cache.disk_degraded", 1)
 	}
 	if first && warn != nil {
 		warn(msg)
 	}
+}
+
+// degradeShard records a persistent-tier failure on one shard and drops
+// that shard to in-memory operation. Other shards keep persisting.
+func (c *Cache) degradeShard(sh *shard, msg string) {
+	sh.mu.Lock()
+	if sh.store != nil {
+		sh.store.discard()
+		sh.store = nil
+	}
+	sh.stats.DiskWriteFailures++
+	sh.mu.Unlock()
+	c.degradeNotice(msg)
 }
 
 // Get looks an entry up and, on a hit, unmarshals the stored verdict
@@ -331,9 +395,10 @@ func (c *Cache) GetIf(stage Stage, hash string, out any, accept func() bool) boo
 		return false
 	}
 	k := key{stage, hash}
-	c.mu.Lock()
-	raw, found := c.lookup(k)
-	c.mu.Unlock()
+	sh := c.shardFor(hash)
+	sh.mu.Lock()
+	raw, found := sh.lookup(k)
+	sh.mu.Unlock()
 	ok := found
 	if ok && json.Unmarshal(raw, out) != nil {
 		ok = false
@@ -341,36 +406,36 @@ func (c *Cache) GetIf(stage Stage, hash string, out any, accept func() bool) boo
 	if ok && accept != nil && !accept() {
 		ok = false
 	}
-	c.count(stage, ok)
+	c.count(sh, stage, ok)
 	return ok
 }
 
 // lookup consults the LRU tier then the persistent image, promoting
-// hits to the LRU front. Caller holds c.mu.
-func (c *Cache) lookup(k key) (json.RawMessage, bool) {
-	if el, ok := c.mem[k]; ok {
-		c.ll.MoveToFront(el)
+// hits to the LRU front. Caller holds sh.mu.
+func (sh *shard) lookup(k key) (json.RawMessage, bool) {
+	if el, ok := sh.mem[k]; ok {
+		sh.ll.MoveToFront(el)
 		return el.Value.(*entry).val, true
 	}
-	if raw, ok := c.disk[k]; ok {
-		c.insert(k, raw)
+	if raw, ok := sh.disk[k]; ok {
+		sh.insert(k, raw)
 		return raw, true
 	}
 	return nil, false
 }
 
-// count records one hit or miss under the lock and mirrors it to the
-// metrics registry outside it.
-func (c *Cache) count(stage Stage, hit bool) {
-	c.mu.Lock()
-	st := c.stats.Stages[stage]
+// count records one hit or miss under the shard lock and mirrors it to
+// the metrics registry outside it.
+func (c *Cache) count(sh *shard, stage Stage, hit bool) {
+	sh.mu.Lock()
+	st := sh.stats.Stages[stage]
 	if hit {
 		st.Hits++
 	} else {
 		st.Misses++
 	}
-	c.stats.Stages[stage] = st
-	c.mu.Unlock()
+	sh.stats.Stages[stage] = st
+	sh.mu.Unlock()
 	if c.metrics != nil {
 		if hit {
 			c.metrics.Add("cache.hits."+string(stage), 1)
@@ -389,45 +454,44 @@ func (c *Cache) Put(stage Stage, hash string, val any) {
 	}
 	raw, err := json.Marshal(val)
 	if err != nil {
-		c.mu.Lock()
-		c.stats.EncodeFailures++
-		c.mu.Unlock()
+		c.encodeFailures.Add(1)
 		return
 	}
 	k := key{stage, hash}
+	sh := c.shardFor(hash)
 	var evicted int64
-	c.mu.Lock()
-	if el, ok := c.mem[k]; ok {
+	sh.mu.Lock()
+	if el, ok := sh.mem[k]; ok {
 		el.Value.(*entry).val = raw
-		c.ll.MoveToFront(el)
+		sh.ll.MoveToFront(el)
 	} else {
-		c.insert(k, raw)
+		sh.insert(k, raw)
 	}
-	if c.disk != nil {
-		c.disk[k] = raw
+	if sh.disk != nil {
+		sh.disk[k] = raw
 	}
-	st := c.stats.Stages[stage]
+	st := sh.stats.Stages[stage]
 	st.Stores++
-	c.stats.Stages[stage] = st
-	for c.ll.Len() > c.capacity {
-		back := c.ll.Back()
+	sh.stats.Stages[stage] = st
+	for sh.ll.Len() > sh.capacity {
+		back := sh.ll.Back()
 		victim := back.Value.(*entry)
-		delete(c.mem, victim.k)
-		c.ll.Remove(back)
-		vs := c.stats.Stages[victim.k.stage]
+		delete(sh.mem, victim.k)
+		sh.ll.Remove(back)
+		vs := sh.stats.Stages[victim.k.stage]
 		vs.Evictions++
-		c.stats.Stages[victim.k.stage] = vs
+		sh.stats.Stages[victim.k.stage] = vs
 		evicted++
 	}
 	var storeErr error
-	if c.store != nil {
-		storeErr = c.store.append(k, raw)
+	if sh.store != nil {
+		storeErr = sh.store.append(k, raw)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if storeErr != nil {
-		// A failed append only loses persistence: drop the disk tier,
-		// keep serving from memory.
-		c.degrade(fmt.Sprintf("evalcache: persistent tier disabled: %v", storeErr))
+		// A failed append only loses persistence on this shard: drop its
+		// disk tier, keep serving from memory.
+		c.degradeShard(sh, fmt.Sprintf("evalcache: persistent tier disabled: %v", storeErr))
 	}
 	if c.metrics != nil {
 		c.metrics.Add("cache.stores."+string(stage), 1)
@@ -437,59 +501,90 @@ func (c *Cache) Put(stage Stage, hash string, val any) {
 	}
 }
 
-// insert adds a fresh LRU entry at the front. Caller holds c.mu.
-func (c *Cache) insert(k key, raw json.RawMessage) {
-	c.mem[k] = c.ll.PushFront(&entry{k: k, val: raw})
+// insert adds a fresh LRU entry at the front. Caller holds sh.mu.
+func (sh *shard) insert(k key, raw json.RawMessage) {
+	sh.mem[k] = sh.ll.PushFront(&entry{k: k, val: raw})
 }
 
-// Stats snapshots current activity.
+// Stats snapshots current activity, aggregated over all shards.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := Stats{
-		DiskLoaded:        c.stats.DiskLoaded,
-		DiskSkipped:       c.stats.DiskSkipped,
-		EncodeFailures:    c.stats.EncodeFailures,
-		DiskWriteFailures: c.stats.DiskWriteFailures,
+		DiskLoaded:     c.diskLoaded,
+		DiskSkipped:    c.diskSkipped,
+		EncodeFailures: c.encodeFailures.Load(),
 	}
-	if len(c.stats.Stages) > 0 {
-		out.Stages = make(map[Stage]StageStats, len(c.stats.Stages))
-		for k, v := range c.stats.Stages {
-			out.Stages[k] = v
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		snap := Stats{DiskWriteFailures: sh.stats.DiskWriteFailures}
+		if len(sh.stats.Stages) > 0 {
+			snap.Stages = make(map[Stage]StageStats, len(sh.stats.Stages))
+			for k, v := range sh.stats.Stages {
+				snap.Stages[k] = v
+			}
 		}
+		sh.mu.Unlock()
+		out = out.merge(snap)
 	}
 	return out
 }
 
-// Len reports the in-memory LRU entry count.
+// Shards reports the shard count (1 for an unsharded cache, 0 for nil).
+func (c *Cache) Shards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
+}
+
+// Len reports the in-memory LRU entry count over all shards.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Close flushes the persistent tier and merges this cache's lifetime
-// statistics into <dir>/stats.json, so hgtrace can report cumulative
-// hit rates across runs. A nil or memory-only cache closes trivially.
+// Close flushes every shard's persistent tier and merges this cache's
+// lifetime statistics into <dir>/stats.json, so hgtrace can report
+// cumulative hit rates across runs. A nil or memory-only cache closes
+// trivially. The first flush error is returned; the sidecar is still
+// written for the shards that flushed.
 func (c *Cache) Close() error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	store := c.store
-	c.store = nil
-	stats := c.stats
-	c.mu.Unlock()
-	if store == nil {
+	stats := c.Stats()
+	var firstErr error
+	hadStore := false
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		store := sh.store
+		sh.store = nil
+		sh.mu.Unlock()
+		if store == nil {
+			continue
+		}
+		hadStore = true
+		if err := store.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if !hadStore {
 		return nil
 	}
-	return store.close(stats)
+	if err := mergeSidecar(c.dir, stats); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // sortedStages returns a Stats' stages in canonical reporting order

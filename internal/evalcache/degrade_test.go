@@ -55,13 +55,13 @@ func TestFailedAppendDegradesOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.store == nil {
+	if c.shards[0].store == nil {
 		t.Fatal("no disk store opened")
 	}
 	// Close the store's file behind its back so the next flushed append
 	// fails; a value larger than the 4 KiB bufio buffer forces the flush
 	// inside Put.
-	if err := c.store.f.Close(); err != nil {
+	if err := c.shards[0].store.f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	big := strings.Repeat("x", 64<<10)
@@ -70,7 +70,7 @@ func TestFailedAppendDegradesOnce(t *testing.T) {
 	if len(warnings) != 1 {
 		t.Fatalf("want exactly one warning, got %v", warnings)
 	}
-	if c.store != nil {
+	if c.shards[0].store != nil {
 		t.Error("store not dropped after failed append")
 	}
 	if n := c.Stats().DiskWriteFailures; n != 1 {

@@ -7,25 +7,55 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
-// The persistent tier is a single append-only JSONL file plus a small
+// The persistent tier is a set of append-only JSONL files plus a small
 // statistics sidecar:
 //
-//	<dir>/entries.jsonl   one {"stage","hash","val"} object per line
-//	<dir>/stats.json      cumulative Stats merged on every Close
+//	<dir>/entries.jsonl       shard 0 (and the whole store when unsharded)
+//	<dir>/entries-<i>.jsonl   shard i > 0 of a sharded cache
+//	<dir>/stats.json          cumulative Stats merged on every Close
 //
 // Append-only JSONL makes the store crash-tolerant by construction: a
 // process killed mid-write leaves at most one truncated final line,
 // which the loader skips (and counts) like any other corrupt line.
 // Duplicate lines are legal — the last write for a key wins, matching
-// overwrite semantics of the in-memory tier.
+// overwrite semantics of the in-memory tier. On open, *every* entries
+// file present is loaded regardless of the current shard count; which
+// file an entry lands in is a write-side detail, never part of its
+// address, so a directory written with one Shards value serves a cache
+// opened with any other.
 
 const (
 	entriesFile = "entries.jsonl"
 	statsFile   = "stats.json"
 )
+
+// shardFile names shard i's append file. Shard 0 keeps the historical
+// single-file name, so unsharded directories stay byte-compatible.
+func shardFile(i int) string {
+	if i == 0 {
+		return entriesFile
+	}
+	return fmt.Sprintf("entries-%d.jsonl", i)
+}
+
+// entriesFiles lists the entry files present in dir, entries.jsonl
+// first then entries-<i>.jsonl in name order.
+func entriesFiles(dir string) []string {
+	var files []string
+	if _, err := os.Stat(filepath.Join(dir, entriesFile)); err == nil {
+		files = append(files, entriesFile)
+	}
+	extra, _ := filepath.Glob(filepath.Join(dir, "entries-*.jsonl"))
+	sort.Strings(extra)
+	for _, p := range extra {
+		files = append(files, filepath.Base(p))
+	}
+	return files
+}
 
 // maxEntryLine bounds one serialized entry (fuzz campaigns with event
 // streams are the largest, hundreds of KB). Longer lines are treated
@@ -39,50 +69,67 @@ type diskEntry struct {
 	Val   json.RawMessage `json:"val"`
 }
 
-// diskStore is the open append handle.
+// diskStore is one shard's open append handle.
 type diskStore struct {
-	dir string
-	f   *os.File
-	w   *bufio.Writer
+	f *os.File
+	w *bufio.Writer
 }
 
-// openDiskStore creates dir if needed, loads every well-formed entry
-// from entries.jsonl, and opens the file for append. Malformed lines
-// are skipped and counted, never fatal: the cache must survive a
-// corrupted or truncated store (e.g. a run killed mid-write).
-func openDiskStore(dir string) (*diskStore, map[key]json.RawMessage, int64, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, 0, fmt.Errorf("evalcache: create dir: %w", err)
+// scanEntries folds every well-formed entry of one file into dst and
+// returns the malformed-line count. Malformed lines are skipped, never
+// fatal: the cache must survive a corrupted or truncated store (e.g. a
+// run killed mid-write).
+func scanEntries(path string, dst map[key]json.RawMessage) int64 {
+	var skipped int64
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
 	}
-	path := filepath.Join(dir, entriesFile)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), maxEntryLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e diskEntry
+		if json.Unmarshal(line, &e) != nil || e.Stage == "" || e.Hash == "" || len(e.Val) == 0 {
+			skipped++
+			continue
+		}
+		dst[key{e.Stage, e.Hash}] = append(json.RawMessage(nil), e.Val...)
+	}
+	if sc.Err() != nil {
+		// An over-long or unreadable tail: everything before it loaded
+		// fine; what remains is unrecoverable.
+		skipped++
+	}
+	return skipped
+}
+
+// loadDir creates dir if needed and loads every well-formed entry from
+// every entries file present (last write wins within a file; across
+// files the load order is fixed, and duplicate keys across files only
+// arise from shard-count changes, where either copy is valid).
+func loadDir(dir string) (map[key]json.RawMessage, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("evalcache: create dir: %w", err)
+	}
 	loaded := map[key]json.RawMessage{}
 	var skipped int64
-	if data, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 64*1024), maxEntryLine)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
-			}
-			var e diskEntry
-			if json.Unmarshal(line, &e) != nil || e.Stage == "" || e.Hash == "" || len(e.Val) == 0 {
-				skipped++
-				continue
-			}
-			loaded[key{e.Stage, e.Hash}] = append(json.RawMessage(nil), e.Val...)
-		}
-		if sc.Err() != nil {
-			// An over-long or unreadable tail: everything before it
-			// loaded fine; what remains is unrecoverable.
-			skipped++
-		}
+	for _, name := range entriesFiles(dir) {
+		skipped += scanEntries(filepath.Join(dir, name), loaded)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return loaded, skipped, nil
+}
+
+// openAppend opens shard i's entries file for append.
+func openAppend(dir string, i int) (*diskStore, error) {
+	f, err := os.OpenFile(filepath.Join(dir, shardFile(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("evalcache: open store: %w", err)
+		return nil, fmt.Errorf("evalcache: open store: %w", err)
 	}
-	return &diskStore{dir: dir, f: f, w: bufio.NewWriter(f)}, loaded, skipped, nil
+	return &diskStore{f: f, w: bufio.NewWriter(f)}, nil
 }
 
 // append writes one entry line.
@@ -97,42 +144,47 @@ func (s *diskStore) append(k key, raw json.RawMessage) error {
 	return s.w.WriteByte('\n')
 }
 
-// discard abandons the append handle without flushing buffered writes
-// or touching the stats sidecar — used when the cache degrades to
-// in-memory operation after a write failure.
+// discard abandons the append handle without flushing buffered writes —
+// used when a shard degrades to in-memory operation after a write
+// failure.
 func (s *diskStore) discard() {
 	_ = s.f.Close()
 }
 
-// close flushes entries and merges stats into the cumulative sidecar.
-func (s *diskStore) close(stats Stats) error {
+// close flushes buffered entries and closes the file.
+func (s *diskStore) close() error {
 	flushErr := s.w.Flush()
 	if err := s.f.Close(); flushErr == nil {
 		flushErr = err
 	}
-	// Merge this run's activity into the cumulative sidecar. A corrupt
-	// or missing sidecar restarts the count rather than failing.
-	path := filepath.Join(s.dir, statsFile)
+	return flushErr
+}
+
+// mergeSidecar merges one cache's lifetime statistics into the
+// cumulative stats.json sidecar. A corrupt or missing sidecar restarts
+// the count rather than failing.
+func mergeSidecar(dir string, stats Stats) error {
+	path := filepath.Join(dir, statsFile)
 	var prior Stats
 	if data, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(data, &prior)
 	}
 	merged := prior.merge(stats)
 	data, err := json.MarshalIndent(merged, "", "  ")
-	if err == nil {
-		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	if err != nil {
+		return err
 	}
-	if flushErr != nil {
-		return flushErr
-	}
-	return err
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // DirSummary describes a persistent cache directory: the live entry
-// population (after last-write-wins dedup) and the cumulative
-// statistics of every run that wrote to it.
+// population (after last-write-wins dedup, across every shard file)
+// and the cumulative statistics of every run that wrote to it.
 type DirSummary struct {
 	Dir string `json:"dir"`
+	// Files counts the entries files present (1 for an unsharded
+	// store, one per shard otherwise).
+	Files int `json:"files,omitempty"`
 	// Entries / Bytes count live entries and their serialized size per
 	// stage.
 	Entries map[Stage]int   `json:"entries,omitempty"`
@@ -152,33 +204,19 @@ func SummarizeDir(dir string) (DirSummary, error) {
 	if _, err := os.Stat(dir); err != nil {
 		return sum, fmt.Errorf("evalcache: %w", err)
 	}
-	if data, err := os.ReadFile(filepath.Join(dir, entriesFile)); err == nil {
-		seen := map[key]int{}
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 64*1024), maxEntryLine)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
-			}
-			var e diskEntry
-			if json.Unmarshal(line, &e) != nil || e.Stage == "" || e.Hash == "" || len(e.Val) == 0 {
-				sum.Skipped++
-				continue
-			}
-			seen[key{e.Stage, e.Hash}] = len(e.Val)
+	seen := map[key]json.RawMessage{}
+	files := entriesFiles(dir)
+	sum.Files = len(files)
+	for _, name := range files {
+		sum.Skipped += scanEntries(filepath.Join(dir, name), seen)
+	}
+	for k, raw := range seen {
+		if sum.Entries == nil {
+			sum.Entries = map[Stage]int{}
+			sum.Bytes = map[Stage]int64{}
 		}
-		if sc.Err() != nil {
-			sum.Skipped++
-		}
-		for k, n := range seen {
-			if sum.Entries == nil {
-				sum.Entries = map[Stage]int{}
-				sum.Bytes = map[Stage]int64{}
-			}
-			sum.Entries[k.stage]++
-			sum.Bytes[k.stage] += int64(n)
-		}
+		sum.Entries[k.stage]++
+		sum.Bytes[k.stage] += int64(len(raw))
 	}
 	if data, err := os.ReadFile(filepath.Join(dir, statsFile)); err == nil {
 		_ = json.Unmarshal(data, &sum.Stats)
@@ -199,6 +237,9 @@ func (s DirSummary) Text() string {
 	}
 	for _, stage := range sortedStages(statsToStages(s.Entries)) {
 		fmt.Fprintf(&sb, "%-10s %6d entries %10d bytes\n", stage, s.Entries[stage], s.Bytes[stage])
+	}
+	if s.Files > 1 {
+		fmt.Fprintf(&sb, "sharded across %d entry files\n", s.Files)
 	}
 	if s.Skipped > 0 {
 		fmt.Fprintf(&sb, "skipped %d malformed line(s)\n", s.Skipped)

@@ -1,0 +1,33 @@
+// Package evalcache is the content-addressed evaluation cache of the
+// pipeline: it memoizes the expensive simulated-toolchain verdicts —
+// synthesizability checks (StageCheck), resource estimates (StageSim),
+// differential tests (StageDifftest), and whole fuzzing campaigns
+// (StageFuzz) — on SHA-256 fingerprints of canonical program text plus
+// every configuration input that could change the verdict (device,
+// clock, step budgets; see the *Salt helpers).
+//
+// Two tiers back the cache: a bounded in-memory LRU and an optional
+// append-only JSONL disk store (Options.Dir) that persists entries
+// across processes, with a stats.json sidecar accumulating lifetime
+// hit/miss/store counts. A disk failure never fails a run — the cache
+// degrades to memory-only with one warning and a cache.disk_degraded
+// metric.
+//
+// Concurrency: the cache is safe for concurrent use and, with
+// Options.Shards > 1, internally sharded — each shard owns its own
+// lock, LRU, and append file (entries.jsonl, entries-1.jsonl, …), so
+// concurrent pipelines (the hgserve job pool) contend per shard rather
+// than on one global mutex. Sharding is invisible through the API:
+// Get/Put verdicts are byte-identical for any shard count, aggregated
+// Stats match the unsharded cache, and a directory written under one
+// shard count serves a cache opened with any other (entries are routed
+// by content address at load time).
+//
+// Correctness contract (the cache-parity tests): hits skip real
+// recomputation but charge identical virtual costs in identical order,
+// so pipeline Results and JSONL traces are byte-identical whether the
+// cache is disabled, cold, or warm — only wall-clock changes. The one
+// out-of-band field is Result.CacheStats, whose hit counts legitimately
+// vary with cache temperature and Workers (speculative evaluations
+// consult the cache too).
+package evalcache

@@ -1,0 +1,226 @@
+package evalcache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// opSequence drives one deterministic mixed Put/Get workload against a
+// cache and returns every Get outcome (found flag + decoded value) in
+// order, so two caches can be compared op for op.
+func opSequence(c *Cache) []string {
+	var got []string
+	for i := 0; i < 400; i++ {
+		stage := Stages()[i%len(Stages())]
+		k := Fingerprint("shard-parity", string(stage), fmt.Sprint(i%97))
+		switch i % 3 {
+		case 0:
+			c.Put(stage, k, map[string]int{"v": i % 97})
+		default:
+			var v map[string]int
+			ok := c.Get(stage, k, &v)
+			got = append(got, fmt.Sprintf("%v:%v", ok, v))
+		}
+	}
+	return got
+}
+
+// TestShardParity is the acceptance check for cache sharding: a sharded
+// cache must be observationally identical to the unsharded one — every
+// Get returns byte-identical verdicts, and the aggregated per-stage
+// hit/miss/store statistics match exactly. (Evictions are excluded: the
+// LRU bound is split per shard, so victim choice legitimately differs;
+// the workload here stays far below capacity so both report zero.)
+func TestShardParity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		flat, err := New(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := New(Options{Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", sharded.Shards(), n)
+		}
+		want := opSequence(flat)
+		got := opSequence(sharded)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: Get outcomes diverge from unsharded cache", n)
+		}
+		fs, ss := flat.Stats(), sharded.Stats()
+		if !reflect.DeepEqual(fs.Stages, ss.Stages) {
+			t.Errorf("shards=%d: aggregated stage stats diverge:\n  flat:    %+v\n  sharded: %+v", n, fs.Stages, ss.Stages)
+		}
+		if flat.Len() != sharded.Len() {
+			t.Errorf("shards=%d: Len %d vs %d", n, sharded.Len(), flat.Len())
+		}
+	}
+}
+
+// TestShardDiskInterop: a directory written with one shard count must
+// serve a cache opened with any other — entries are routed by content
+// address at load time, never by which file they were read from.
+func TestShardDiskInterop(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(Options{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = Fingerprint("interop", fmt.Sprint(i))
+		writer.Put(StageCheck, keys[i], i)
+	}
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files < 2 {
+		t.Fatalf("sharded store wrote %d entry file(s), want several", sum.Files)
+	}
+	if sum.Entries[StageCheck] != len(keys) {
+		t.Fatalf("SummarizeDir found %d entries, want %d", sum.Entries[StageCheck], len(keys))
+	}
+	for _, n := range []int{1, 3, 8} {
+		reader, err := New(Options{Dir: dir, Shards: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reader.Stats().DiskLoaded; got != int64(len(keys)) {
+			t.Errorf("shards=%d: DiskLoaded = %d, want %d", n, got, len(keys))
+		}
+		for i, k := range keys {
+			var v int
+			if !reader.Get(StageCheck, k, &v) || v != i {
+				t.Fatalf("shards=%d: entry %d lost across shard-count change (ok=%v v=%d)", n, i, reader.Get(StageCheck, k, &v), v)
+			}
+		}
+		if err := reader.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardCapacitySplit: the whole-cache LRU bound is divided across
+// shards, so a sharded cache's resident population stays within one
+// entry per shard of the configured capacity.
+func TestShardCapacitySplit(t *testing.T) {
+	const capacity, shards = 64, 8
+	c, err := New(Options{Capacity: capacity, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*capacity; i++ {
+		c.Put(StageCheck, Fingerprint("cap", fmt.Sprint(i)), i)
+	}
+	if got := c.Len(); got > capacity+shards {
+		t.Errorf("resident entries = %d, want <= %d", got, capacity+shards)
+	}
+	var evictions int64
+	for _, st := range c.Stats().Stages {
+		evictions += st.Evictions
+	}
+	if evictions == 0 {
+		t.Error("no evictions counted despite 10x-capacity workload")
+	}
+}
+
+// TestShardConcurrency hammers every shard from many goroutines under
+// -race: concurrent Put/Get/Stats/Len across all stages must be safe
+// and must never lose a stored entry that was not evicted.
+func TestShardConcurrency(t *testing.T) {
+	c, err := New(Options{Shards: 8, Capacity: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 16, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				stage := Stages()[(g+i)%len(Stages())]
+				k := Fingerprint("conc", string(stage), fmt.Sprint(g), fmt.Sprint(i))
+				c.Put(stage, k, g*perG+i)
+				var v int
+				if !c.Get(stage, k, &v) || v != g*perG+i {
+					t.Errorf("g%d: lost own write %d", g, i)
+					return
+				}
+				// Cross-goroutine reads: either a miss (not yet written) or
+				// the exact stored value.
+				ok := Fingerprint("conc", string(stage), fmt.Sprint((g+1)%goroutines), fmt.Sprint(i))
+				var w int
+				if c.Get(stage, ok, &w) && w%perG != i {
+					t.Errorf("g%d: read wrong neighbour value %d at i=%d", g, w, i)
+					return
+				}
+				_ = c.Stats()
+				_ = c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	var stores int64
+	for _, s := range st.Stages {
+		stores += s.Stores
+	}
+	if want := int64(goroutines * perG); stores != want {
+		t.Errorf("stores = %d, want %d", stores, want)
+	}
+}
+
+// TestShardConcurrentDisk: concurrent writers over a persistent sharded
+// cache must leave every entry recoverable after Close (each shard owns
+// its append file; no cross-shard interleaving can corrupt a line).
+func TestShardConcurrentDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Put(StageSim, Fingerprint("disk", fmt.Sprint(g), fmt.Sprint(i)), [2]int{g, i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			var v [2]int
+			if !re.Get(StageSim, Fingerprint("disk", fmt.Sprint(g), fmt.Sprint(i)), &v) || v != [2]int{g, i} {
+				t.Fatalf("entry (%d,%d) lost or corrupted across restart", g, i)
+			}
+		}
+	}
+	sum, err := SummarizeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped != 0 {
+		t.Errorf("found %d malformed lines after concurrent sharded writes", sum.Skipped)
+	}
+}

@@ -20,6 +20,7 @@
 //     run carries no events and cannot serve a traced run — that
 //     lookup counts as a miss and the recomputed campaign overwrites
 //     the entry.
+
 package fuzz
 
 import (

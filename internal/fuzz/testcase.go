@@ -1,16 +1,3 @@
-// Package fuzz implements HeteroGen's coverage-guided test-input generator
-// (the paper's Algorithm 1). It differs from a stock fuzzer in the two
-// ways §4 identifies:
-//
-//   - it targets the kernel function rather than the whole application,
-//     seeding from the intermediate program state captured at the kernel
-//     entry of a host-program run (getKernelSeed); and
-//   - its mutations are type-aware: every generated argument is valid for
-//     the kernel's declared HLS data types, so inputs exercise kernel
-//     logic instead of dying at the entry point.
-//
-// Feedback is branch coverage of the original C program, measured by the
-// CPU interpreter over the functions reachable from the kernel.
 package fuzz
 
 import (

@@ -15,11 +15,11 @@ var histBounds = []float64{0.01, 0.1, 1, 10, 60, 600, 3600, 36000}
 
 // Histogram is a fixed-bucket duration histogram plus running moments.
 type Histogram struct {
-	Count   int64     `json:"count"`
-	Sum     float64   `json:"sum"`
-	Min     float64   `json:"min"`
-	Max     float64   `json:"max"`
-	Buckets []int64   `json:"buckets"` // counts per histBounds entry, +1 overflow
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Buckets []int64 `json:"buckets"` // counts per histBounds entry, +1 overflow
 }
 
 func newHistogram() *Histogram {

@@ -1,0 +1,16 @@
+// Package progen is a deterministic, seeded random-program generator
+// for the C subset the pipeline supports (functions, structs, pointers,
+// arrays, counted and data-dependent loops, malloc/free, recursion). It
+// emits kernels together with an oracle record of the HLS violations it
+// planted — the Table 1 error classes: recursion and dynamic allocation
+// (dynamic data), unknown-bound arrays, pointer aliases and long-double
+// locals (unsupported types), and misplaced top/loop pragmas.
+//
+// Every planted violation is shaped so that (a) the synthesizability
+// checker must flag its class and (b) an existing repair template can
+// fix it — so a conformance run can assert both "the checker sees what
+// we planted" and "the repair search converges" (see internal/conform).
+//
+// Generation is a pure function of Options: the same seed produces
+// byte-identical source and the same oracle on every run.
+package progen

@@ -1,0 +1,99 @@
+package serve
+
+import "runtime"
+
+// Budget bounds one job's resource consumption. Every field is
+// optional in a request: a zero field takes the server's default, and
+// no field can exceed the server's limit (see Options.Limits) — the
+// effective, clamped budget is echoed back in the job status so a
+// client can see what it actually got.
+type Budget struct {
+	// StageDeadlineMS bounds each guarded toolchain stage invocation's
+	// real duration in milliseconds (guard.Options.StageDeadline).
+	StageDeadlineMS int64 `json:"stage_deadline_ms,omitempty"`
+	// InterpSteps bounds each kernel execution's interpreter steps
+	// (guard.Options.InterpSteps).
+	InterpSteps int64 `json:"interp_steps,omitempty"`
+	// FuzzExecs bounds the test-generation campaign's executions
+	// (fuzz.Options.MaxExecs) for transpile and fuzz jobs.
+	FuzzExecs int `json:"fuzz_execs,omitempty"`
+	// MaxIterations bounds the repair search's iterations
+	// (repair.Options.MaxIterations) for transpile and repair jobs.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Workers bounds the job's internal evaluation parallelism
+	// (core.Options.Workers). Results are bit-identical for any value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// DefaultBudget is what a job gets when its request leaves a Budget
+// field zero: deliberately modest, sized for interactive latency.
+func DefaultBudget() Budget {
+	return Budget{
+		StageDeadlineMS: 10_000,
+		InterpSteps:     2_000_000,
+		FuzzExecs:       1_000,
+		MaxIterations:   32,
+		Workers:         1,
+	}
+}
+
+// DefaultLimits is the server-side ceiling applied when Options.Limits
+// leaves a field zero. A request asking beyond a limit is clamped, not
+// rejected — the echoed budget tells the client what happened.
+func DefaultLimits() Budget {
+	return Budget{
+		StageDeadlineMS: 60_000,
+		InterpSteps:     50_000_000,
+		FuzzExecs:       20_000,
+		MaxIterations:   256,
+		Workers:         maxInt(1, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// fill replaces zero fields of b with the corresponding field of def.
+func (b Budget) fill(def Budget) Budget {
+	if b.StageDeadlineMS <= 0 {
+		b.StageDeadlineMS = def.StageDeadlineMS
+	}
+	if b.InterpSteps <= 0 {
+		b.InterpSteps = def.InterpSteps
+	}
+	if b.FuzzExecs <= 0 {
+		b.FuzzExecs = def.FuzzExecs
+	}
+	if b.MaxIterations <= 0 {
+		b.MaxIterations = def.MaxIterations
+	}
+	if b.Workers <= 0 {
+		b.Workers = def.Workers
+	}
+	return b
+}
+
+// clampTo caps every field of b at the corresponding limit (zero limit
+// fields do not constrain).
+func (b Budget) clampTo(limit Budget) Budget {
+	if limit.StageDeadlineMS > 0 && b.StageDeadlineMS > limit.StageDeadlineMS {
+		b.StageDeadlineMS = limit.StageDeadlineMS
+	}
+	if limit.InterpSteps > 0 && b.InterpSteps > limit.InterpSteps {
+		b.InterpSteps = limit.InterpSteps
+	}
+	if limit.FuzzExecs > 0 && b.FuzzExecs > limit.FuzzExecs {
+		b.FuzzExecs = limit.FuzzExecs
+	}
+	if limit.MaxIterations > 0 && b.MaxIterations > limit.MaxIterations {
+		b.MaxIterations = limit.MaxIterations
+	}
+	if limit.Workers > 0 && b.Workers > limit.Workers {
+		b.Workers = limit.Workers
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

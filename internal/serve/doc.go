@@ -1,0 +1,27 @@
+// Package serve is the service layer of the pipeline: a long-running
+// HTTP+JSON job daemon (cmd/hgserve) that runs transpile / check /
+// repair / fuzz jobs on a bounded worker pool with admission control,
+// per-job budgets, streamed observability, and cooperative cancellation.
+//
+// The design maps the library's existing contracts onto a server:
+//
+//   - Every job runs behind internal/guard with budgets clamped by
+//     server-side limits, so one hostile input costs one job, never the
+//     daemon (a panicking stage surfaces as a typed *guard.StageFailure
+//     in the job result).
+//   - Every job gets a private event log fed by the same obs.Observer
+//     stream a CLI trace would contain, wall-clock stripped, replayable
+//     over GET /v1/jobs/{id}/events as NDJSON — byte-identical for any
+//     Workers value, per the commit-in-order contract.
+//   - Cancellation (DELETE /v1/jobs/{id}) lands at the pipeline's commit
+//     points and the job keeps its best-so-far partial result.
+//   - Admission control is a bounded queue plus a per-client in-flight
+//     cap; an overfull server answers 429 with Retry-After instead of
+//     degrading everyone.
+//
+// All jobs on one server share its evaluation cache (internal/evalcache,
+// typically sharded via Options.Shards) and its metrics registry,
+// exported at GET /metrics. See docs/OPERATIONS.md for the operator's
+// manual: flags, clamps, API examples, the metrics catalog, and
+// quarantine triage.
+package serve

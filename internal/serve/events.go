@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"github.com/hetero/heterogen/internal/obs"
+)
+
+// eventLog is one job's private observability stream: an append-only
+// buffer of JSONL-encoded obs events that supports replay-then-follow
+// readers (the /events NDJSON handler). Like a TraceWriter, it strips
+// the one nondeterministic field — wall-clock phase durations — so the
+// stream is byte-identical for any Workers value.
+type eventLog struct {
+	mu    sync.Mutex
+	lines []json.RawMessage
+	done  bool
+	// wake is closed and replaced on every append and on finish, so a
+	// follower blocked in next wakes without polling.
+	wake chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// Emit implements obs.Observer on the job's commit goroutine.
+func (l *eventLog) Emit(e obs.Event) {
+	if e.Phase != nil && e.Phase.WallNS != 0 {
+		p := *e.Phase
+		p.WallNS = 0
+		e.Phase = &p
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.done {
+		l.lines = append(l.lines, b)
+		l.wakeLocked()
+	}
+	l.mu.Unlock()
+}
+
+func (l *eventLog) wakeLocked() {
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// finish marks the stream complete; followers drain and stop.
+func (l *eventLog) finish() {
+	l.mu.Lock()
+	if !l.done {
+		l.done = true
+		l.wakeLocked()
+	}
+	l.mu.Unlock()
+}
+
+// next returns the lines at index from onward, whether the log is
+// finished, and a channel closed on the next append/finish (for
+// blocking until there is more to read).
+func (l *eventLog) next(from int) ([]json.RawMessage, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lines []json.RawMessage
+	if from < len(l.lines) {
+		lines = l.lines[from:]
+	}
+	return lines, l.done, l.wake
+}
+
+// Len is the number of events buffered so far.
+func (l *eventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}

@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/core"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/fuzz"
+	"github.com/hetero/heterogen/internal/guard"
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Pool is the number of concurrently running jobs (default
+	// GOMAXPROCS).
+	Pool int
+	// QueueDepth bounds the admitted-but-waiting queue; a submit that
+	// finds it full is rejected with 429 + Retry-After (default
+	// 4*Pool).
+	QueueDepth int
+	// PerClient caps one client's queued+running jobs (identified by
+	// the X-Client-ID header, falling back to the remote address).
+	// Default 8; negative disables the cap.
+	PerClient int
+	// Limits caps every job's budget fields; zero fields take
+	// DefaultLimits.
+	Limits Budget
+	// Defaults fill a request's unset budget fields; zero fields take
+	// DefaultBudget.
+	Defaults Budget
+	// Cache, when non-nil, is shared by every job (typically sharded —
+	// see evalcache.Options.Shards — since jobs run concurrently).
+	Cache *evalcache.Cache
+	// Metrics receives serve.* counters plus every job's event-derived
+	// metrics; exported at GET /metrics. Nil allocates a private
+	// registry.
+	Metrics *obs.Registry
+	// QuarantineDir receives minimized reproducers of deterministic
+	// stage failures (guard.Options.QuarantineDir); "" disables.
+	QuarantineDir string
+	// Injector plants deterministic faults in every job's guarded
+	// stages (internal/chaos); nil disables injection.
+	Injector guard.Injector
+	// Warn receives one human-readable line per distinct contained
+	// failure and cache degrade; nil discards.
+	Warn func(string)
+	// MaxBodyBytes bounds the request body (default 4 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxJobs bounds the retained job records; the oldest terminal
+	// jobs are evicted past it (default 4096).
+	MaxJobs int
+}
+
+// AdmissionError is a rejected submission: the server is over one of
+// its admission bounds. HTTP maps it to status 429 with a Retry-After
+// header.
+type AdmissionError struct {
+	Reason     string        // "queue_full" or "client_cap"
+	RetryAfter time.Duration // suggested client backoff
+}
+
+func (e *AdmissionError) Error() string {
+	return "serve: admission rejected: " + e.Reason
+}
+
+// Server runs jobs on a bounded pool behind admission control. Create
+// with New, expose with Handler, stop with Close.
+type Server struct {
+	opts     Options
+	limits   Budget
+	defaults Budget
+	metrics  *obs.Registry
+	started  time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *Job
+
+	// gate, when non-nil, makes workers wait for one token per job
+	// before executing — a test hook for deterministic backpressure.
+	gate chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	inflight map[string]int
+	nextID   int64
+	closed   bool
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	s := newServer(opts)
+	s.start()
+	return s
+}
+
+// newServer builds the server without starting workers, so tests can
+// install the gate hook race-free before the pool runs.
+func newServer(opts Options) *Server {
+	if opts.Pool <= 0 {
+		opts.Pool = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.Pool
+	}
+	if opts.PerClient == 0 {
+		opts.PerClient = 8
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 4 << 20
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 4096
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	s := &Server{
+		opts:     opts,
+		limits:   opts.Limits.fill(DefaultLimits()),
+		defaults: opts.Defaults.fill(DefaultBudget()).clampTo(opts.Limits.fill(DefaultLimits())),
+		metrics:  opts.Metrics,
+		started:  time.Now(),
+		queue:    make(chan *Job, opts.QueueDepth),
+		jobs:     map[string]*Job{},
+		inflight: map[string]int{},
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	return s
+}
+
+// start launches the worker pool.
+func (s *Server) start() {
+	for i := 0; i < s.opts.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops admitting, cancels every live job, and waits for the
+// pool to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Metrics exposes the server's registry (for embedding callers).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Submit validates, admits, and enqueues a job for client. The
+// returned job is already visible to Get. A full queue or an
+// over-cap client yields an *AdmissionError.
+func (s *Server) Submit(req Request, client string) (*Job, error) {
+	if !ValidKind(req.Kind) {
+		return nil, fmt.Errorf("serve: unknown job kind %q (want one of %v)", req.Kind, Kinds())
+	}
+	if req.Source == "" {
+		return nil, fmt.Errorf("serve: empty source")
+	}
+	if req.Kernel == "" {
+		return nil, fmt.Errorf("serve: no kernel specified")
+	}
+	eff := req.Budget.fill(s.defaults).clampTo(s.limits)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	if s.opts.PerClient > 0 && s.inflight[client] >= s.opts.PerClient {
+		s.metrics.Add("serve.jobs.rejected.client_cap", 1)
+		return nil, &AdmissionError{Reason: "client_cap", RetryAfter: s.opts.RetryAfter}
+	}
+	s.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j-%06d", s.nextID),
+		kind:    req.Kind,
+		client:  client,
+		budget:  eff,
+		req:     req,
+		events:  newEventLog(),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.Add("serve.jobs.rejected.queue_full", 1)
+		return nil, &AdmissionError{Reason: "queue_full", RetryAfter: s.opts.RetryAfter}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.inflight[client]++
+	s.metrics.Add("serve.jobs.submitted", 1)
+	s.metrics.Add("serve.queue.depth", 1)
+	s.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs past the retention bound.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.opts.MaxJobs && j != nil && j.Status().State.Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Get returns a job by id (nil when unknown or evicted).
+func (s *Server) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Cancel requests cancellation of a job. A queued job turns terminal
+// immediately; a running job is cancelled at its next commit point and
+// keeps its best-so-far partial result. Terminal jobs are untouched.
+// Returns false when the id is unknown.
+func (s *Server) Cancel(id string) bool {
+	j := s.Get(id)
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	j.mu.Lock()
+	wasQueued := j.state == StateQueued
+	if wasQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	if wasQueued {
+		j.events.finish()
+		s.finishAccounting(j, StateCancelled)
+	}
+	return true
+}
+
+// finishAccounting releases the client's in-flight slot and counts the
+// terminal transition. Called exactly once per job.
+func (s *Server) finishAccounting(j *Job, st State) {
+	s.mu.Lock()
+	if s.inflight[j.client] > 0 {
+		s.inflight[j.client]--
+		if s.inflight[j.client] == 0 {
+			delete(s.inflight, j.client)
+		}
+	}
+	s.mu.Unlock()
+	s.metrics.Add("serve.jobs."+string(st), 1)
+}
+
+// worker drains the queue until the server closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.metrics.Add("serve.queue.depth", -1)
+			if s.gate != nil {
+				select {
+				case <-s.gate:
+				case <-s.baseCtx.Done():
+					return
+				}
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through its terminal transition.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting; accounting already done.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	queueWait := j.started.Sub(j.created)
+	j.mu.Unlock()
+	s.metrics.Add("serve.jobs.running", 1)
+	s.metrics.Observe("serve.queue_wait_ms", float64(queueWait.Milliseconds()))
+
+	res, jerr := s.execute(j)
+
+	st := StateDone
+	var msg string
+	var failure *guard.StageFailure
+	switch {
+	case jerr != nil && j.ctx.Err() != nil && res != nil:
+		// Cancelled mid-run with a best-so-far outcome.
+		st = StateCancelled
+		res.Partial = true
+	case jerr != nil:
+		st = StateFailed
+		msg = jerr.Error()
+		failure = asFailure(jerr)
+	}
+
+	j.mu.Lock()
+	j.state = st
+	j.result = res
+	j.errMsg = msg
+	j.failure = failure
+	j.finished = time.Now()
+	wall := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	j.events.finish()
+	j.cancel()
+	s.metrics.Add("serve.jobs.running", -1)
+	s.metrics.Observe("serve.job_wall_ms."+string(j.kind), float64(wall.Milliseconds()))
+	s.finishAccounting(j, st)
+}
+
+// asFailure digs a typed *guard.StageFailure out of an error chain
+// (entry points wrap containments, e.g. "heterogen: parse: guard: …").
+func asFailure(err error) *guard.StageFailure {
+	for e := err; e != nil; {
+		if f := guard.AsFailure(e); f != nil {
+			return f
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return nil
+		}
+		e = u.Unwrap()
+	}
+	return nil
+}
+
+// execute dispatches one job to its pipeline entry point. A non-nil
+// *Result alongside a non-nil error is a cancelled job's partial
+// outcome. A panic escaping the glue between guarded stages is
+// contained here as a StageEval failure — one bad job never takes the
+// daemon down.
+func (s *Server) execute(j *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, guard.PanicFailure(guard.StageEval, r)
+		}
+	}()
+	g := guard.New(guard.Options{
+		StageDeadline: time.Duration(j.budget.StageDeadlineMS) * time.Millisecond,
+		InterpSteps:   j.budget.InterpSteps,
+		QuarantineDir: s.opts.QuarantineDir,
+		Injector:      s.opts.Injector,
+		Metrics:       s.metrics,
+		Warn:          s.opts.Warn,
+	})
+	sink := obs.Multi(j.events, s.metrics)
+	copts := core.Options{
+		Kernel:   j.req.Kernel,
+		HostMain: j.req.Host,
+		Workers:  j.budget.Workers,
+		Obs:      sink,
+		Cache:    s.opts.Cache,
+		Guard:    g,
+	}
+	copts.Fuzz = fuzz.DefaultOptions()
+	copts.Fuzz.MaxExecs = j.budget.FuzzExecs
+	if j.req.Seed != 0 {
+		copts.Fuzz.Seed = j.req.Seed
+	}
+	copts.Repair = repair.DefaultOptions()
+	copts.Repair.MaxIterations = j.budget.MaxIterations
+	if j.req.Seed != 0 {
+		copts.Repair.Seed = j.req.Seed
+	}
+
+	switch j.kind {
+	case KindTranspile:
+		r, rerr := core.RunContext(j.ctx, j.req.Source, copts)
+		if rerr != nil {
+			if j.ctx.Err() != nil && r.Final != nil {
+				return &Result{Transpile: transpileResult(r)}, rerr
+			}
+			return nil, rerr
+		}
+		return &Result{Transpile: transpileResult(r)}, nil
+	case KindCheck:
+		rep, cerr := core.CheckWith(j.req.Source, copts)
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &Result{Check: checkResult(rep)}, nil
+	case KindRepair:
+		rr, rerr := core.RepairStageContext(j.ctx, j.req.Source, copts)
+		if rerr != nil {
+			if j.ctx.Err() != nil && rr.Unit != nil {
+				return &Result{Repair: repairResult(rr, cast.Print(rr.Unit))}, rerr
+			}
+			return nil, rerr
+		}
+		return &Result{Repair: repairResult(rr, cast.Print(rr.Unit))}, nil
+	case KindFuzz:
+		u, perr := guard.Do(g, guard.Invocation{Stage: guard.StageParse, Key: j.req.Source},
+			func(*cast.Unit) (*cast.Unit, error) {
+				return cparser.Parse(j.req.Source)
+			})
+		if perr != nil {
+			return nil, fmt.Errorf("heterogen: parse: %w", perr)
+		}
+		fopts := copts.Fuzz
+		fopts.HostMain = j.req.Host
+		fopts.Obs = sink
+		fopts.Cache = s.opts.Cache
+		fopts.Guard = g
+		fopts.MaxStepsPerExec = j.budget.InterpSteps
+		camp, ferr := fuzz.RunContext(j.ctx, u, j.req.Kernel, fopts)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if cerr := j.ctx.Err(); cerr != nil {
+			return &Result{Fuzz: fuzzResult(camp)}, fmt.Errorf("heterogen: cancelled during fuzz: %w", cerr)
+		}
+		return &Result{Fuzz: fuzzResult(camp)}, nil
+	}
+	return nil, fmt.Errorf("serve: unhandled kind %q", j.kind)
+}
+
+// Handler returns the HTTP API (see http.go for the routes).
+func (s *Server) Handler() http.Handler {
+	return s.routes()
+}
