@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache check trace-demo conform-smoke chaos-smoke serve-smoke docs-check
+.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke docs-check
 
 all: build
 
@@ -39,6 +39,13 @@ bench-parallel:
 bench-cache:
 	WRITE_BENCH=1 $(GO) test -run TestWriteCacheBenchReport -v .
 
+# Regenerates bench_obs.json, the committed record of the tracing
+# overhead: the Figure 2 repair search with the full hgserve
+# observability sink (JSONL trace writer + metrics registry) vs no
+# observer at all, pure compute. Fails at 5% overhead or above.
+bench-obs:
+	WRITE_BENCH=1 $(GO) test -run TestWriteObsBenchReport -v .
+
 # Fixed-seed conformance smoke: 100 generated kernels with planted HLS
 # violations through the full pipeline (checker oracle, repair
 # convergence, differential test, sampled cache/trace parity), plus the
@@ -63,6 +70,14 @@ chaos-smoke:
 # itself is covered by internal/serve's httptest suite.
 serve-smoke:
 	SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v ./cmd/hgserve
+
+# Observability smoke: run a small traced hgconform sweep, ingest the
+# retained traces with the real hgstat binary in two different orders,
+# and assert the fleet report, the JSON aggregate, and the priors
+# artifact are byte-identical — the end-to-end determinism contract of
+# the trace warehouse. Also exercises -verify and the -span view.
+obs-smoke:
+	OBS_SMOKE=1 $(GO) test -run TestObsSmoke -v ./cmd/hgstat
 
 # Docs gate: every flag registered by any cmd/ binary (including the
 # shared chaos.Flags vocabulary) must appear in the README's

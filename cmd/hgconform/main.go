@@ -8,7 +8,8 @@
 // Usage:
 //
 //	hgconform [-seed s] [-n count] [-check-only] [-parity-every k]
-//	          [-fuzz-execs n] [-max-iterations n] [-out dir] [-v]
+//	          [-fuzz-execs n] [-max-iterations n] [-out dir]
+//	          [-trace-dir d] [-v]
 //
 // The run is fully deterministic: the same flags produce a
 // byte-identical summary line. Any failed assertion is delta-debugged
@@ -43,6 +44,7 @@ func main() {
 	fuzzExecs := flag.Int("fuzz-execs", 0, "fuzzing budget per program (0 = harness default)")
 	maxIter := flag.Int("max-iterations", 0, "repair iteration budget per program (0 = harness default)")
 	out := flag.String("out", "", "write minimized reproducers for failures into this directory")
+	traceDir := flag.String("trace-dir", "", "retain each seed's pipeline trace as seed-<n>.jsonl in this directory (hgstat ingests it)")
 	verbose := flag.Bool("v", false, "print each failure's minimized source")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
@@ -63,6 +65,7 @@ func main() {
 		FuzzExecs:     *fuzzExecs,
 		MaxIterations: *maxIter,
 		OutDir:        *out,
+		TraceDir:      *traceDir,
 		Guard: cf.Build(nil, func(msg string) {
 			fmt.Fprintln(os.Stderr, "hgconform:", msg)
 		}),

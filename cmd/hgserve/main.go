@@ -10,6 +10,8 @@
 //	        [-quarantine-dir d] [-chaos rate] [-chaos-seed n]
 //	        [-max-stage-deadline d] [-max-interp-steps n]
 //	        [-max-fuzz-execs n] [-max-iterations n] [-max-workers n]
+//	        [-trace-dir d] [-log json|text|off] [-queue-wait-slo d]
+//	        [-pprof-addr host:port]
 //
 // The HTTP API:
 //
@@ -17,7 +19,8 @@
 //	GET    /v1/jobs/{id}        status + result once terminal
 //	GET    /v1/jobs/{id}/events NDJSON stream of the job's trace events
 //	DELETE /v1/jobs/{id}        cancel; the job keeps its partial result
-//	GET    /metrics             counters + histograms (?format=text)
+//	GET    /metrics             counters + histograms (?format=text or
+//	                            ?format=prometheus for scrape exposition)
 //	GET    /healthz             liveness and pool gauges
 //
 // See docs/OPERATIONS.md for the full operator's manual: budget
@@ -29,8 +32,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +65,10 @@ func main() {
 	maxFuzzExecs := flag.Int("max-fuzz-execs", 20_000, "ceiling on a job's fuzz execution budget")
 	maxIterations := flag.Int("max-iterations", 256, "ceiling on a job's repair iteration budget")
 	maxWorkers := flag.Int("max-workers", 0, "ceiling on a job's internal parallelism (0 = GOMAXPROCS)")
+	traceDir := flag.String("trace-dir", "", "retain each terminal job's trace as <id>.jsonl + <id>.meta.json here (the directory hgstat ingests; empty disables)")
+	logMode := flag.String("log", "off", "structured job log on stderr: json | text | off")
+	queueWaitSLO := flag.Duration("queue-wait-slo", 0, "queue-wait objective; longer waits count into serve.slo.queue_wait_violations (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hgserve [flags] (see -h)")
@@ -68,6 +77,42 @@ func main() {
 
 	warn := func(msg string) { fmt.Fprintln(os.Stderr, "hgserve:", msg) }
 	metrics := obs.NewRegistry()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "hgserve: -log %q (want json, text, or off)\n", *logMode)
+		os.Exit(2)
+	}
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "hgserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *pprofAddr != "" {
+		// pprof rides a dedicated listener so profiling exposure is an
+		// explicit operator decision, never part of the public API surface.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hgserve: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hgserve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof registrations.
+			if perr := http.Serve(pln, nil); perr != nil {
+				fmt.Fprintln(os.Stderr, "hgserve: pprof:", perr)
+			}
+		}()
+	}
 
 	var cache *evalcache.Cache
 	if !*noCache {
@@ -106,6 +151,9 @@ func main() {
 		QuarantineDir: *quarantineDir,
 		Injector:      injector,
 		Warn:          warn,
+		Logger:        logger,
+		TraceDir:      *traceDir,
+		QueueWaitSLO:  *queueWaitSLO,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

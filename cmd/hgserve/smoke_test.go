@@ -44,7 +44,10 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("go build: %v", err)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", filepath.Join(t.TempDir(), "cache"))
+	traceDir := filepath.Join(t.TempDir(), "traces")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(t.TempDir(), "cache"),
+		"-trace-dir", traceDir, "-log", "json", "-pprof-addr", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -143,8 +146,24 @@ func TestServeSmoke(t *testing.T) {
 	}
 	text, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !bytes.Contains(text, []byte("serve.jobs.submitted")) {
-		t.Errorf("text metrics missing serve.jobs.submitted:\n%s", text)
+	if !bytes.Contains(text, []byte("serve_jobs_submitted_total")) {
+		t.Errorf("text metrics missing serve_jobs_submitted_total:\n%s", text)
+	}
+	if !bytes.Contains(text, []byte("# TYPE serve_queue_depth gauge")) {
+		t.Errorf("text metrics missing queue depth gauge:\n%s", text)
+	}
+
+	// Every terminal job left a retained trace + sidecar.
+	jsonls, err := filepath.Glob(filepath.Join(traceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := filepath.Glob(filepath.Join(traceDir, "*.meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jsonls) != 4 || len(metas) != 4 {
+		t.Errorf("retention: %d traces + %d sidecars, want 4 + 4", len(jsonls), len(metas))
 	}
 
 	resp, err = client.Get(base + "/healthz")

@@ -1,0 +1,158 @@
+// Command hgstat is the fleet-scale trace analytics tool: it ingests
+// directories of HeteroGen trace files (hgconform sweeps, hgserve job
+// retention dirs, hgtrace captures) into a content-addressed warehouse
+// and reports per-stage latency and virtual-cost percentiles, repair
+// convergence funnels, cache-hit attribution, and an evidence table of
+// (error class × fix template) outcomes.
+//
+// Usage:
+//
+//	hgstat [-json] [-priors out.json] dir [dir...]
+//	hgstat -span trace.jsonl [-top n]
+//	hgstat -verify priors.json
+//
+// Traces are keyed by content hash, every aggregate is computed on the
+// sorted sample multiset, and the report is rendered in canonical
+// order — the output is byte-identical for any ingestion order of the
+// same trace set, and identical trace files are counted once.
+//
+// The -priors artifact is a versioned, content-hashed JSON table
+// (format "heterogen-priors") that downstream candidate reordering can
+// consume; -verify recomputes its hash and fails on any tampering.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/obs/agg"
+	"github.com/hetero/heterogen/internal/obs/span"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the fleet aggregate as JSON instead of the text report")
+	priorsOut := flag.String("priors", "", "write the (error class x fix template) priors artifact to this path")
+	spanTrace := flag.String("span", "", "render one trace file as a span tree with its critical path, then exit")
+	top := flag.Int("top", 8, "max child spans shown per level in the -span view")
+	verifyPath := flag.String("verify", "", "verify a priors artifact's integrity, then exit")
+	flag.Parse()
+
+	switch {
+	case *verifyPath != "":
+		if flag.NArg() != 0 || *spanTrace != "" {
+			fail(fmt.Errorf("-verify takes no other inputs"))
+		}
+		t, err := agg.LoadPriors(*verifyPath)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("hgstat: %s: format %s v%d, %d entries from %d traces, hash %s OK\n",
+			*verifyPath, t.Format, t.Version, len(t.Entries), t.Traces, short(t.Hash))
+		return
+	case *spanTrace != "":
+		if flag.NArg() != 0 {
+			fail(fmt.Errorf("-span takes no directory arguments"))
+		}
+		if err := renderSpans(*spanTrace, *top); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hgstat [-json] [-priors out.json] dir [dir...] (see -h)")
+		os.Exit(2)
+	}
+	in := agg.NewIngestor()
+	total := 0
+	for _, dir := range flag.Args() {
+		n, err := in.IngestDir(dir)
+		if err != nil {
+			fail(err)
+		}
+		total += n
+	}
+	if total == 0 {
+		fail(fmt.Errorf("no trace files (*.jsonl) under %s", strings.Join(flag.Args(), ", ")))
+	}
+	fleet := in.Snapshot()
+
+	if *priorsOut != "" {
+		if err := fleet.Priors.WriteFile(*priorsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hgstat: wrote %d priors entries (hash %s) to %s\n",
+			len(fleet.Priors.Entries), short(fleet.Priors.Hash), *priorsOut)
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(fleet, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+	fmt.Print(fleet.Text())
+}
+
+// renderSpans prints the span tree of every run in one trace file;
+// Run.Text includes the run's critical path.
+func renderSpans(path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ParseTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	runs := span.Build(events)
+	if len(runs) == 0 {
+		return fmt.Errorf("%s: no runs in trace", path)
+	}
+	// A sidecar written by hgserve retention enriches the tree with the
+	// job envelope and cache attribution when present.
+	if meta := sidecarFor(path); meta != nil && len(runs) == 1 {
+		span.Attach(runs[0], meta)
+	}
+	for i, r := range runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.Text(top))
+	}
+	return nil
+}
+
+// sidecarFor loads <base>.meta.json next to a trace, if any.
+func sidecarFor(tracePath string) *span.RunMeta {
+	base := strings.TrimSuffix(tracePath, filepath.Ext(tracePath))
+	b, err := os.ReadFile(base + ".meta.json")
+	if err != nil {
+		return nil
+	}
+	var m span.RunMeta
+	if json.Unmarshal(b, &m) != nil {
+		return nil
+	}
+	return &m
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hgstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+package main
+
+// The obs-smoke gate (`make obs-smoke`, OBS_SMOKE=1): run a small
+// traced hgconform sweep in-process, then drive the real hgstat binary
+// over the retained traces and assert the fleet report and the priors
+// artifact are byte-identical across two ingestion orders. This is the
+// end-to-end determinism contract: trace capture -> warehouse ->
+// operator report, order-free.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"github.com/hetero/heterogen"
+)
+
+func TestObsSmoke(t *testing.T) {
+	if os.Getenv("OBS_SMOKE") == "" {
+		t.Skip("set OBS_SMOKE=1 (make obs-smoke) to run")
+	}
+
+	// A small sweep with tracing on: enough seeds that several reach the
+	// pipeline stage and leave traces.
+	sweep := t.TempDir()
+	rep, err := heterogen.ConformContext(context.Background(), heterogen.ConformOptions{
+		Seed: 1, Count: 6, FuzzExecs: 60, MaxIterations: 16,
+		ParityEvery: -1, TraceDir: sweep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(sweep, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 2 {
+		t.Fatalf("sweep left %d traces (report: %s), need at least 2", len(traces), rep.Summary())
+	}
+
+	// Split the traces across two directories so swapping the directory
+	// arguments swaps the ingestion order.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for i, src := range traces {
+		dst := dirA
+		if i%2 == 1 {
+			dst = dirB
+		}
+		b, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(src)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bin := filepath.Join(t.TempDir(), "hgstat")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	run := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("hgstat %v: %v", args, err)
+		}
+		return out
+	}
+
+	priors1 := filepath.Join(t.TempDir(), "priors-1.json")
+	priors2 := filepath.Join(t.TempDir(), "priors-2.json")
+	report1 := run("-priors", priors1, dirA, dirB)
+	report2 := run("-priors", priors2, dirB, dirA)
+	if !bytes.Equal(report1, report2) {
+		t.Fatalf("fleet report depends on ingestion order\n--- A,B\n%s\n--- B,A\n%s", report1, report2)
+	}
+	p1, err := os.ReadFile(priors1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := os.ReadFile(priors2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Fatalf("priors artifact depends on ingestion order\n--- A,B\n%s\n--- B,A\n%s", p1, p2)
+	}
+	if !bytes.Contains(report1, []byte("convergence funnel")) {
+		t.Errorf("report missing convergence funnel:\n%s", report1)
+	}
+
+	// The artifact must survive its own integrity check.
+	verify := run("-verify", priors1)
+	if !bytes.Contains(verify, []byte("OK")) {
+		t.Errorf("verify output: %s", verify)
+	}
+
+	// JSON mode is equally order-free.
+	j1 := run("-json", dirA, dirB)
+	j2 := run("-json", dirB, dirA)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSON fleet aggregate depends on ingestion order")
+	}
+
+	// The span view renders a tree and a critical path for one trace.
+	spanOut := run("-span", traces[0])
+	if !bytes.HasPrefix(spanOut, []byte("== ")) || !bytes.Contains(spanOut, []byte("critical path:")) {
+		t.Errorf("span view:\n%s", spanOut)
+	}
+}

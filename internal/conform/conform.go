@@ -44,6 +44,10 @@ type Options struct {
 	// OutDir, when non-empty, receives a minimized reproducer file for
 	// every failure.
 	OutDir string
+	// TraceDir, when non-empty, retains each seed's stage-4 pipeline
+	// trace as seed-<n>.jsonl — deterministic JSONL that hgstat ingests.
+	// Only seeds that reach the pipeline stage leave a trace.
+	TraceDir string
 	// ReduceTrials caps the reducer's predicate budget per failure
 	// (progen default; pipeline-stage reductions use a tenth of it,
 	// since each trial is a full pipeline run).
@@ -79,7 +83,7 @@ func (o Options) withDefaults() Options {
 // Failure is one failed assertion, minimized.
 type Failure struct {
 	Seed  int64
-	Stage string // clean | roundtrip | oracle | pipeline | parity | generate
+	Stage string // clean | roundtrip | oracle | pipeline | parity | generate | trace
 	// Kind/Subject identify the planted violation for oracle failures
 	// (empty otherwise).
 	Kind    progen.Kind
@@ -138,6 +142,11 @@ func Run(opts Options) (Report, error) {
 func RunContext(ctx context.Context, opts Options) (Report, error) {
 	o := opts.withDefaults()
 	rep := Report{Seed: o.Seed, Count: o.Count}
+	if o.TraceDir != "" {
+		if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+			return rep, fmt.Errorf("conform: trace dir: %w", err)
+		}
+	}
 	h := &harness{opts: o, rep: &rep}
 	for i := 0; i < o.Count; i++ {
 		if err := ctx.Err(); err != nil {
@@ -238,8 +247,26 @@ func (h *harness) checkSeed(ctx context.Context, seed int64) {
 	}
 
 	// Stage 4: the repair loop converges and the repaired HLS-C agrees
-	// with the CPU interpreter on the fuzzed corpus.
-	res, rerr := h.pipeline(ctx, p.Unit, p.Kernel, nil, nil)
+	// with the CPU interpreter on the fuzzed corpus. With TraceDir set
+	// the run is traced; the trace is wall-free JSONL, so retention
+	// changes no pipeline behaviour and the file is byte-deterministic.
+	var tobs obs.Observer
+	var tbuf bytes.Buffer
+	var tw *obs.TraceWriter
+	if h.opts.TraceDir != "" {
+		tw = obs.NewTraceWriter(&tbuf)
+		tobs = obs.Tag(tw, fmt.Sprintf("seed-%d", seed))
+	}
+	res, rerr := h.pipeline(ctx, p.Unit, p.Kernel, tobs, nil)
+	if tw != nil {
+		if err := tw.Flush(); err == nil {
+			path := filepath.Join(h.opts.TraceDir, fmt.Sprintf("seed-%d.jsonl", seed))
+			if werr := os.WriteFile(path, tbuf.Bytes(), 0o644); werr != nil {
+				h.rep.Failures = append(h.rep.Failures, Failure{
+					Seed: seed, Stage: "trace", Detail: "retention: " + werr.Error()})
+			}
+		}
+	}
 	if rerr != nil || !res.Compatible || !res.BehaviorOK {
 		detail := fmt.Sprintf("compat=%v behavior=%v", res.Compatible, res.BehaviorOK)
 		if rerr != nil {

@@ -1,0 +1,493 @@
+// Package agg is the fleet trace warehouse: it ingests directories of
+// deterministic JSONL traces (hgconform sweeps, hgserve job retention
+// dirs, CLI -trace runs) into a compact content-addressed index and
+// derives fleet-level statistics — per-stage virtual-cost and wall
+// latency percentiles, repair convergence funnels, cache-hit
+// attribution from job sidecars, and the versioned priors table the
+// candidate-reordering search consumes.
+//
+// The warehouse is deterministic by construction: traces are keyed by
+// the SHA-256 of their bytes, every aggregate either commutes (counts,
+// sums) or is computed after sorting (percentiles, table rows), and
+// Snapshot renders trace summaries in hash order. Ingesting the same
+// trace set in any order therefore yields byte-identical reports and
+// priors tables; ingesting the same trace twice (same bytes, any file
+// name) counts its events once, though each copy's job sidecar still
+// contributes to the fleet's cache and latency aggregates.
+package agg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/obs/span"
+)
+
+// Ingestor accumulates traces; call Snapshot for the derived Fleet
+// view. Not safe for concurrent use.
+type Ingestor struct {
+	traces map[string]*traceFacts // keyed by content hash
+}
+
+// NewIngestor returns an empty warehouse.
+func NewIngestor() *Ingestor {
+	return &Ingestor{traces: map[string]*traceFacts{}}
+}
+
+// traceFacts is the per-trace slice of the index: everything Snapshot
+// needs, already mined from the events.
+type traceFacts struct {
+	hash   string
+	name   string // first file name seen (informational only)
+	events int
+	runs   int
+
+	phaseVirtual map[string][]float64
+	phaseWall    map[string][]float64
+	stageVirtual map[string][]float64
+
+	funnel  Funnel
+	priors  map[priorKey]*counts
+	classes map[string]*counts
+
+	// metas holds every job sidecar seen for this content hash: identical
+	// traces from distinct jobs dedupe as traces but each job's wall /
+	// queue / cache facts still count. Aggregation over metas is
+	// order-independent (counts commute, samples are sorted by NewDist).
+	metas []*span.RunMeta
+}
+
+type priorKey struct{ class, template string }
+
+type counts struct{ tried, accepted, rejected int64 }
+
+// Funnel is the repair convergence funnel over a trace set: how many
+// runs entered repair, how many candidates were tried, how far they
+// got, and how many runs converged.
+type Funnel struct {
+	Runs       int64 `json:"runs"`
+	Repairs    int64 `json:"repairs"`
+	Attempts   int64 `json:"attempts"`
+	Evaluated  int64 `json:"evaluated"`
+	Accepted   int64 `json:"accepted"`
+	Converged  int64 `json:"converged"`
+	FuzzRuns   int64 `json:"fuzz_campaigns"`
+	StageFails int64 `json:"stage_failures"`
+}
+
+func (f *Funnel) add(o Funnel) {
+	f.Runs += o.Runs
+	f.Repairs += o.Repairs
+	f.Attempts += o.Attempts
+	f.Evaluated += o.Evaluated
+	f.Accepted += o.Accepted
+	f.Converged += o.Converged
+	f.FuzzRuns += o.FuzzRuns
+	f.StageFails += o.StageFails
+}
+
+// AddFile ingests one trace file plus its optional `<base>.meta.json`
+// sidecar (written by hgserve's retention layer).
+func (in *Ingestor) AddFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var meta *span.RunMeta
+	metaPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".meta.json"
+	if mb, merr := os.ReadFile(metaPath); merr == nil {
+		var m span.RunMeta
+		if jerr := json.Unmarshal(mb, &m); jerr == nil {
+			meta = &m
+		}
+	}
+	return in.Add(filepath.Base(path), data, meta)
+}
+
+// IngestDir ingests every *.jsonl file directly inside dir (sidecar
+// *.meta.json files are picked up alongside their trace, never
+// ingested as traces). Returns how many trace files were read.
+func (in *Ingestor) IngestDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		if err := in.AddFile(filepath.Join(dir, e.Name())); err != nil {
+			return n, fmt.Errorf("agg: %s: %w", e.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Add ingests one trace from bytes. A trace whose content hash is
+// already present contributes no new events (the warehouse is
+// content-addressed), but its sidecar is still accumulated — identical
+// traces from distinct jobs are one trace and N jobs. The stored name
+// is the lexicographically smallest seen, so the index never depends
+// on ingestion order.
+func (in *Ingestor) Add(name string, data []byte, meta *span.RunMeta) error {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	if prev, ok := in.traces[hash]; ok {
+		if name < prev.name {
+			prev.name = name
+		}
+		if meta != nil {
+			prev.metas = append(prev.metas, meta)
+		}
+		return nil
+	}
+	events, err := obs.ParseTrace(strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	tf := mine(events)
+	tf.hash = hash
+	tf.name = name
+	if meta != nil {
+		tf.metas = append(tf.metas, meta)
+	}
+	in.traces[hash] = tf
+	return nil
+}
+
+// mine derives one trace's facts from its event stream.
+func mine(events []obs.Event) *traceFacts {
+	tf := &traceFacts{
+		phaseVirtual: map[string][]float64{},
+		phaseWall:    map[string][]float64{},
+		stageVirtual: map[string][]float64{},
+		priors:       map[priorKey]*counts{},
+		classes:      map[string]*counts{},
+	}
+	tf.events = len(events)
+	subjects := map[string]bool{}
+	prevFuzz := map[string]float64{}
+	for _, e := range events {
+		if !subjects[e.Subject] {
+			subjects[e.Subject] = true
+			tf.runs++
+			tf.funnel.Runs++
+		}
+		switch e.Type {
+		case obs.EvPhaseEnd:
+			if e.Phase == nil {
+				continue
+			}
+			tf.phaseVirtual[e.Phase.Name] = append(tf.phaseVirtual[e.Phase.Name], e.Phase.VirtualDelta)
+			if e.Phase.WallNS > 0 {
+				tf.phaseWall[e.Phase.Name] = append(tf.phaseWall[e.Phase.Name], float64(e.Phase.WallNS)/1e6)
+			}
+		case obs.EvFuzzExec:
+			d := e.Virtual - prevFuzz[e.Subject]
+			if d < 0 {
+				d = 0
+			}
+			prevFuzz[e.Subject] = e.Virtual
+			tf.stageVirtual["fuzz.exec"] = append(tf.stageVirtual["fuzz.exec"], d)
+		case obs.EvFuzzDone:
+			tf.funnel.FuzzRuns++
+			prevFuzz[e.Subject] = 0
+		case obs.EvRepairInit:
+			tf.funnel.Repairs++
+			if e.Repair != nil {
+				tf.stageVirtual["repair.init"] = append(tf.stageVirtual["repair.init"], e.Repair.VirtualDelta)
+			}
+		case obs.EvCandidate:
+			if e.Repair == nil {
+				continue
+			}
+			r := e.Repair
+			tf.stageVirtual["repair."+r.Step] = append(tf.stageVirtual["repair."+r.Step], r.VirtualDelta)
+			tf.funnel.Attempts++
+			if r.Evaluated {
+				tf.funnel.Evaluated++
+			}
+			if r.Accepted {
+				tf.funnel.Accepted++
+			}
+			if r.Failure != "" {
+				tf.funnel.StageFails++
+			}
+			cc := tf.classes[r.Class]
+			if cc == nil {
+				cc = &counts{}
+				tf.classes[r.Class] = cc
+			}
+			bump(cc, r.Accepted)
+			for _, edit := range r.Edits {
+				k := priorKey{class: r.Class, template: templateOf(edit)}
+				c := tf.priors[k]
+				if c == nil {
+					c = &counts{}
+					tf.priors[k] = c
+				}
+				bump(c, r.Accepted)
+			}
+		case obs.EvRepairDone:
+			if e.Done != nil && e.Done.Compatible && e.Done.BehaviorOK {
+				tf.funnel.Converged++
+			}
+		}
+	}
+	return tf
+}
+
+func bump(c *counts, accepted bool) {
+	c.tried++
+	if accepted {
+		c.accepted++
+	} else {
+		c.rejected++
+	}
+}
+
+// templateOf reduces an edit rendering ("resize(buf, 2048)") to its
+// template name ("resize") — the same convention obs.Report uses.
+func templateOf(edit string) string {
+	if i := strings.IndexByte(edit, '('); i > 0 {
+		return edit[:i]
+	}
+	return edit
+}
+
+// TraceInfo is one ingested trace's identity in the snapshot.
+type TraceInfo struct {
+	Hash   string `json:"hash"`
+	Name   string `json:"name"`
+	Events int    `json:"events"`
+	Runs   int    `json:"runs"`
+}
+
+// StageStat is one named distribution in the fleet view.
+type StageStat struct {
+	Name string `json:"name"`
+	Dist Dist   `json:"dist"`
+}
+
+// ClassStat is one error class's candidate outcome totals.
+type ClassStat struct {
+	Class    string `json:"class"`
+	Tried    int64  `json:"tried"`
+	Accepted int64  `json:"accepted"`
+	Rejected int64  `json:"rejected"`
+}
+
+// CacheStat attributes cache activity (from job sidecars) per stage.
+type CacheStat struct {
+	Stage  string `json:"stage"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+}
+
+// Fleet is the order-independent aggregate over every ingested trace.
+type Fleet struct {
+	Traces int         `json:"traces"`
+	Runs   int         `json:"runs"`
+	Events int         `json:"events"`
+	Index  []TraceInfo `json:"index"`
+
+	// PhaseVirtual / PhaseWall / StageVirtual are named percentile
+	// distributions: virtual seconds per phase, wall milliseconds per
+	// phase (only for traces recorded with wall clocks), and virtual
+	// seconds per stage (repair.init / repair.repair / repair.perf /
+	// fuzz.exec).
+	PhaseVirtual []StageStat `json:"phase_virtual_s"`
+	PhaseWall    []StageStat `json:"phase_wall_ms,omitempty"`
+	StageVirtual []StageStat `json:"stage_virtual_s"`
+
+	Funnel  Funnel      `json:"funnel"`
+	Classes []ClassStat `json:"classes,omitempty"`
+
+	// Cache / QueueWaitMS / JobWallMS come from job sidecars and are
+	// empty for bare trace sets.
+	Cache       []CacheStat `json:"cache,omitempty"`
+	QueueWaitMS *Dist       `json:"queue_wait_ms,omitempty"`
+	JobWallMS   []StageStat `json:"job_wall_ms,omitempty"`
+
+	Priors *PriorsTable `json:"priors"`
+}
+
+// Snapshot merges every ingested trace, in content-hash order, into
+// the fleet view. Calling it twice without further ingestion yields
+// identical values; ingestion order never matters.
+func (in *Ingestor) Snapshot() *Fleet {
+	hashes := make([]string, 0, len(in.traces))
+	for h := range in.traces {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+
+	f := &Fleet{Traces: len(hashes)}
+	phaseV := map[string][]float64{}
+	phaseW := map[string][]float64{}
+	stageV := map[string][]float64{}
+	classes := map[string]*counts{}
+	priors := map[priorKey]*counts{}
+	cache := map[string]*CacheStat{}
+	var queueWait []float64
+	jobWall := map[string][]float64{}
+
+	for _, h := range hashes {
+		tf := in.traces[h]
+		f.Index = append(f.Index, TraceInfo{Hash: tf.hash, Name: tf.name, Events: tf.events, Runs: tf.runs})
+		f.Runs += tf.runs
+		f.Events += tf.events
+		f.Funnel.add(tf.funnel)
+		for k, v := range tf.phaseVirtual {
+			phaseV[k] = append(phaseV[k], v...)
+		}
+		for k, v := range tf.phaseWall {
+			phaseW[k] = append(phaseW[k], v...)
+		}
+		for k, v := range tf.stageVirtual {
+			stageV[k] = append(stageV[k], v...)
+		}
+		for k, c := range tf.classes {
+			dst := classes[k]
+			if dst == nil {
+				dst = &counts{}
+				classes[k] = dst
+			}
+			dst.tried += c.tried
+			dst.accepted += c.accepted
+			dst.rejected += c.rejected
+		}
+		for k, c := range tf.priors {
+			dst := priors[k]
+			if dst == nil {
+				dst = &counts{}
+				priors[k] = dst
+			}
+			dst.tried += c.tried
+			dst.accepted += c.accepted
+			dst.rejected += c.rejected
+		}
+		for _, m := range tf.metas {
+			if m.QueueWaitMS > 0 {
+				queueWait = append(queueWait, m.QueueWaitMS)
+			}
+			if m.WallMS > 0 {
+				jobWall[m.Kind] = append(jobWall[m.Kind], m.WallMS)
+			}
+			if m.Cache != nil {
+				for stage, st := range m.Cache.Stages {
+					cs := cache[string(stage)]
+					if cs == nil {
+						cs = &CacheStat{Stage: string(stage)}
+						cache[string(stage)] = cs
+					}
+					cs.Hits += st.Hits
+					cs.Misses += st.Misses
+				}
+			}
+		}
+	}
+
+	f.PhaseVirtual = distTable(phaseV)
+	f.PhaseWall = distTable(phaseW)
+	f.StageVirtual = distTable(stageV)
+	for _, k := range sortedKeys(classes) {
+		c := classes[k]
+		f.Classes = append(f.Classes, ClassStat{Class: k, Tried: c.tried, Accepted: c.accepted, Rejected: c.rejected})
+	}
+	for _, k := range sortedKeys(cache) {
+		f.Cache = append(f.Cache, *cache[k])
+	}
+	if len(queueWait) > 0 {
+		d := NewDist(queueWait)
+		f.QueueWaitMS = &d
+	}
+	f.JobWallMS = distTable(jobWall)
+	f.Priors = buildPriors(priors, len(hashes))
+	return f
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func distTable(m map[string][]float64) []StageStat {
+	var out []StageStat
+	for _, k := range sortedKeys(m) {
+		out = append(out, StageStat{Name: k, Dist: NewDist(m[k])})
+	}
+	return out
+}
+
+// Text renders the fleet view as a deterministic operator report.
+func (f *Fleet) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== fleet ==\ntraces=%d runs=%d events=%d\n", f.Traces, f.Runs, f.Events)
+	fn := f.Funnel
+	fmt.Fprintf(&sb, "\nconvergence funnel:\n")
+	fmt.Fprintf(&sb, "  runs %d -> repairs %d -> attempts %d -> evaluated %d -> accepted %d -> converged %d\n",
+		fn.Runs, fn.Repairs, fn.Attempts, fn.Evaluated, fn.Accepted, fn.Converged)
+	if fn.StageFails > 0 {
+		fmt.Fprintf(&sb, "  contained stage failures: %d\n", fn.StageFails)
+	}
+	writeDistSection(&sb, "phase virtual seconds", f.PhaseVirtual, "s")
+	writeDistSection(&sb, "phase wall latency", f.PhaseWall, "ms")
+	writeDistSection(&sb, "stage virtual seconds", f.StageVirtual, "s")
+	if len(f.Classes) > 0 {
+		sb.WriteString("\ncandidates by error class:\n")
+		fmt.Fprintf(&sb, "  %-22s %8s %9s %9s\n", "class", "tried", "accepted", "rejected")
+		for _, c := range f.Classes {
+			fmt.Fprintf(&sb, "  %-22s %8d %9d %9d\n", c.Class, c.Tried, c.Accepted, c.Rejected)
+		}
+	}
+	if len(f.Cache) > 0 {
+		sb.WriteString("\ncache attribution (from job sidecars):\n")
+		for _, c := range f.Cache {
+			total := c.Hits + c.Misses
+			rate := 0.0
+			if total > 0 {
+				rate = 100 * float64(c.Hits) / float64(total)
+			}
+			fmt.Fprintf(&sb, "  %-12s %6d hits / %6d misses (%5.1f%% hit rate)\n", c.Stage, c.Hits, c.Misses, rate)
+		}
+	}
+	if f.QueueWaitMS != nil {
+		sb.WriteString("\njob latency (from job sidecars):\n")
+		fmt.Fprintf(&sb, "  %-22s %s\n", "queue_wait_ms", f.QueueWaitMS.Row())
+		for _, s := range f.JobWallMS {
+			fmt.Fprintf(&sb, "  %-22s %s\n", "wall_ms."+s.Name, s.Dist.Row())
+		}
+	}
+	if f.Priors != nil && len(f.Priors.Entries) > 0 {
+		fmt.Fprintf(&sb, "\npriors table (version %d, hash %s):\n", f.Priors.Version, f.Priors.Hash[:12])
+		fmt.Fprintf(&sb, "  %-22s %-22s %8s %9s %9s\n", "class", "template", "tried", "accepted", "rejected")
+		for _, e := range f.Priors.Entries {
+			fmt.Fprintf(&sb, "  %-22s %-22s %8d %9d %9d\n", e.Class, e.Template, e.Tried, e.Accepted, e.Rejected)
+		}
+	}
+	return sb.String()
+}
+
+func writeDistSection(sb *strings.Builder, title string, stats []StageStat, unit string) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "\n%s (%s):\n", title, unit)
+	for _, s := range stats {
+		fmt.Fprintf(sb, "  %-22s %s\n", s.Name, s.Dist.Row())
+	}
+}

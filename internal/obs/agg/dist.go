@@ -1,0 +1,67 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dist summarizes one sample set with exact percentiles: samples are
+// sorted and quantiles taken by nearest rank, so the summary is a pure
+// function of the multiset — ingestion order cannot leak in.
+type Dist struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// NewDist summarizes samples (the slice is sorted in place).
+func NewDist(samples []float64) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	sort.Float64s(samples)
+	d := Dist{
+		Count: int64(len(samples)),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		P50:   rank(samples, 0.50),
+		P90:   rank(samples, 0.90),
+		P95:   rank(samples, 0.95),
+		P99:   rank(samples, 0.99),
+	}
+	for _, v := range samples {
+		d.Sum += v
+	}
+	return d
+}
+
+// rank is the nearest-rank quantile of a sorted sample set.
+func rank(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Mean is the running average (0 when empty).
+func (d Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// Row renders the distribution as one aligned report line.
+func (d Dist) Row() string {
+	return fmt.Sprintf("n=%-6d mean=%9.3f p50=%9.3f p90=%9.3f p95=%9.3f p99=%9.3f max=%9.3f",
+		d.Count, d.Mean(), d.P50, d.P90, d.P95, d.P99, d.Max)
+}

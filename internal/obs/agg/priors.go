@@ -1,0 +1,137 @@
+package agg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// PriorsFormat names the priors artifact; PriorsVersion is its schema
+// revision. Consumers must reject other formats and newer versions.
+const (
+	PriorsFormat  = "heterogen-priors"
+	PriorsVersion = 1
+)
+
+// PriorsTable is the evidence artifact the candidate-reordering search
+// consumes: accumulated (error class × fix template) outcomes mined
+// from traces. The table is content-hashed so a search run can record
+// exactly which evidence it was conditioned on — reordering stays a
+// deterministic function of (program, seed, priors hash), and an empty
+// table reproduces the unconditioned order.
+type PriorsTable struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Hash is the SHA-256 of the canonical entries encoding; it
+	// identifies the evidence content independent of which trace files
+	// carried it.
+	Hash string `json:"hash"`
+	// Traces is how many distinct traces were mined.
+	Traces  int          `json:"traces"`
+	Entries []PriorEntry `json:"entries"`
+}
+
+// PriorEntry is one (error class, fix template) row.
+type PriorEntry struct {
+	Class    string `json:"class"`
+	Template string `json:"template"`
+	Tried    int64  `json:"tried"`
+	Accepted int64  `json:"accepted"`
+	Rejected int64  `json:"rejected"`
+}
+
+// buildPriors sorts the mined counts into the canonical table and
+// stamps its content hash.
+func buildPriors(m map[priorKey]*counts, traces int) *PriorsTable {
+	t := &PriorsTable{Format: PriorsFormat, Version: PriorsVersion, Traces: traces}
+	keys := make([]priorKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return keys[i].template < keys[j].template
+	})
+	for _, k := range keys {
+		c := m[k]
+		t.Entries = append(t.Entries, PriorEntry{
+			Class: k.class, Template: k.template,
+			Tried: c.tried, Accepted: c.accepted, Rejected: c.rejected,
+		})
+	}
+	t.Hash = t.contentHash()
+	return t
+}
+
+// contentHash hashes the canonical JSON encoding of the entries alone:
+// the hash covers the evidence, not the envelope, so re-mining the
+// same trace set always reproduces it.
+func (t *PriorsTable) contentHash() string {
+	b, err := json.Marshal(t.Entries)
+	if err != nil {
+		// Entries are plain structs; Marshal cannot fail in practice.
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Verify recomputes the content hash and reports whether it matches
+// the stamped one — the integrity check consumers run before trusting
+// a priors file.
+func (t *PriorsTable) Verify() error {
+	if t.Format != PriorsFormat {
+		return fmt.Errorf("priors: format %q, want %q", t.Format, PriorsFormat)
+	}
+	if t.Version > PriorsVersion {
+		return fmt.Errorf("priors: version %d is newer than supported %d", t.Version, PriorsVersion)
+	}
+	if got := t.contentHash(); got != t.Hash {
+		return fmt.Errorf("priors: content hash mismatch: stamped %s, computed %s", t.Hash, got)
+	}
+	return nil
+}
+
+// Encode renders the table as indented JSON with a trailing newline —
+// the byte-stable artifact format.
+func (t *PriorsTable) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile atomically writes the encoded table to path.
+func (t *PriorsTable) WriteFile(path string) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadPriors reads and verifies a priors artifact.
+func LoadPriors(path string) (*PriorsTable, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t PriorsTable
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("priors: %s: %w", path, err)
+	}
+	if err := t.Verify(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}

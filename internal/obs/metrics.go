@@ -203,8 +203,9 @@ func (r *Registry) Text() string {
 	sort.Strings(names)
 	for _, k := range names {
 		h := hs[k]
-		fmt.Fprintf(&sb, "%-28s n=%d sum=%.2f min=%.3f mean=%.3f max=%.3f\n",
-			k, h.Count, h.Sum, h.Min, h.Mean(), h.Max)
+		fmt.Fprintf(&sb, "%-28s n=%d sum=%.2f min=%.3f mean=%.3f max=%.3f p50=%.3f p95=%.3f p99=%.3f\n",
+			k, h.Count, h.Sum, h.Min, h.Mean(), h.Max,
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 	}
 	return sb.String()
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gaugeCounters names the registry counters that are semantically
+// gauges — they are incremented and decremented to track a current
+// level, so Prometheus must not treat them as monotonic counters.
+var gaugeCounters = map[string]bool{
+	"serve.queue.depth":  true,
+	"serve.jobs.running": true,
+}
+
+// PromName sanitizes a registry metric name into a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_', and a
+// leading digit is prefixed with '_'. The mapping is stable, so dotted
+// registry names ("serve.jobs.submitted") always surface as the same
+// series ("serve_jobs_submitted").
+func PromName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			sb.WriteRune(r)
+		} else if r >= '0' && r <= '9' {
+			sb.WriteString("_")
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per metric
+// family, sanitized names, counters with a `_total` suffix, gauges for
+// the level-tracking counters, and full `_bucket`/`_sum`/`_count`
+// series (cumulative, ending in le="+Inf") for every histogram. The
+// extra map carries point-in-time gauges sampled by the caller at
+// scrape time (runtime gauges); it may be nil. Families are emitted in
+// sorted name order, so the exposition is deterministic for a given
+// registry state.
+func WritePrometheus(w io.Writer, r *Registry, extra map[string]float64) {
+	cs, hs := r.snapshot()
+
+	names := make([]string, 0, len(cs))
+	for k := range cs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if gaugeCounters[k] {
+			n := PromName(k)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, cs[k])
+			continue
+		}
+		n := PromName(k) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, cs[k])
+	}
+
+	names = names[:0]
+	for k := range hs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := hs[k]
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, bound := range histBounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum)
+		}
+		cum += h.Buckets[len(histBounds)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+
+	names = names[:0]
+	for k := range extra {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(extra[k]))
+	}
+}
+
+// Prometheus renders WritePrometheus to a string.
+func (r *Registry) Prometheus(extra map[string]float64) string {
+	var sb strings.Builder
+	WritePrometheus(&sb, r, extra)
+	return sb.String()
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.jobs.submitted":  "serve_jobs_submitted",
+		"serve.job_wall_ms.fpg": "serve_job_wall_ms_fpg",
+		"9lives":                "_9lives",
+		"a:b":                   "a:b",
+		"ok_name":               "ok_name",
+		"héllo":                 "h_llo",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parsePromText is a minimal exposition-format parser: it validates the
+// line grammar hgserve emits (# TYPE comments, name{labels} value) and
+// returns the samples plus the declared family types.
+func parsePromText(t *testing.T, text string) ([]promSample, map[string]string) {
+	t.Helper()
+	var samples []promSample
+	types := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown family type %q", ln+1, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		s := promSample{name: series, value: val}
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, series)
+			}
+			s.name = series[:br]
+			s.labels = series[br+1 : len(series)-1]
+		}
+		for _, r := range s.name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') ||
+				(r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("line %d: illegal metric name %q", ln+1, s.name)
+			}
+		}
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+// TestPrometheusParseBack renders a populated registry and parses the
+// exposition back, checking family typing, histogram series shape, and
+// value fidelity.
+func TestPrometheusParseBack(t *testing.T) {
+	r := NewRegistry()
+	r.Add("serve.jobs.submitted", 3)
+	r.Add("serve.queue.depth", 2)
+	r.Add("serve.queue.depth", -1)
+	r.Observe("serve.queue_wait_ms", 0.005)
+	r.Observe("serve.queue_wait_ms", 5)
+	r.Observe("serve.queue_wait_ms", 1e9) // overflow bucket
+
+	text := r.Prometheus(map[string]float64{"runtime.goroutines": 12})
+	samples, types := parsePromText(t, text)
+
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+
+	if types["serve_jobs_submitted_total"] != "counter" {
+		t.Errorf("submitted family type %q", types["serve_jobs_submitted_total"])
+	}
+	if got := byName["serve_jobs_submitted_total"]; len(got) != 1 || got[0].value != 3 {
+		t.Errorf("submitted samples: %+v", got)
+	}
+	if types["serve_queue_depth"] != "gauge" {
+		t.Errorf("queue depth exported as %q, want gauge", types["serve_queue_depth"])
+	}
+	if got := byName["serve_queue_depth"]; len(got) != 1 || got[0].value != 1 {
+		t.Errorf("queue depth samples: %+v", got)
+	}
+	if types["runtime_goroutines"] != "gauge" {
+		t.Errorf("runtime gauge type %q", types["runtime_goroutines"])
+	}
+
+	if types["serve_queue_wait_ms"] != "histogram" {
+		t.Fatalf("histogram family type %q", types["serve_queue_wait_ms"])
+	}
+	buckets := byName["serve_queue_wait_ms_bucket"]
+	if len(buckets) != len(histBounds)+1 {
+		t.Fatalf("%d bucket series, want %d", len(buckets), len(histBounds)+1)
+	}
+	// Bucket counts are cumulative and end at le="+Inf" == count.
+	prev := int64(-1)
+	for _, b := range buckets {
+		if !strings.HasPrefix(b.labels, `le="`) {
+			t.Fatalf("bucket labels %q", b.labels)
+		}
+		if int64(b.value) < prev {
+			t.Fatalf("bucket series not cumulative: %+v", buckets)
+		}
+		prev = int64(b.value)
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels != `le="+Inf"` || last.value != 3 {
+		t.Errorf("terminal bucket %+v, want le=\"+Inf\" value 3", last)
+	}
+	if got := byName["serve_queue_wait_ms_count"]; len(got) != 1 || got[0].value != 3 {
+		t.Errorf("count series: %+v", got)
+	}
+	sum := byName["serve_queue_wait_ms_sum"]
+	if len(sum) != 1 || math.Abs(sum[0].value-(0.005+5+1e9)) > 1e-6 {
+		t.Errorf("sum series: %+v", sum)
+	}
+
+	// Every sample's family has a TYPE declaration.
+	for _, s := range samples {
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(base, suf); fam != base && types[fam] == "histogram" {
+				base = fam
+				break
+			}
+		}
+		if types[base] == "" {
+			t.Errorf("sample %q has no TYPE declaration", s.name)
+		}
+	}
+
+	// Rendering is deterministic.
+	if again := r.Prometheus(map[string]float64{"runtime.goroutines": 12}); again != text {
+		t.Error("exposition not deterministic for identical registry state")
+	}
+}

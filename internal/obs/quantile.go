@@ -1,0 +1,66 @@
+package obs
+
+// BucketBounds returns the histogram bucket upper bounds shared by
+// every Histogram (a copy; callers may not mutate the schedule).
+func BucketBounds() []float64 {
+	return append([]float64(nil), histBounds...)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the bucket counts. Within a bucket the estimate
+// interpolates linearly between the bucket's bounds, clamped to the
+// exact Min/Max the histogram tracked — so a single-observation
+// histogram reports that observation for every q, and q=0 / q=1 always
+// return Min / Max. The overflow bucket interpolates between the last
+// finite bound and Max. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	// Rank of the target observation (1-based, nearest-rank rounded up).
+	rank := int64(q*float64(h.Count)) + 1
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		// The target falls in bucket i: interpolate by position.
+		lo := h.Min
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := h.Max
+		if i < len(histBounds) && histBounds[i] < hi {
+			hi = histBounds[i]
+		}
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (float64(rank-cum) - 0.5) / float64(n)
+		v := lo + frac*(hi-lo)
+		if v < h.Min {
+			v = h.Min
+		}
+		if v > h.Max {
+			v = h.Max
+		}
+		return v
+	}
+	return h.Max
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newHistogram()
+	h.observe(3.7)
+	if h.Min != h.Max || h.Min != 3.7 {
+		t.Fatalf("Min/Max = %v/%v, want 3.7/3.7", h.Min, h.Max)
+	}
+	// Every quantile of a one-sample distribution is that sample.
+	for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.7 {
+			t.Errorf("Quantile(%v) = %v, want 3.7", q, got)
+		}
+	}
+}
+
+func TestQuantileBoundsAndMonotonicity(t *testing.T) {
+	h := newHistogram()
+	vals := []float64{0.004, 0.05, 0.5, 2, 8, 30, 120, 900, 5000}
+	for _, v := range vals {
+		h.observe(v)
+	}
+	if got := h.Quantile(0); got != 0.004 {
+		t.Errorf("Quantile(0) = %v, want Min", got)
+	}
+	if got := h.Quantile(1); got != 5000 {
+		t.Errorf("Quantile(1) = %v, want Max", got)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gave %v after %v", q, v, prev)
+		}
+		if v < h.Min || v > h.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, h.Min, h.Max)
+		}
+		prev = v
+	}
+	// The median estimate must land in the median's bucket (0.5 ≤ v ≤ 10:
+	// sample 2 sits in the (1,10] bucket).
+	if med := h.Quantile(0.5); med < 1 || med > 10 {
+		t.Errorf("median estimate %v not in the (1,10] bucket", med)
+	}
+}
+
+// TestQuantileOverflowBucket: samples past the last finite bound are
+// estimated between that bound and the tracked Max.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	bounds := BucketBounds()
+	last := bounds[len(bounds)-1]
+	for i := 0; i < 4; i++ {
+		h.observe(last * 10)
+	}
+	h.observe(last * 100) // Max
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v := h.Quantile(q)
+		if v < last || v > last*100 {
+			t.Errorf("overflow Quantile(%v) = %v, want within (%v, %v]", q, v, last, last*100)
+		}
+	}
+	if got := h.Quantile(1); got != last*100 {
+		t.Errorf("Quantile(1) = %v, want Max %v", got, last*100)
+	}
+}
+
+func TestBucketBoundsIsACopy(t *testing.T) {
+	b := BucketBounds()
+	if len(b) == 0 {
+		t.Fatal("no bucket bounds")
+	}
+	b[0] = -1
+	if BucketBounds()[0] == -1 {
+		t.Fatal("BucketBounds exposes the shared schedule")
+	}
+}
+
+// TestEmptyRegistryRenders: JSON and Prometheus renderings of an empty
+// registry are well-formed (no null maps, no stray output).
+func TestEmptyRegistryRenders(t *testing.T) {
+	r := NewRegistry()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64      `json:"counters"`
+		Hists    map[string]*Histogram `json:"histograms"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("empty registry JSON does not parse: %v\n%s", err, b)
+	}
+	if len(doc.Counters) != 0 || len(doc.Hists) != 0 {
+		t.Errorf("empty registry rendered data: %s", b)
+	}
+	if p := r.Prometheus(nil); p != "" {
+		t.Errorf("empty registry Prometheus exposition: %q", p)
+	}
+}
+
+// TestTextQuantiles: the human registry dump carries quantile columns.
+func TestTextQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("stage.ms", 5)
+	text := r.Text()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !containsStr(text, want) {
+			t.Errorf("Text() missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

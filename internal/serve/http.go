@@ -62,7 +62,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	j, err := s.Submit(req, clientID(r))
+	j, err := s.SubmitWithCorrelation(req, clientID(r), r.Header.Get("X-Correlation-ID"))
 	if err != nil {
 		var adm *AdmissionError
 		if errors.As(err, &adm) {
@@ -134,9 +134,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, s.metrics.Text())
+	switch r.URL.Query().Get("format") {
+	case "text", "prometheus":
+		// Both names serve Prometheus text exposition 0.0.4 — the scrape
+		// format is the plain-text view. Runtime gauges are sampled at
+		// scrape time; the JSON default stays a pure registry snapshot.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, s.metrics.Prometheus(runtimeGauges()))
 		return
 	}
 	b, err := s.metrics.JSON()

@@ -87,6 +87,7 @@ type Job struct {
 	id     string
 	kind   Kind
 	client string
+	corr   string
 	budget Budget
 	req    Request
 
@@ -109,10 +110,13 @@ func (j *Job) ID() string { return j.id }
 
 // Status is the JSON representation of a job returned by the API.
 type Status struct {
-	ID     string `json:"id"`
-	Kind   Kind   `json:"kind"`
-	State  State  `json:"state"`
-	Client string `json:"client,omitempty"`
+	ID   string `json:"id"`
+	Kind Kind   `json:"kind"`
+	// CorrelationID is the caller-supplied request id (X-Correlation-ID)
+	// threaded through logs and the retained trace; defaults to ID.
+	CorrelationID string `json:"correlation_id,omitempty"`
+	State         State  `json:"state"`
+	Client        string `json:"client,omitempty"`
 	// Budget is the effective (clamped) budget the job runs under.
 	Budget Budget `json:"budget"`
 	// Events is the number of observability events buffered so far
@@ -138,16 +142,17 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.id,
-		Kind:      j.kind,
-		State:     j.state,
-		Client:    j.client,
-		Budget:    j.budget,
-		Events:    j.events.Len(),
-		CreatedMS: j.created.UnixMilli(),
-		Error:     j.errMsg,
-		Failure:   j.failure,
-		Result:    j.result,
+		ID:            j.id,
+		Kind:          j.kind,
+		CorrelationID: j.corr,
+		State:         j.state,
+		Client:        j.client,
+		Budget:        j.budget,
+		Events:        j.events.Len(),
+		CreatedMS:     j.created.UnixMilli(),
+		Error:         j.errMsg,
+		Failure:       j.failure,
+		Result:        j.result,
 	}
 	if !j.started.IsZero() {
 		st.StartedMS = j.started.UnixMilli()

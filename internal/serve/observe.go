@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/obs/span"
+)
+
+// discardLogger drops everything; it backs a nil Options.Logger so
+// logging call sites never branch.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// logger returns the configured structured logger (never nil).
+func (s *Server) logger() *slog.Logger {
+	if s.opts.Logger != nil {
+		return s.opts.Logger
+	}
+	return discardLogger
+}
+
+// jobLogger stamps a job's identity on every record: the correlation
+// id is the thread an operator follows from admission through queue,
+// stage events, terminal transition, and trace persistence.
+func (s *Server) jobLogger(j *Job) *slog.Logger {
+	return s.logger().With(
+		"job", j.id,
+		"correlation_id", j.corr,
+		"kind", string(j.kind),
+		"client", j.client,
+	)
+}
+
+// phaseLogger bridges the job's observability stream into the
+// structured log: phase boundaries and warnings become log records
+// carrying the job's correlation id. Candidate/exec events are
+// deliberately not logged — at one event per fuzz execution they would
+// drown the log; they remain available on the job's event stream and
+// in the persisted trace.
+type phaseLogger struct {
+	log *slog.Logger
+}
+
+func (p phaseLogger) Emit(e obs.Event) {
+	switch e.Type {
+	case obs.EvPhaseStart:
+		if e.Phase != nil {
+			p.log.Info("phase start", "phase", e.Phase.Name, "virtual_s", e.Virtual)
+		}
+	case obs.EvPhaseEnd:
+		if e.Phase != nil {
+			p.log.Info("phase end", "phase", e.Phase.Name,
+				"virtual_s", e.Virtual, "virtual_delta_s", e.Phase.VirtualDelta,
+				"wall_ms", float64(e.Phase.WallNS)/1e6)
+		}
+	case obs.EvWarning:
+		p.log.Warn("pipeline warning", "warning", e.Warn)
+	}
+}
+
+// persistTrace writes a terminal job's deterministic event trace and
+// its operational sidecar into the retention directory:
+//
+//	<dir>/<id>.jsonl      — the event stream, byte-identical to what
+//	                        /v1/jobs/{id}/events streamed (wall-free,
+//	                        worker-count independent)
+//	<dir>/<id>.meta.json  — the nondeterministic envelope: correlation
+//	                        id, state, queue wait, wall time, and the
+//	                        job-attributed cache delta
+//
+// Both writes are atomic (temp file + rename) so a concurrently
+// running hgstat ingestion never sees a torn trace. Persistence
+// failures are contained: they log, count into
+// serve.trace.persist_errors, and never affect the job's outcome.
+func (s *Server) persistTrace(j *Job, st State, queueWait, wall time.Duration, cacheDelta evalcache.Stats) {
+	dir := s.opts.TraceDir
+	if dir == "" {
+		return
+	}
+	log := s.jobLogger(j)
+	lines, _, _ := j.events.next(0)
+	var buf []byte
+	for _, line := range lines {
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	meta := span.RunMeta{
+		ID:            j.id,
+		CorrelationID: j.corr,
+		Kind:          string(j.kind),
+		Client:        j.client,
+		State:         string(st),
+		QueueWaitMS:   float64(queueWait.Nanoseconds()) / 1e6,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		Events:        len(lines),
+	}
+	j.mu.Lock()
+	if j.result != nil {
+		meta.Partial = j.result.Partial
+	}
+	j.mu.Unlock()
+	if len(cacheDelta.Stages) > 0 {
+		meta.Cache = &cacheDelta
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err == nil {
+		err = atomicWrite(filepath.Join(dir, j.id+".jsonl"), buf)
+	}
+	if err == nil {
+		err = atomicWrite(filepath.Join(dir, j.id+".meta.json"), append(mb, '\n'))
+	}
+	if err != nil {
+		s.metrics.Add("serve.trace.persist_errors", 1)
+		log.Error("trace persistence failed", "error", err)
+		return
+	}
+	s.metrics.Add("serve.trace.persisted", 1)
+	log.Info("trace persisted", "events", len(lines), "dir", dir)
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runtimeGauges samples the Go runtime at scrape time: goroutines,
+// heap occupancy, and GC activity. They ride only on the Prometheus
+// exposition (the JSON document stays a pure registry snapshot).
+func runtimeGauges() map[string]float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]float64{
+		"runtime.goroutines":         float64(runtime.NumGoroutine()),
+		"runtime.heap_alloc_bytes":   float64(ms.HeapAlloc),
+		"runtime.heap_sys_bytes":     float64(ms.HeapSys),
+		"runtime.heap_objects":       float64(ms.HeapObjects),
+		"runtime.gc_runs":            float64(ms.NumGC),
+		"runtime.gc_pause_total_s":   float64(ms.PauseTotalNs) / 1e9,
+		"runtime.next_gc_bytes":      float64(ms.NextGC),
+		"runtime.total_alloc_bytes":  float64(ms.TotalAlloc),
+		"runtime.stack_inuse_bytes":  float64(ms.StackInuse),
+		"runtime.mallocs_cumulative": float64(ms.Mallocs),
+	}
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/obs/agg"
+	"github.com/hetero/heterogen/internal/obs/span"
+)
+
+// TestTraceRetentionRoundTrip: a terminal job's trace lands in the
+// retention dir, matches the /events stream byte for byte, carries a
+// sidecar with the job's envelope, and ingests cleanly into the
+// hgstat warehouse.
+func TestTraceRetentionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := evalcache.New(evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := subjectP2(t)
+	_, ts := startServer(t, Options{TraceDir: dir, Cache: cache})
+	st, _ := postJob(t, ts, Request{
+		Kind: KindTranspile, Source: sub.Source, Kernel: sub.Kernel,
+		Budget: smallBudget(),
+	}, "tester")
+	fin := awaitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job state %s: %s", fin.State, fin.Error)
+	}
+	streamed := eventBody(t, ts, st.ID)
+
+	var retained []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		retained, err = os.ReadFile(filepath.Join(dir, st.ID+".jsonl"))
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("retained trace never appeared: %v", err)
+	}
+	if !bytes.Equal(retained, streamed) {
+		t.Fatalf("retained trace differs from /events stream (%d vs %d bytes)",
+			len(retained), len(streamed))
+	}
+	if bytes.Contains(retained, []byte(`"wall_ns"`)) {
+		t.Fatal("retained trace leaks wall time")
+	}
+
+	mb, err := os.ReadFile(filepath.Join(dir, st.ID+".meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta span.RunMeta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != st.ID || meta.Kind != "transpile" || meta.State != "done" {
+		t.Fatalf("sidecar envelope: %+v", meta)
+	}
+	if meta.CorrelationID != st.ID {
+		t.Fatalf("default correlation id %q, want job id %q", meta.CorrelationID, st.ID)
+	}
+	if meta.WallMS <= 0 || meta.Events == 0 {
+		t.Fatalf("sidecar missing wall/events: %+v", meta)
+	}
+	if meta.Cache == nil || meta.Cache.Misses() == 0 {
+		t.Fatalf("sidecar missing cache delta: %+v", meta.Cache)
+	}
+
+	in := agg.NewIngestor()
+	n, err := in.IngestDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ingested %d traces, want 1", n)
+	}
+	fleet := in.Snapshot()
+	if fleet.Runs == 0 || fleet.Funnel.Repairs == 0 {
+		t.Fatalf("warehouse saw no runs: %+v", fleet.Funnel)
+	}
+	if len(fleet.Cache) == 0 {
+		t.Fatal("warehouse lost the cache attribution")
+	}
+	if len(fleet.JobWallMS) != 1 || fleet.JobWallMS[0].Name != "transpile" {
+		t.Fatalf("job wall attribution: %+v", fleet.JobWallMS)
+	}
+
+	// The retained trace builds into a span tree whose run totals match
+	// the event stream's virtual account.
+	events, err := obs.ParseTrace(bytes.NewReader(retained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := span.Build(events)
+	if len(runs) != 1 || len(runs[0].Root.Children) == 0 {
+		t.Fatalf("span build: %d runs", len(runs))
+	}
+}
+
+// TestRetainedTraceWorkerParity: the retained trace bytes are identical
+// whatever worker count the job ran with — the fleet warehouse can mix
+// traces from differently sized deployments.
+func TestRetainedTraceWorkerParity(t *testing.T) {
+	sub := subjectP2(t)
+	traceFor := func(workers int) []byte {
+		dir := t.TempDir()
+		_, ts := startServer(t, Options{TraceDir: dir})
+		b := smallBudget()
+		b.Workers = workers
+		st, _ := postJob(t, ts, Request{
+			Kind: KindTranspile, Source: sub.Source, Kernel: sub.Kernel, Budget: b,
+		}, "parity")
+		fin := awaitTerminal(t, ts, st.ID)
+		if fin.State != StateDone {
+			t.Fatalf("workers=%d: state %s: %s", workers, fin.State, fin.Error)
+		}
+		var data []byte
+		var err error
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			data, err = os.ReadFile(filepath.Join(dir, st.ID+".jsonl"))
+			if err == nil {
+				return data
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("workers=%d: trace never retained: %v", workers, err)
+		return nil
+	}
+	one := traceFor(1)
+	four := traceFor(4)
+	if !bytes.Equal(one, four) {
+		t.Fatal("retained traces differ across worker counts")
+	}
+}
+
+// TestCorrelationIDThreading: a caller-supplied X-Correlation-ID
+// surfaces in the job status, the structured log, and the retained
+// sidecar.
+func TestCorrelationIDThreading(t *testing.T) {
+	dir := t.TempDir()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	sub := subjectP2(t)
+	_, ts := startServer(t, Options{TraceDir: dir, Logger: logger})
+
+	body, _ := json.Marshal(Request{
+		Kind: KindTranspile, Source: sub.Source, Kernel: sub.Kernel, Budget: smallBudget(),
+	})
+	hreq, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("X-Correlation-ID", "req-abc-123")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.CorrelationID != "req-abc-123" {
+		t.Fatalf("status correlation id %q", st.CorrelationID)
+	}
+	awaitTerminal(t, ts, st.ID)
+
+	var meta span.RunMeta
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mb, err := os.ReadFile(filepath.Join(dir, st.ID+".meta.json"))
+		if err == nil {
+			if err := json.Unmarshal(mb, &meta); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if meta.CorrelationID != "req-abc-123" {
+		t.Fatalf("sidecar correlation id %q", meta.CorrelationID)
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{
+		`"msg":"job admitted"`, `"msg":"job running"`, `"msg":"job terminal"`,
+		`"msg":"phase start"`, `"correlation_id":"req-abc-123"`,
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %s\n%s", want, logs)
+		}
+	}
+	// Every job-scoped record must carry the correlation id.
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line: %s", line)
+		}
+		if _, ok := rec["job"]; ok {
+			if rec["correlation_id"] != "req-abc-123" {
+				t.Errorf("job record without correlation id: %s", line)
+			}
+		}
+	}
+}
+
+// TestQueueWaitSLOCounter: jobs held past the objective count into the
+// violations counter.
+func TestQueueWaitSLOCounter(t *testing.T) {
+	sub := subjectP2(t)
+	s := newServer(Options{Pool: 1, QueueWaitSLO: time.Nanosecond})
+	s.gate = make(chan struct{}, 16)
+	s.start()
+	t.Cleanup(s.Close)
+
+	j, err := s.Submit(Request{Kind: KindCheck, Source: sub.Source, Kernel: sub.Kernel}, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // hold in queue past the 1ns objective
+	s.gate <- struct{}{}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && !j.Status().State.Terminal() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !j.Status().State.Terminal() {
+		t.Fatal("job never finished")
+	}
+	if got := s.metrics.Counter("serve.slo.queue_wait_violations"); got != 1 {
+		t.Fatalf("queue wait violations = %d, want 1", got)
+	}
+}

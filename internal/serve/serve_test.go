@@ -476,8 +476,23 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	text, _ := io.ReadAll(tresp.Body)
 	tresp.Body.Close()
-	if !strings.Contains(string(text), "serve.jobs.submitted") {
-		t.Error("text metrics missing serve counters")
+	if !strings.Contains(string(text), "serve_jobs_submitted_total 1") {
+		t.Errorf("text metrics missing Prometheus serve counter:\n%s", text)
+	}
+	if !strings.Contains(string(text), "# TYPE serve_jobs_submitted_total counter") {
+		t.Error("text metrics missing # TYPE line")
+	}
+	if !strings.Contains(string(text), "runtime_goroutines") {
+		t.Error("text metrics missing runtime gauges")
+	}
+	presp, err := ts.Client().Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptext, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if !strings.Contains(string(ptext), "serve_jobs_submitted_total 1") {
+		t.Errorf("format=prometheus missing serve counter:\n%s", ptext)
 	}
 	hresp, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {

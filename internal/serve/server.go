@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -60,6 +61,18 @@ type Options struct {
 	// MaxJobs bounds the retained job records; the oldest terminal
 	// jobs are evicted past it (default 4096).
 	MaxJobs int
+	// Logger receives structured per-job records (admission, state
+	// transitions, phase boundaries, persistence) with each job's
+	// correlation id attached. Nil discards.
+	Logger *slog.Logger
+	// TraceDir, when set, retains every terminal job's deterministic
+	// event trace as <id>.jsonl plus an <id>.meta.json operational
+	// sidecar — the feed hgstat ingests. "" disables retention.
+	TraceDir string
+	// QueueWaitSLO is the queue-wait objective: a job that waits longer
+	// before starting counts into serve.slo.queue_wait_violations.
+	// Zero disables the counter.
+	QueueWaitSLO time.Duration
 }
 
 // AdmissionError is a rejected submission: the server is over one of
@@ -170,6 +183,14 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // returned job is already visible to Get. A full queue or an
 // over-cap client yields an *AdmissionError.
 func (s *Server) Submit(req Request, client string) (*Job, error) {
+	return s.SubmitWithCorrelation(req, client, "")
+}
+
+// SubmitWithCorrelation is Submit with a caller-supplied correlation
+// id (e.g. the X-Correlation-ID header) threaded through every log
+// record, the job status, and the retained trace sidecar. An empty id
+// defaults to the job's own id.
+func (s *Server) SubmitWithCorrelation(req Request, client, corr string) (*Job, error) {
 	if !ValidKind(req.Kind) {
 		return nil, fmt.Errorf("serve: unknown job kind %q (want one of %v)", req.Kind, Kinds())
 	}
@@ -188,6 +209,9 @@ func (s *Server) Submit(req Request, client string) (*Job, error) {
 	}
 	if s.opts.PerClient > 0 && s.inflight[client] >= s.opts.PerClient {
 		s.metrics.Add("serve.jobs.rejected.client_cap", 1)
+		s.metrics.Add("serve.slo.overload_rejections", 1)
+		s.logger().Warn("admission rejected", "reason", "client_cap",
+			"client", client, "correlation_id", corr)
 		return nil, &AdmissionError{Reason: "client_cap", RetryAfter: s.opts.RetryAfter}
 	}
 	s.nextID++
@@ -195,17 +219,24 @@ func (s *Server) Submit(req Request, client string) (*Job, error) {
 		id:      fmt.Sprintf("j-%06d", s.nextID),
 		kind:    req.Kind,
 		client:  client,
+		corr:    corr,
 		budget:  eff,
 		req:     req,
 		events:  newEventLog(),
 		state:   StateQueued,
 		created: time.Now(),
 	}
+	if j.corr == "" {
+		j.corr = j.id
+	}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	select {
 	case s.queue <- j:
 	default:
 		s.metrics.Add("serve.jobs.rejected.queue_full", 1)
+		s.metrics.Add("serve.slo.overload_rejections", 1)
+		s.logger().Warn("admission rejected", "reason", "queue_full",
+			"client", client, "correlation_id", corr)
 		return nil, &AdmissionError{Reason: "queue_full", RetryAfter: s.opts.RetryAfter}
 	}
 	s.jobs[j.id] = j
@@ -214,6 +245,7 @@ func (s *Server) Submit(req Request, client string) (*Job, error) {
 	s.metrics.Add("serve.jobs.submitted", 1)
 	s.metrics.Add("serve.queue.depth", 1)
 	s.evictLocked()
+	s.jobLogger(j).Info("job admitted", "queue_depth", len(s.queue))
 	return j, nil
 }
 
@@ -314,8 +346,21 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 	s.metrics.Add("serve.jobs.running", 1)
 	s.metrics.Observe("serve.queue_wait_ms", float64(queueWait.Milliseconds()))
+	if s.opts.QueueWaitSLO > 0 && queueWait > s.opts.QueueWaitSLO {
+		s.metrics.Add("serve.slo.queue_wait_violations", 1)
+		s.jobLogger(j).Warn("queue wait SLO violated",
+			"queue_wait_ms", queueWait.Milliseconds(),
+			"slo_ms", s.opts.QueueWaitSLO.Milliseconds())
+	}
+	s.jobLogger(j).Info("job running", "queue_wait_ms", queueWait.Milliseconds())
 
+	// Cache stats are cumulative over the shared cache; the before/after
+	// difference attributes activity to this job. With concurrent jobs on
+	// one cache the attribution is approximate — deltas overlap — but it
+	// is exact in single-job flows and always sums correctly fleet-wide.
+	cacheBefore := s.opts.Cache.Stats()
 	res, jerr := s.execute(j)
+	cacheDelta := s.opts.Cache.Stats().Sub(cacheBefore)
 
 	st := StateDone
 	var msg string
@@ -344,6 +389,13 @@ func (s *Server) runJob(j *Job) {
 	s.metrics.Add("serve.jobs.running", -1)
 	s.metrics.Observe("serve.job_wall_ms."+string(j.kind), float64(wall.Milliseconds()))
 	s.finishAccounting(j, st)
+	log := s.jobLogger(j)
+	if msg != "" {
+		log.Error("job terminal", "state", string(st), "wall_ms", wall.Milliseconds(), "error", msg)
+	} else {
+		log.Info("job terminal", "state", string(st), "wall_ms", wall.Milliseconds())
+	}
+	s.persistTrace(j, st, queueWait, wall, cacheDelta)
 }
 
 // asFailure digs a typed *guard.StageFailure out of an error chain
@@ -382,6 +434,11 @@ func (s *Server) execute(j *Job) (res *Result, err error) {
 		Warn:          s.opts.Warn,
 	})
 	sink := obs.Multi(j.events, s.metrics)
+	if s.opts.Logger != nil {
+		// The log tap rides beside the event log, never inside it: trace
+		// bytes stay byte-identical with logging on or off.
+		sink = obs.Multi(sink, phaseLogger{log: s.jobLogger(j)})
+	}
 	copts := core.Options{
 		Kernel:   j.req.Kernel,
 		HostMain: j.req.Host,
