@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke docs-check
+.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke target-smoke docs-check
 
 all: build
 
@@ -78,6 +78,14 @@ serve-smoke:
 # the trace warehouse. Also exercises -verify and the -span view.
 obs-smoke:
 	OBS_SMOKE=1 $(GO) test -run TestObsSmoke -v ./cmd/hgstat
+
+# Target smoke: build the real heterogen and hgserve binaries and run
+# one subject against every shipped backend/device profile — each
+# profile alone, the full set as a multi-target Pareto repair with its
+# per-device report, and a multi-target job over hgserve's HTTP API
+# (including the 400 contract for unknown target specs).
+target-smoke:
+	TARGET_SMOKE=1 $(GO) test -run TestTargetSmoke -v .
 
 # Docs gate: every flag registered by any cmd/ binary (including the
 # shared chaos.Flags vocabulary) must appear in the README's

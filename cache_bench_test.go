@@ -18,6 +18,7 @@ import (
 
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/repair"
 )
 
@@ -57,6 +58,15 @@ func TestWriteCacheBenchReport(t *testing.T) {
 		Hits   int64  `json:"hits"`
 		Misses int64  `json:"misses"`
 	}
+	type multiRow struct {
+		Targets         []string `json:"targets"`
+		ColdWallMS      float64  `json:"cold_wall_ms"`
+		WarmWallMS      float64  `json:"warm_wall_ms"`
+		Speedup         float64  `json:"speedup_warm_over_cold"`
+		WarmHitRate     float64  `json:"warm_hit_rate"`
+		ParetoSize      int      `json:"pareto_size"`
+		CrossDeviceHits int64    `json:"cross_device_hits"`
+	}
 	report := struct {
 		Note             string     `json:"note"`
 		Subject          string     `json:"subject"`
@@ -69,6 +79,7 @@ func TestWriteCacheBenchReport(t *testing.T) {
 		Candidates       int        `json:"candidates_tried"`
 		VirtualSec       float64    `json:"virtual_seconds"`
 		ResultsIdentical bool       `json:"results_identical"`
+		MultiTarget      multiRow   `json:"multi_target"`
 	}{
 		Note: "Subject is the paper's Figure 2 working example searched in " +
 			"random mode with a 20ms EvalDelay emulating the blocking external " +
@@ -124,6 +135,79 @@ func TestWriteCacheBenchReport(t *testing.T) {
 	if report.Speedup < 2 {
 		t.Errorf("warm speedup %.2fx below the 2x target", report.Speedup)
 	}
+
+	// Multi-target row: the same search over two device profiles on a
+	// fresh cache. Cache fingerprints incorporate the target, so the
+	// warm replay hits for every device while a search targeted at a
+	// device the cache has never seen starts cold — cross_device_hits
+	// counts what a zc706-only search salvages from an xcvu9p-only
+	// warm-up beyond a fresh-cache run of itself, and only the
+	// target-free resource estimates may carry over.
+	targets, err := hls.ParseTargets([]string{"vivado_hls:xcvu9p", "vivado_hls:zc706"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range targets {
+		report.MultiTarget.Targets = append(report.MultiTarget.Targets, tg.String())
+	}
+	mcache, err := evalcache.New(evalcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mopts := overlapOptions(1)
+	mopts.Cache = mcache
+	mopts.Targets = targets
+	start = time.Now()
+	mcold := repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, mopts)
+	report.MultiTarget.ColdWallMS = float64(time.Since(start).Milliseconds())
+	if len(mcold.PerTarget) != len(targets) || len(mcold.Pareto) == 0 {
+		t.Fatalf("multi-target search returned %d verdicts and %d pareto points",
+			len(mcold.PerTarget), len(mcold.Pareto))
+	}
+	report.MultiTarget.ParetoSize = len(mcold.Pareto)
+	mbefore := mcache.Stats()
+	start = time.Now()
+	mwarm := repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, mopts)
+	report.MultiTarget.WarmWallMS = float64(time.Since(start).Milliseconds())
+	mdelta := mcache.Stats().Sub(mbefore)
+	if !reflect.DeepEqual(mcold.Stats, mwarm.Stats) || cast.Print(mcold.Unit) != cast.Print(mwarm.Unit) {
+		t.Fatal("warm multi-target search diverged from cold; not writing report")
+	}
+	report.MultiTarget.WarmHitRate = float64(mdelta.Hits()) / float64(mdelta.Hits()+mdelta.Misses())
+	if report.MultiTarget.WarmWallMS <= 0 {
+		report.MultiTarget.WarmWallMS = 1
+	}
+	report.MultiTarget.Speedup = report.MultiTarget.ColdWallMS / report.MultiTarget.WarmWallMS
+
+	// Warm one device, search another: target-keyed verdicts must not
+	// leak across devices. Carryover is measured against a fresh-cache
+	// baseline of the same search (a run hits its own stores when the
+	// mutator revisits a candidate, so raw hit counts overcount); the
+	// only entries allowed to cross are StageSim resource estimates,
+	// which are target-free by design (evalcache.ResourceKey).
+	xdev := func(warmup []hls.Target) int64 {
+		c, err := evalcache.New(evalcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := overlapOptions(1)
+		o.Cache = c
+		if warmup != nil {
+			o.Targets = warmup
+			repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, o)
+		}
+		o.Targets = targets[1:2]
+		before := c.Stats()
+		repair.Search(orig, cast.CloneUnit(orig), "kernel", tests, o)
+		d := c.Stats().Sub(before)
+		if st := d.Stages[evalcache.StageCheck]; warmup != nil && st.Misses == 0 {
+			t.Fatal("cross-device search never missed the check stage; device keying is broken")
+		}
+		return d.Hits()
+	}
+	solo := xdev(nil)
+	report.MultiTarget.CrossDeviceHits = xdev(targets[:1]) - solo
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)

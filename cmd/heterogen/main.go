@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] input.c
+//	heterogen -kernel <top-function> [-host <fn>] [-out out.c] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] [-backend b] [-device d] [-target b:d ...] input.c
+//
+// -backend/-device (or one fully-spelled -target backend:device) pick
+// the HLS toolchain dialect and device profile the repair targets;
+// repeating -target with two or more specs turns on multi-target mode,
+// where the search returns a latency/resource Pareto set with a
+// per-device verdict table (see internal/hls's backend registry for
+// the shipped profiles). No target flags keep the classic
+// single-default-target behavior.
 //
 // -workers bounds how many repair candidates are evaluated concurrently;
 // the transpilation result is bit-identical for any value (see
@@ -38,7 +46,9 @@ import (
 
 	"github.com/hetero/heterogen"
 	"github.com/hetero/heterogen/internal/chaos"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -56,10 +66,12 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *kernel == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] input.c")
+		fmt.Fprintln(os.Stderr, "usage: heterogen -kernel <fn> [-host <fn>] [-out file] [-quick] [-workers n] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] [-backend b] [-device d] [-target b:d ...] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -67,7 +79,12 @@ func main() {
 		fatal(err)
 	}
 
-	opts := heterogen.Options{Kernel: *kernel, HostMain: *host, Workers: *workers}
+	targets, err := tf.Targets()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := heterogen.Options{Kernel: *kernel, HostMain: *host, Workers: *workers, Targets: targets}
 	if *quick {
 		opts.Fuzz.Seed = 1
 		opts.Fuzz.MaxExecs = 250
@@ -91,6 +108,11 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	opts.Obs = obs.Multi(sinks...)
+	if len(targets) > 0 {
+		// Stamp the target set on every trace event at this configuration
+		// edge; untargeted runs keep byte-identical traces.
+		opts.Obs = obs.TagTarget(opts.Obs, hls.TargetSetString(targets))
+	}
 	opts.Guard = cf.Build(reg, func(msg string) {
 		fmt.Fprintln(os.Stderr, "heterogen:", msg)
 	})
@@ -125,6 +147,20 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "heterogen: %s\n", res.Summary())
+	for _, v := range res.PerTarget {
+		verdict := "ok"
+		switch {
+		case !v.Compatible:
+			verdict = fmt.Sprintf("incompatible (%d diagnostics)", v.Errors)
+		case !v.BehaviorOK:
+			verdict = "behavior divergence"
+		}
+		fmt.Fprintf(os.Stderr, "heterogen: target %s: %s, %.4f ms, %s\n",
+			v.Target, verdict, v.LatencyMS, v.Utilization)
+	}
+	if len(res.PerTarget) > 1 {
+		fmt.Fprintf(os.Stderr, "heterogen: pareto set: %d non-dominated version(s)\n", len(res.Pareto))
+	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "tests: %s\n", res.Campaign.Summary())
 		for _, e := range res.Repair.Stats.EditLog {

@@ -33,6 +33,7 @@ import (
 
 	"github.com/hetero/heterogen"
 	"github.com/hetero/heterogen/internal/chaos"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -48,9 +49,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print each failure's minimized source")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hgconform [-seed s] [-n count] [-check-only] [-parity-every k] [-fuzz-execs n] [-max-iterations n] [-out dir] [-v]")
+		os.Exit(2)
+	}
+	targets, err := tf.Targets()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgconform:", err)
 		os.Exit(2)
 	}
 
@@ -66,6 +74,7 @@ func main() {
 		MaxIterations: *maxIter,
 		OutDir:        *out,
 		TraceDir:      *traceDir,
+		Targets:       targets,
 		Guard: cf.Build(nil, func(msg string) {
 			fmt.Fprintln(os.Stderr, "hgconform:", msg)
 		}),

@@ -34,9 +34,11 @@ import (
 	"github.com/hetero/heterogen/internal/chaos"
 	"github.com/hetero/heterogen/internal/eval"
 	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/repair"
 	"github.com/hetero/heterogen/internal/subjects"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (all numbers are identical either way)")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *deps {
@@ -64,11 +68,17 @@ func main() {
 		return
 	}
 
+	targets, err := tf.Targets()
+	if err != nil {
+		fatal(err)
+	}
+
 	cfg := eval.DefaultConfig()
 	if *quick {
 		cfg = eval.QuickConfig()
 	}
 	cfg.Workers = *workers
+	cfg.Targets = targets
 
 	var sinks []obs.Observer
 	var tw *obs.TraceWriter
@@ -95,6 +105,9 @@ func main() {
 		sinks = append(sinks, reg)
 	}
 	cfg.Obs = obs.Multi(sinks...)
+	if len(targets) > 0 {
+		cfg.Obs = obs.TagTarget(cfg.Obs, hls.TargetSetString(targets))
+	}
 	cfg.Guard = cf.Build(reg, func(msg string) {
 		fmt.Fprintln(os.Stderr, "hgeval:", msg)
 	})

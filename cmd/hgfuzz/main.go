@@ -31,7 +31,9 @@ import (
 
 	"github.com/hetero/heterogen"
 	"github.com/hetero/heterogen/internal/chaos"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -45,12 +47,21 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (results are identical either way)")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if *kernel == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hgfuzz -kernel <fn> [-execs N] [-trace t.jsonl] [-metrics] [-cache-dir d] [-no-cache] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgfuzz:", err)
+		os.Exit(1)
+	}
+	// Test generation is target-independent; the flags are accepted for
+	// a uniform CLI surface, validated, and stamped on the trace.
+	targets, err := tf.Targets()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hgfuzz:", err)
 		os.Exit(1)
@@ -79,6 +90,9 @@ func main() {
 		TypedMutation: true,
 		HostMain:      *host,
 		Obs:           obs.Multi(sinks...),
+	}
+	if len(targets) > 0 {
+		opts.Obs = obs.TagTarget(opts.Obs, hls.TargetSetString(targets))
 	}
 	opts.Guard = cf.Build(reg, func(msg string) {
 		fmt.Fprintln(os.Stderr, "hgfuzz:", msg)

@@ -46,6 +46,7 @@ import (
 	"github.com/hetero/heterogen/internal/guard"
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/serve"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -69,9 +70,18 @@ func main() {
 	logMode := flag.String("log", "off", "structured job log on stderr: json | text | off")
 	queueWaitSLO := flag.Duration("queue-wait-slo", 0, "queue-wait objective; longer waits count into serve.slo.queue_wait_violations (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; empty disables)")
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: hgserve [flags] (see -h)")
+		os.Exit(2)
+	}
+	// The target flags set the daemon-wide default target set applied to
+	// jobs that omit the request's targets field.
+	defaultTargets, err := tf.Targets()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgserve:", err)
 		os.Exit(2)
 	}
 
@@ -146,14 +156,15 @@ func main() {
 			MaxIterations:   *maxIterations,
 			Workers:         *maxWorkers,
 		},
-		Cache:         cache,
-		Metrics:       metrics,
-		QuarantineDir: *quarantineDir,
-		Injector:      injector,
-		Warn:          warn,
-		Logger:        logger,
-		TraceDir:      *traceDir,
-		QueueWaitSLO:  *queueWaitSLO,
+		DefaultTargets: defaultTargets,
+		Cache:          cache,
+		Metrics:        metrics,
+		QuarantineDir:  *quarantineDir,
+		Injector:       injector,
+		Warn:           warn,
+		Logger:         logger,
+		TraceDir:       *traceDir,
+		QueueWaitSLO:   *queueWaitSLO,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

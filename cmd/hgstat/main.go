@@ -32,6 +32,7 @@ import (
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/obs/agg"
 	"github.com/hetero/heterogen/internal/obs/span"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -40,7 +41,13 @@ func main() {
 	spanTrace := flag.String("span", "", "render one trace file as a span tree with its critical path, then exit")
 	top := flag.Int("top", 8, "max child spans shown per level in the -span view")
 	verifyPath := flag.String("verify", "", "verify a priors artifact's integrity, then exit")
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+	filter, err := tf.Targets()
+	if err != nil {
+		fail(err)
+	}
 
 	switch {
 	case *verifyPath != "":
@@ -81,6 +88,24 @@ func main() {
 		fail(fmt.Errorf("no trace files (*.jsonl) under %s", strings.Join(flag.Args(), ", ")))
 	}
 	fleet := in.Snapshot()
+	if len(filter) > 0 {
+		// The flags narrow the per-target breakdown to stamps containing
+		// a requested target; the rest of the report is unaffected.
+		wanted := map[string]bool{}
+		for _, t := range filter {
+			wanted[t.String()] = true
+		}
+		var kept []agg.TargetStat
+		for _, ts := range fleet.Targets {
+			for _, part := range strings.Split(ts.Target, "+") {
+				if wanted[part] {
+					kept = append(kept, ts)
+					break
+				}
+			}
+		}
+		fleet.Targets = kept
+	}
 
 	if *priorsOut != "" {
 		if err := fleet.Priors.WriteFile(*priorsOut); err != nil {

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	hgtrace [-check] [-json] [-cache-dir d] [trace.jsonl]
+//	hgtrace [-check] [-json] [-cache-dir d] [-backend b] [-device d] [-target b:d ...] [trace.jsonl]
+//
+// -backend/-device/-target restrict the report to events stamped with
+// a matching HLS target (traces from targeted runs carry the target
+// set on every event; see internal/obs.TagTarget). Events from
+// untargeted runs carry no stamp and are dropped by any filter. With
+// no target flags every event is reported, as before.
 //
 // With no file argument the trace is read from stdin. -check
 // cross-validates the event stream against the run's final summary
@@ -29,20 +35,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/hetero/heterogen/internal/evalcache"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
 	check := flag.Bool("check", false, "cross-validate events against the run's summary; exit 1 on mismatch")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
 	cacheDir := flag.String("cache-dir", "", "summarize this persistent evaluation-cache directory alongside the report")
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: hgtrace [-check] [-json] [-cache-dir d] [trace.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: hgtrace [-check] [-json] [-cache-dir d] [-backend b] [-device d] [-target b:d ...] [trace.jsonl]")
 		os.Exit(2)
+	}
+	filter, err := tf.Targets()
+	if err != nil {
+		fatal(err)
 	}
 
 	var cacheSum *evalcache.DirSummary
@@ -74,6 +89,12 @@ func main() {
 	events, err := obs.ParseTrace(r)
 	if err != nil {
 		fatal(err)
+	}
+	if len(filter) > 0 {
+		events = filterByTarget(events, filter)
+		if len(events) == 0 {
+			fatal(fmt.Errorf("no events match the target filter (targeted traces stamp every event; untargeted ones carry no stamp)"))
+		}
 	}
 	if len(events) == 0 {
 		fatal(fmt.Errorf("trace is empty"))
@@ -125,6 +146,26 @@ func emit(rep *obs.Report, cache *evalcache.DirSummary, asJSON bool) {
 		}
 		fmt.Print(cache.Text())
 	}
+}
+
+// filterByTarget keeps events stamped with any of the wanted targets.
+// A targeted run stamps its full "+"-joined set string on every event,
+// so an event matches when any component of its stamp is wanted.
+func filterByTarget(events []obs.Event, want []hls.Target) []obs.Event {
+	wanted := map[string]bool{}
+	for _, t := range want {
+		wanted[t.String()] = true
+	}
+	var out []obs.Event
+	for _, e := range events {
+		for _, part := range strings.Split(e.Target, "+") {
+			if wanted[part] {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	hlscheck -top <function> [-cache-dir d] [-no-cache] file.c
+//	hlscheck -top <function> [-cache-dir d] [-no-cache] [-backend b] [-device d] [-target b:d ...] file.c
+//
+// -backend/-device/-target select which HLS toolchain dialect(s) the
+// diagnostics are reported in; with two or more targets the report is
+// printed once per target. No target flags keep the classic
+// vivado_hls:xcvu9p behavior, byte-identical to earlier releases.
 //
 // With -cache-dir the checker verdict is memoized on the printed
 // program text, so re-checking an unchanged file (a CI gate's common
@@ -23,6 +28,7 @@ import (
 
 	"github.com/hetero/heterogen"
 	"github.com/hetero/heterogen/internal/chaos"
+	"github.com/hetero/heterogen/internal/targetflag"
 )
 
 func main() {
@@ -31,9 +37,11 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the evaluation cache (diagnostics are identical either way)")
 	var cf chaos.Flags
 	cf.Register(flag.CommandLine)
+	var tf targetflag.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if *top == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> [-cache-dir d] [-no-cache] file.c")
+		fmt.Fprintln(os.Stderr, "usage: hlscheck -top <fn> [-cache-dir d] [-no-cache] [-backend b] [-device d] [-target b:d ...] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -41,7 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hlscheck:", err)
 		os.Exit(1)
 	}
-	opts := heterogen.Options{Kernel: *top}
+	targets, err := tf.Targets()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlscheck:", err)
+		os.Exit(1)
+	}
+	opts := heterogen.Options{Kernel: *top, Targets: targets}
 	opts.Guard = cf.Build(nil, func(msg string) {
 		fmt.Fprintln(os.Stderr, "hlscheck:", msg)
 	})
@@ -53,12 +66,27 @@ func main() {
 		}
 		opts.Cache = cache
 	}
-	rep, err := heterogen.Check(string(src), opts)
-	if opts.Cache != nil {
-		if cerr := opts.Cache.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "hlscheck: cache:", cerr)
+	if len(targets) > 1 {
+		reps, err := heterogen.CheckTargets(string(src), opts)
+		closeCache(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hlscheck:", err)
+			os.Exit(1)
 		}
+		code := 0
+		for _, tr := range reps {
+			if tr.Report.OK {
+				fmt.Printf("[%s] Synthesizability check passed.\n", tr.Target)
+				continue
+			}
+			code = 1
+			fmt.Printf("[%s] %d diagnostic(s)\n", tr.Target, len(tr.Report.Diags))
+			printDiags(tr.Report)
+		}
+		os.Exit(code)
 	}
+	rep, err := heterogen.Check(string(src), opts)
+	closeCache(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hlscheck:", err)
 		os.Exit(1)
@@ -67,6 +95,22 @@ func main() {
 		fmt.Println("Synthesizability check passed.")
 		return
 	}
+	printDiags(rep)
+	os.Exit(1)
+}
+
+// closeCache flushes the persistent cache, if one was configured.
+func closeCache(opts heterogen.Options) {
+	if opts.Cache == nil {
+		return
+	}
+	if cerr := opts.Cache.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "hlscheck: cache:", cerr)
+	}
+}
+
+// printDiags renders one report's diagnostics grouped by error class.
+func printDiags(rep heterogen.Report) {
 	by := rep.ByClass()
 	for _, class := range []heterogen.ErrorClass{
 		heterogen.ClassDynamicData, heterogen.ClassUnsupportedType,
@@ -82,5 +126,4 @@ func main() {
 			fmt.Println("  " + d.Error())
 		}
 	}
-	os.Exit(1)
 }

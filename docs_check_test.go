@@ -29,18 +29,11 @@ func TestDocsFlagReference(t *testing.T) {
 	}
 	table := string(readme[start:end])
 
-	// The shared flag vocabulary registered by chaos.Flags.Register.
-	chaosSrc, err := os.ReadFile(filepath.Join("internal", "chaos", "chaos.go"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	sharedRe := regexp.MustCompile(`fs\.[A-Za-z0-9]+Var\([^,]+, "([^"]+)"`)
-	var shared []string
-	for _, m := range sharedRe.FindAllStringSubmatch(string(chaosSrc), -1) {
-		shared = append(shared, m[1])
-	}
-	if len(shared) == 0 {
-		t.Fatal("found no shared flags in internal/chaos/chaos.go; the extraction regexp is stale")
+	// The shared flag vocabularies pulled in via <pkg>.Flags.Register:
+	// the containment/chaos flags and the backend/device target flags.
+	shared := map[string][]string{
+		"chaos.Flags":      sharedFlagNames(t, filepath.Join("internal", "chaos", "chaos.go")),
+		"targetflag.Flags": sharedFlagNames(t, filepath.Join("internal", "targetflag", "targetflag.go")),
 	}
 
 	mains, err := filepath.Glob(filepath.Join("cmd", "*", "main.go"))
@@ -61,8 +54,10 @@ func TestDocsFlagReference(t *testing.T) {
 		for _, m := range flagRe.FindAllStringSubmatch(string(src), -1) {
 			names = append(names, m[1])
 		}
-		if strings.Contains(string(src), ".Register(flag.CommandLine)") {
-			names = append(names, shared...)
+		for ident, flags := range shared {
+			if strings.Contains(string(src), ident) {
+				names = append(names, flags...)
+			}
 		}
 		if len(names) == 0 {
 			t.Errorf("%s: registers no flags; the extraction regexp is stale", main)
@@ -77,4 +72,23 @@ func TestDocsFlagReference(t *testing.T) {
 			}
 		}
 	}
+}
+
+// sharedFlagNames extracts the flag names a shared flag struct
+// registers on a FlagSet (fs.StringVar/fs.Var/... calls).
+func sharedFlagNames(t *testing.T, path string) []string {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`fs\.[A-Za-z0-9]*\([^,]+, "([^"]+)"`)
+	var names []string
+	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+		names = append(names, m[1])
+	}
+	if len(names) == 0 {
+		t.Fatalf("found no shared flags in %s; the extraction regexp is stale", path)
+	}
+	return names
 }

@@ -76,9 +76,44 @@ const (
 	ClassTopFunction     = hls.ClassTopFunction
 )
 
+// Target names one (backend, device) pair a design should be built
+// for, e.g. {Backend: "vivado_hls", Device: "zc706"}. Set
+// Options.Targets to search for a program that fits a whole target set
+// at once; an empty set keeps the legacy single-target behavior (the
+// default evaluation platform) byte-identical.
+type Target = hls.Target
+
+// TargetVerdict is one target's verdict on the final program — a row of
+// Result.PerTarget and of the Markdown report's per-device table.
+type TargetVerdict = repair.TargetVerdict
+
+// ParetoPoint is one non-dominated program of a multi-target repair:
+// its source, per-device verdicts, and resource estimate
+// (Result.Pareto).
+type ParetoPoint = repair.ParetoPoint
+
+// DeviceProfile describes one synthesizable part a backend ships:
+// short name, vendor part, capacity envelope, and kernel clock.
+type DeviceProfile = hls.DeviceProfile
+
+// ParseTarget parses "backend:device", a bare device or backend name,
+// or a legacy full part name into a Target, with explicit errors for
+// unknown names.
+func ParseTarget(s string) (Target, error) { return hls.ParseTarget(s) }
+
+// ParseTargets parses a target-spec list, dropping duplicates.
+func ParseTargets(specs []string) ([]Target, error) { return hls.ParseTargets(specs) }
+
+// Backends lists the registered backend names.
+func Backends() []string { return hls.BackendNames() }
+
+// Targets enumerates every shipped (backend, device) pair.
+func Targets() []Target { return hls.AllTargets() }
+
 // RepairResult is the outcome of the standalone repair stage (Repair):
 // the best program version found, its compatibility and behaviour
-// verdicts, and the search statistics.
+// verdicts, the search statistics, and — for multi-target runs — the
+// per-device verdict table and Pareto archive.
 type RepairResult = repair.Result
 
 // RepairOptions configures the repair search (Options.Repair).
@@ -137,12 +172,24 @@ func TranspileContext(ctx context.Context, src string, opts Options) (Result, er
 }
 
 // Check runs only the synthesizability-checker stage over a source
-// text, reporting the HLS compatibility errors a Vivado-style
-// toolchain would. It takes the same option struct as the other entry
-// points: Options.Kernel names the top function; Obs and Cache are
-// honoured; the remaining fields are ignored.
+// text, reporting the HLS compatibility errors the target's toolchain
+// would (the reference Vivado-style dialect when Options.Targets is
+// empty; Targets[0]'s dialect otherwise). It takes the same option
+// struct as the other entry points: Options.Kernel names the top
+// function; Targets, Obs, and Cache are honoured; the remaining fields
+// are ignored. Use CheckTargets for the per-target report vector.
 func Check(src string, opts Options) (Report, error) {
 	return core.CheckWith(src, opts)
+}
+
+// TargetReport pairs one target with its checker verdict.
+type TargetReport = core.TargetReport
+
+// CheckTargets runs the synthesizability checker once per target in
+// opts.Targets (the default target when empty), each under its own
+// config, diagnostic dialect, and cache key.
+func CheckTargets(src string, opts Options) ([]TargetReport, error) {
+	return core.CheckSet(src, opts)
 }
 
 // Simulate runs only the FPGA-simulator stage: estimate the design's
@@ -151,6 +198,15 @@ func Check(src string, opts Options) (Report, error) {
 // test suite; use Transpile or Repair with tests for that.
 func Simulate(src, top string) (SimReport, error) {
 	return core.Simulate(src, Options{Kernel: top})
+}
+
+// SimulateWith is Simulate taking the full option struct: Targets
+// selects the device profiles the estimate is gated against (the
+// per-target verdicts land in SimReport.PerTarget), and unknown
+// profile names fail with an explicit error instead of silently
+// falling back to the default part.
+func SimulateWith(src string, opts Options) (SimReport, error) {
+	return core.Simulate(src, opts)
 }
 
 // Repair runs only the repair stage: bitwidth-profile the program

@@ -56,6 +56,11 @@ type Options struct {
 	// runs instead of crashing the harness. With injection disabled the
 	// report is bit-identical with or without it.
 	Guard *guard.Guard
+	// Targets, when set, runs each seed's pipeline stage against this
+	// HLS target set (core.Options.Targets), so conformance sweeps
+	// exercise the multi-target fitness and Pareto paths too. Empty
+	// keeps the classic single-default-target pipeline.
+	Targets []hls.Target
 }
 
 func (o Options) withDefaults() Options {
@@ -175,7 +180,7 @@ func (h *harness) pipeline(ctx context.Context, u *cast.Unit, kernel string,
 	ro.MaxIterations = h.opts.MaxIterations
 	return core.RunUnitContext(ctx, cast.CloneUnit(u), core.Options{
 		Kernel: kernel, Fuzz: fo, Repair: ro, Obs: o, Cache: c,
-		Guard: h.opts.Guard,
+		Guard: h.opts.Guard, Targets: h.opts.Targets,
 	})
 }
 

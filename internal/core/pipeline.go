@@ -41,6 +41,16 @@ type Options struct {
 	Repair repair.Options
 	// SkipProfile disables bitwidth finitization (ablation).
 	SkipProfile bool
+	// Targets names the (backend, device) set the design must fit — the
+	// target-set API. Empty means the implicit default target (the
+	// paper's evaluation platform) with legacy single-target behavior
+	// and byte-identical traces. With targets set, the repair search
+	// runs in multi-target mode (per-device fitness vectors, Pareto
+	// archive — see repair.Options.Targets), Check/Simulate resolve
+	// their config and capacity table from Targets[0]'s profile, and
+	// unknown backend or device names fail fast with an explicit error.
+	// It is passed down to Repair.Targets unless that is already set.
+	Targets []hls.Target
 	// Workers bounds concurrent candidate evaluation in the repair
 	// search (see repair.Options.Workers). Results are bit-identical
 	// for any value; 0 leaves the Repair configuration untouched.
@@ -102,6 +112,11 @@ type Result struct {
 	FPGAMeanMS float64
 	// Resources estimates fabric utilization of the final design.
 	Resources sim.Resources
+	// PerTarget is the final design's per-device verdict table and
+	// Pareto the search's latency/resource archive (multi-target runs
+	// only; both nil on the legacy single-target path).
+	PerTarget []repair.TargetVerdict
+	Pareto    []repair.ParetoPoint
 	// CacheStats is the evaluation-cache activity attributable to this
 	// run (all zero when Options.Cache was nil). It is reported out of
 	// band — never in traces, and excluded from the cache-parity
@@ -150,6 +165,9 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	}
 	if orig.Func(opts.Kernel) == nil {
 		return Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
+	}
+	if err := hls.ResolveTargets(opts.Targets); err != nil {
+		return Result{}, fmt.Errorf("heterogen: %w", err)
 	}
 	res := Result{Original: orig, OriginalLOC: cast.CountLines(orig)}
 	cacheStart := opts.Cache.Stats()
@@ -249,6 +267,9 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	if ropts.InterpSteps == 0 {
 		ropts.InterpSteps = opts.Guard.InterpSteps()
 	}
+	if ropts.Targets == nil {
+		ropts.Targets = opts.Targets
+	}
 	endRepair := phase("repair")
 	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
 	endRepair(rr.Stats.VirtualSeconds)
@@ -257,6 +278,8 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	res.Compatible = rr.Compatible
 	res.BehaviorOK = rr.BehaviorOK
 	res.Improved = rr.Improved
+	res.PerTarget = rr.PerTarget
+	res.Pareto = rr.Pareto
 	res.DeltaLOC = repair.EditedLines(orig, rr.Unit)
 	res.CPUMeanMS = rr.Report.CPUMeanMS()
 	res.FPGAMeanMS = rr.Report.FPGAMeanMS()
@@ -332,24 +355,50 @@ func CheckObserved(src, top string, o obs.Observer) (hls.Report, error) {
 // function, Obs receives the hls_check event, Cache memoizes the
 // verdict, Guard contains checker failures; the remaining fields are
 // ignored. A cache hit emits the identical event a fresh check would.
+// With Targets set, the primary target (Targets[0]) provides the config
+// and the diagnostic dialect, and the verdict is cached under a
+// target-aware key; unknown target names fail with an explicit error.
+// Use CheckSet for the full per-target report vector.
 func CheckWith(src string, opts Options) (hls.Report, error) {
 	u, err := cparser.Parse(src)
 	if err != nil {
 		return hls.Report{}, err
 	}
-	cfg := hls.DefaultConfig(opts.Kernel)
+	if len(opts.Targets) == 0 {
+		cfg := hls.DefaultConfig(opts.Kernel)
+		return checkOne(u, cfg, nil, evalcache.CheckSalt(cfg.Top, cfg.Device, cfg.ClockMHz), opts)
+	}
+	backend, profile, err := hls.ResolveTarget(opts.Targets[0])
+	if err != nil {
+		return hls.Report{}, fmt.Errorf("heterogen: %w", err)
+	}
+	cfg := hls.ConfigFor(opts.Kernel, profile)
+	salt := evalcache.TargetCheckSalt(backend.Name(), cfg.Top, cfg.Device, cfg.ClockMHz)
+	return checkOne(u, cfg, backend, salt, opts)
+}
+
+// checkOne is the cached, guarded, observed checker stage for one
+// resolved config; backend (nil = reference dialect) translates the
+// diagnostics before they are cached and reported.
+func checkOne(u *cast.Unit, cfg hls.Config, backend hls.Backend, salt string, opts Options) (hls.Report, error) {
 	var key string
 	var rep hls.Report
 	cached := false
 	if opts.Cache != nil {
-		key = evalcache.CheckKey(
-			evalcache.CheckSalt(cfg.Top, cfg.Device, cfg.ClockMHz), cast.Print(u))
+		key = evalcache.CheckKey(salt, cast.Print(u))
 		cached = opts.Cache.Get(evalcache.StageCheck, key, &rep)
 	}
 	if !cached {
+		var err error
 		rep, err = guard.Do(opts.Guard, guard.Invocation{Stage: guard.StageCheck, Unit: u},
 			func(cu *cast.Unit) (hls.Report, error) {
-				return check.Run(cu, cfg), nil
+				r := check.Run(cu, cfg)
+				if backend != nil {
+					for i := range r.Diags {
+						r.Diags[i] = backend.Translate(r.Diags[i])
+					}
+				}
+				return r, nil
 			})
 		if err != nil {
 			return hls.Report{}, err
@@ -360,6 +409,44 @@ func CheckWith(src string, opts Options) (hls.Report, error) {
 	}
 	check.Observe(opts.Obs, cfg, rep)
 	return rep, nil
+}
+
+// TargetReport pairs one target with its checker verdict.
+type TargetReport struct {
+	Target string
+	Report hls.Report
+}
+
+// CheckSet runs the synthesizability checker once per target in
+// opts.Targets (the full set when empty resolves to the default
+// target), each under its own config, dialect, and cache key.
+func CheckSet(src string, opts Options) ([]TargetReport, error) {
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = []hls.Target{hls.DefaultTarget()}
+	}
+	u, err := cparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TargetReport, len(targets))
+	for i, t := range targets {
+		backend, profile, err := hls.ResolveTarget(t)
+		if err != nil {
+			return nil, fmt.Errorf("heterogen: %w", err)
+		}
+		cfg := hls.ConfigFor(opts.Kernel, profile)
+		salt := evalcache.TargetCheckSalt(backend.Name(), cfg.Top, cfg.Device, cfg.ClockMHz)
+		rep, err := checkOne(u, cfg, backend, salt, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = TargetReport{
+			Target: hls.Target{Backend: backend.Name(), Device: profile.Name}.String(),
+			Report: rep,
+		}
+	}
+	return out, nil
 }
 
 // SimReport is the outcome of the standalone simulation stage: the
@@ -373,20 +460,43 @@ type SimReport struct {
 	Report hls.Report
 	// Resources estimates fabric utilization.
 	Resources sim.Resources
-	// Device is the capacity profile the estimate was gated against
-	// (the paper's evaluation part).
+	// Device is the capacity profile the estimate was gated against:
+	// the primary target's part (the paper's evaluation part when no
+	// targets were set).
 	Device sim.Device
 	// Fits reports the estimate within device capacity; Over lists the
-	// over-utilized resources otherwise.
+	// over-utilized resources otherwise. Both mirror PerTarget[0].
 	Fits bool
 	Over []string
+	// PerTarget is the capacity verdict for every requested target.
+	PerTarget []TargetFit
+}
+
+// TargetFit is one target's capacity verdict in a SimReport.
+type TargetFit struct {
+	// Target is the canonical "backend:device" name.
+	Target string
+	// Device is the profile's capacity table.
+	Device sim.Device
+	// Fits / Over is the gate outcome; Utilization renders the estimate
+	// against this device.
+	Fits        bool
+	Over        []string
+	Utilization string
 }
 
 // Simulate runs only the FPGA-simulator stage: estimate the design's
-// fabric resources and gate them against the evaluation device.
-// Kernel, Obs, and Cache are honoured from opts; the remaining fields
-// are ignored.
+// fabric resources and gate them against every requested target's
+// device profile (the default evaluation part when opts.Targets is
+// empty). The capacity table comes from the named profile — an unknown
+// backend or device name is an explicit error, never a silent fall-back
+// to the default part. Kernel, Targets, Obs, and Cache are honoured
+// from opts; the remaining fields are ignored.
 func Simulate(src string, opts Options) (SimReport, error) {
+	targets := opts.Targets
+	if len(targets) == 0 {
+		targets = []hls.Target{hls.DefaultTarget()}
+	}
 	u, err := cparser.Parse(src)
 	if err != nil {
 		return SimReport{}, err
@@ -395,12 +505,29 @@ func Simulate(src string, opts Options) (SimReport, error) {
 	if err != nil {
 		return SimReport{}, err
 	}
-	out := SimReport{Report: rep, Device: sim.XCVU9P}
+	out := SimReport{Report: rep}
 	out.Resources, err = estimateResources(opts.Cache, opts.Guard, u)
 	if err != nil {
 		return SimReport{}, err
 	}
-	out.Fits, out.Over = sim.CheckCapacity(out.Resources, out.Device)
+	for _, t := range targets {
+		backend, profile, rerr := hls.ResolveTarget(t)
+		if rerr != nil {
+			return SimReport{}, fmt.Errorf("heterogen: %w", rerr)
+		}
+		dev := sim.DeviceFor(profile)
+		fits, over := sim.CheckCapacity(out.Resources, dev)
+		out.PerTarget = append(out.PerTarget, TargetFit{
+			Target:      hls.Target{Backend: backend.Name(), Device: profile.Name}.String(),
+			Device:      dev,
+			Fits:        fits,
+			Over:        over,
+			Utilization: sim.Utilization(out.Resources, dev),
+		})
+	}
+	out.Device = out.PerTarget[0].Device
+	out.Fits = out.PerTarget[0].Fits
+	out.Over = out.PerTarget[0].Over
 	return out, nil
 }
 
@@ -434,6 +561,9 @@ func RepairStageContext(ctx context.Context, src string, opts Options) (repair.R
 	if orig.Func(opts.Kernel) == nil {
 		return repair.Result{}, fmt.Errorf("heterogen: kernel %q not found", opts.Kernel)
 	}
+	if err := hls.ResolveTargets(opts.Targets); err != nil {
+		return repair.Result{}, fmt.Errorf("heterogen: %w", err)
+	}
 	tests := opts.ExtraTests
 	initial := cast.CloneUnit(orig)
 	if !opts.SkipProfile {
@@ -459,6 +589,9 @@ func RepairStageContext(ctx context.Context, src string, opts Options) (repair.R
 	}
 	if ropts.InterpSteps == 0 {
 		ropts.InterpSteps = opts.Guard.InterpSteps()
+	}
+	if ropts.Targets == nil {
+		ropts.Targets = opts.Targets
 	}
 	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
 	if err := ctx.Err(); err != nil {

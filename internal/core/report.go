@@ -73,6 +73,42 @@ func (r Result) Markdown(kernel string) string {
 		fmt.Fprintf(&sb, "- remaining: `%s`\n", d.Error())
 	}
 
+	if len(r.PerTarget) > 0 {
+		sb.WriteString("\n## Per-device verdicts\n\n")
+		sb.WriteString("| target | compatible | behavior | fits | latency | utilization |\n")
+		sb.WriteString("|---|---|---|---|---|---|\n")
+		for _, v := range r.PerTarget {
+			fit := "✓"
+			if !v.Fits {
+				fit = "✗ (" + strings.Join(v.Over, ", ") + ")"
+			}
+			comp, beh := "✗", "✗"
+			if v.Compatible {
+				comp = "✓"
+			}
+			if v.BehaviorOK {
+				beh = "✓"
+			}
+			lat := "—"
+			if v.LatencyMS > 0 {
+				lat = fmt.Sprintf("%.4f ms", v.LatencyMS)
+			}
+			fmt.Fprintf(&sb, "| `%s` | %s | %s | %s | %s | %s |\n",
+				v.Target, comp, beh, fit, lat, v.Utilization)
+		}
+		sb.WriteString("\n### Pareto set (latency/resource trade-offs)\n\n")
+		if len(r.Pareto) == 0 {
+			sb.WriteString("(empty — no program version was compatible on every target)\n")
+		}
+		for i, p := range r.Pareto {
+			fmt.Fprintf(&sb, "%d. %s", i+1, p.Resources)
+			for _, v := range p.PerTarget {
+				fmt.Fprintf(&sb, " · `%s` %.4f ms", v.Target, v.LatencyMS)
+			}
+			sb.WriteString("\n")
+		}
+	}
+
 	sb.WriteString("\n## Performance (simulated)\n\n")
 	fmt.Fprintf(&sb, "| | latency |\n|---|---|\n")
 	fmt.Fprintf(&sb, "| original on CPU | %.4f ms |\n", r.CPUMeanMS)

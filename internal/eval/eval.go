@@ -62,6 +62,11 @@ type Config struct {
 	// reported numbers are bit-identical with or without it. Safe to
 	// share across the concurrent subjects of RunAll.
 	Guard *guard.Guard
+	// Targets, when set, runs every subject's repair search against this
+	// HLS target set (repair.Options.Targets): fitness becomes a
+	// per-device vector and the search keeps a latency/resource Pareto
+	// archive. Empty keeps the classic single-default-target numbers.
+	Targets []hls.Target
 }
 
 // DefaultConfig is the full-effort harness configuration.
@@ -163,6 +168,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	ropts.Cache = cfg.Cache
 	ropts.Guard = cfg.Guard
 	ropts.InterpSteps = cfg.Guard.InterpSteps()
+	ropts.Targets = cfg.Targets
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK

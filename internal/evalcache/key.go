@@ -29,6 +29,13 @@ func ResourceKey(printedUnit string) string {
 	return Fingerprint("sim", printedUnit)
 }
 
+// TargetCheckSalt is CheckSalt for a resolved (backend, device) target:
+// the backend name joins the fingerprint so dialect-translated verdicts
+// for different toolchains never collide, even on the same part.
+func TargetCheckSalt(backend, top, device string, clockMHz float64) string {
+	return Fingerprint("check-cfg-target", backend, top, device, fmt.Sprintf("%g", clockMHz))
+}
+
 // DifftestSalt captures everything a differential-test verdict depends
 // on besides the candidate: the toolchain configuration (including the
 // interpreter step budget, which decides pass vs inconclusive), the
@@ -43,6 +50,17 @@ func DifftestSalt(top, device string, clockMHz float64, interpSteps int64, kerne
 // DifftestKey addresses one StageDifftest verdict.
 func DifftestKey(salt, printedCandidate string) string {
 	return Fingerprint("difftest", salt, printedCandidate)
+}
+
+// TargetDifftestSalt is DifftestSalt for a resolved target. The
+// differential test itself is behaviour-only (target-independent), but
+// its report embeds simulated latencies under the target's clock, so
+// verdicts are keyed per target. ResourceKey stays target-free on
+// purpose: resource estimation is a pure function of the design text.
+func TargetDifftestSalt(backend, top, device string, clockMHz float64, interpSteps int64, kernel, printedOriginal, corpusHash string) string {
+	return Fingerprint("difftest-cfg-target", backend, top, device,
+		fmt.Sprintf("%g|%d", clockMHz, interpSteps),
+		kernel, printedOriginal, corpusHash)
 }
 
 // FuzzKey addresses one StageFuzz campaign: the program, the kernel,

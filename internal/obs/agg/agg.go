@@ -56,6 +56,9 @@ type traceFacts struct {
 	funnel  Funnel
 	priors  map[priorKey]*counts
 	classes map[string]*counts
+	// targets aggregates per target-set stamp (obs.Event.Target, set
+	// only by targeted runs); empty for classic untargeted traces.
+	targets map[string]*targetCounts
 
 	// metas holds every job sidecar seen for this content hash: identical
 	// traces from distinct jobs dedupe as traces but each job's wall /
@@ -67,6 +70,25 @@ type traceFacts struct {
 type priorKey struct{ class, template string }
 
 type counts struct{ tried, accepted, rejected int64 }
+
+// targetCounts is one target-set stamp's activity within a trace.
+type targetCounts struct {
+	events    int64
+	attempts  int64
+	accepted  int64
+	converged int64
+	// virtual holds the virtual-cost deltas of the stamp's candidate
+	// evaluations — the per-target slice of the stage-latency view.
+	virtual []float64
+}
+
+func (t *targetCounts) add(o *targetCounts) {
+	t.events += o.events
+	t.attempts += o.attempts
+	t.accepted += o.accepted
+	t.converged += o.converged
+	t.virtual = append(t.virtual, o.virtual...)
+}
 
 // Funnel is the repair convergence funnel over a trace set: how many
 // runs entered repair, how many candidates were tried, how far they
@@ -172,6 +194,7 @@ func mine(events []obs.Event) *traceFacts {
 		stageVirtual: map[string][]float64{},
 		priors:       map[priorKey]*counts{},
 		classes:      map[string]*counts{},
+		targets:      map[string]*targetCounts{},
 	}
 	tf.events = len(events)
 	subjects := map[string]bool{}
@@ -181,6 +204,15 @@ func mine(events []obs.Event) *traceFacts {
 			subjects[e.Subject] = true
 			tf.runs++
 			tf.funnel.Runs++
+		}
+		var tc *targetCounts
+		if e.Target != "" {
+			tc = tf.targets[e.Target]
+			if tc == nil {
+				tc = &targetCounts{}
+				tf.targets[e.Target] = tc
+			}
+			tc.events++
 		}
 		switch e.Type {
 		case obs.EvPhaseEnd:
@@ -213,6 +245,13 @@ func mine(events []obs.Event) *traceFacts {
 			r := e.Repair
 			tf.stageVirtual["repair."+r.Step] = append(tf.stageVirtual["repair."+r.Step], r.VirtualDelta)
 			tf.funnel.Attempts++
+			if tc != nil {
+				tc.attempts++
+				tc.virtual = append(tc.virtual, r.VirtualDelta)
+				if r.Accepted {
+					tc.accepted++
+				}
+			}
 			if r.Evaluated {
 				tf.funnel.Evaluated++
 			}
@@ -240,6 +279,9 @@ func mine(events []obs.Event) *traceFacts {
 		case obs.EvRepairDone:
 			if e.Done != nil && e.Done.Compatible && e.Done.BehaviorOK {
 				tf.funnel.Converged++
+				if tc != nil {
+					tc.converged++
+				}
 			}
 		}
 	}
@@ -286,6 +328,20 @@ type ClassStat struct {
 	Rejected int64  `json:"rejected"`
 }
 
+// TargetStat is one target-set stamp's fleet-wide activity: how many
+// events carried the stamp, the repair attempts and acceptances under
+// it, how many of its runs converged, and the virtual-cost
+// distribution of its candidate evaluations (the per-target slice of
+// the stage-latency view; nil when the stamp saw no evaluations).
+type TargetStat struct {
+	Target      string `json:"target"`
+	Events      int64  `json:"events"`
+	Attempts    int64  `json:"attempts"`
+	Accepted    int64  `json:"accepted"`
+	Converged   int64  `json:"converged"`
+	EvalVirtual *Dist  `json:"eval_virtual_s,omitempty"`
+}
+
 // CacheStat attributes cache activity (from job sidecars) per stage.
 type CacheStat struct {
 	Stage  string `json:"stage"`
@@ -312,6 +368,11 @@ type Fleet struct {
 	Funnel  Funnel      `json:"funnel"`
 	Classes []ClassStat `json:"classes,omitempty"`
 
+	// Targets breaks activity down per target-set stamp. Empty (and
+	// absent from Text) for classic untargeted trace sets, so reports
+	// over such sets are byte-identical to earlier releases.
+	Targets []TargetStat `json:"targets,omitempty"`
+
 	// Cache / QueueWaitMS / JobWallMS come from job sidecars and are
 	// empty for bare trace sets.
 	Cache       []CacheStat `json:"cache,omitempty"`
@@ -337,6 +398,7 @@ func (in *Ingestor) Snapshot() *Fleet {
 	stageV := map[string][]float64{}
 	classes := map[string]*counts{}
 	priors := map[priorKey]*counts{}
+	targets := map[string]*targetCounts{}
 	cache := map[string]*CacheStat{}
 	var queueWait []float64
 	jobWall := map[string][]float64{}
@@ -376,6 +438,14 @@ func (in *Ingestor) Snapshot() *Fleet {
 			dst.accepted += c.accepted
 			dst.rejected += c.rejected
 		}
+		for k, c := range tf.targets {
+			dst := targets[k]
+			if dst == nil {
+				dst = &targetCounts{}
+				targets[k] = dst
+			}
+			dst.add(c)
+		}
 		for _, m := range tf.metas {
 			if m.QueueWaitMS > 0 {
 				queueWait = append(queueWait, m.QueueWaitMS)
@@ -403,6 +473,16 @@ func (in *Ingestor) Snapshot() *Fleet {
 	for _, k := range sortedKeys(classes) {
 		c := classes[k]
 		f.Classes = append(f.Classes, ClassStat{Class: k, Tried: c.tried, Accepted: c.accepted, Rejected: c.rejected})
+	}
+	for _, k := range sortedKeys(targets) {
+		t := targets[k]
+		ts := TargetStat{Target: k,
+			Events: t.events, Attempts: t.attempts, Accepted: t.accepted, Converged: t.converged}
+		if len(t.virtual) > 0 {
+			d := NewDist(t.virtual)
+			ts.EvalVirtual = &d
+		}
+		f.Targets = append(f.Targets, ts)
 	}
 	for _, k := range sortedKeys(cache) {
 		f.Cache = append(f.Cache, *cache[k])
@@ -452,6 +532,19 @@ func (f *Fleet) Text() string {
 		fmt.Fprintf(&sb, "  %-22s %8s %9s %9s\n", "class", "tried", "accepted", "rejected")
 		for _, c := range f.Classes {
 			fmt.Fprintf(&sb, "  %-22s %8d %9d %9d\n", c.Class, c.Tried, c.Accepted, c.Rejected)
+		}
+	}
+	if len(f.Targets) > 0 {
+		sb.WriteString("\nper-target breakdown:\n")
+		fmt.Fprintf(&sb, "  %-36s %8s %9s %9s %10s %16s\n",
+			"target set", "events", "attempts", "accepted", "converged", "eval mean/p95 s")
+		for _, t := range f.Targets {
+			lat := "-"
+			if t.EvalVirtual != nil {
+				lat = fmt.Sprintf("%.1f/%.1f", t.EvalVirtual.Mean(), t.EvalVirtual.P95)
+			}
+			fmt.Fprintf(&sb, "  %-36s %8d %9d %9d %10d %16s\n",
+				t.Target, t.Events, t.Attempts, t.Accepted, t.Converged, lat)
 		}
 	}
 	if len(f.Cache) > 0 {

@@ -41,8 +41,14 @@ const (
 // campaign and the repair search each run their own clock, phases carry
 // the pipeline-level total.
 type Event struct {
-	Type    Type    `json:"type"`
-	Subject string  `json:"subject,omitempty"` // eval subject id (P1..P10) when run under the harness
+	Type    Type   `json:"type"`
+	Subject string `json:"subject,omitempty"` // eval subject id (P1..P10) when run under the harness
+	// Target is the canonical target-set string ("backend:device", or
+	// "+"-joined for multi-target runs) the emitting run was built for.
+	// It is stamped only at configuration edges (CLI target flags, serve
+	// job requests) via TagTarget, never by the library pipeline itself,
+	// so untargeted traces stay byte-identical to pre-target-set runs.
+	Target  string  `json:"target,omitempty"`
 	Virtual float64 `json:"virtual"`
 
 	Phase  *PhaseEvent  `json:"phase,omitempty"`
@@ -162,6 +168,12 @@ type DoneEvent struct {
 	// StageFailures counts candidates rejected because a toolchain stage
 	// crashed or overran its budget (contained by the guard layer).
 	StageFailures int `json:"stage_failures,omitempty"`
+	// Targets lists the canonical target names of a multi-target search,
+	// and ParetoSize the number of non-dominated programs it archived.
+	// Both are absent from legacy and single-target runs, whose traces
+	// stay byte-identical to pre-target-set behavior.
+	Targets    []string `json:"targets,omitempty"`
+	ParetoSize int      `json:"pareto_size,omitempty"`
 }
 
 // CheckEvent is one standalone synthesizability-checker run.
@@ -254,4 +266,32 @@ func Tag(o Observer, subject string) Observer {
 		return nop{}
 	}
 	return tagged{inner: o, subject: subject}
+}
+
+// targetTagged stamps a target-set string on every event that does not
+// carry one.
+type targetTagged struct {
+	inner  Observer
+	target string
+}
+
+func (t targetTagged) Emit(e Event) {
+	if e.Target == "" {
+		e.Target = t.target
+	}
+	t.inner.Emit(e)
+}
+
+// TagTarget wraps o so events are attributed to one target set (the
+// canonical hls.TargetSetString form). Stamping happens only at
+// configuration edges — CLI target flags and serve job requests — which
+// is what keeps library-level traces unchanged for untargeted runs.
+func TagTarget(o Observer, target string) Observer {
+	if !Enabled(o) {
+		return nop{}
+	}
+	if target == "" {
+		return o
+	}
+	return targetTagged{inner: o, target: target}
 }

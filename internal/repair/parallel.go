@@ -207,6 +207,13 @@ func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit,
 	if s.pool != nil {
 		s.pool.commit(s.stats.VirtualSeconds)
 	}
+	// Every fully-evaluated candidate — accepted or not — is offered to
+	// the multi-target Pareto archive here, on the search goroutine in
+	// enumeration order: a candidate the scalar objective rejects can
+	// still be a non-dominated latency/resource trade-off.
+	if o.failure == nil && o.evaluated {
+		s.considerPareto(cand.Unit, o.sc)
+	}
 	accepted := o.failure == nil && o.evaluated && o.sc.better(*curScore)
 	if accepted {
 		s.accept(cand)

@@ -73,8 +73,22 @@ type Options struct {
 	// Device, when set, gates candidates on fabric capacity: a candidate
 	// whose resource estimate over-utilizes the device fails evaluation
 	// like any other diagnostic (so the search backs off to cheaper
-	// partition factors). Zero value disables the gate.
+	// partition factors). Zero value disables the gate. Ignored when
+	// Targets is set — each target's profile brings its own capacity.
 	Device sim.Device
+	// Targets, when non-empty, switches the search to multi-target mode:
+	// candidate fitness becomes a per-device vector over the resolved
+	// (backend, device) set (see targets.go), the capacity gate runs
+	// against every profile, compile cost is charged per target, and the
+	// result carries a per-device verdict table plus a latency/resource
+	// Pareto archive. Targets[0] is the primary target: it provides the
+	// toolchain config, the diagnostic dialect of Remaining, and the
+	// cache salts. Empty keeps the legacy single-target behavior
+	// byte-identical, and a single explicit default target produces the
+	// same results and traces as the legacy path (given the design fits
+	// the device, which legacy runs never checked — that silent skip is
+	// the Config.Device bug this field fixes).
+	Targets []hls.Target
 	// Obs receives structured events — one per tried candidate, plus
 	// init/done snapshots. Events are emitted on the search goroutine in
 	// candidate enumeration order, so a trace is byte-identical for any
@@ -166,8 +180,19 @@ type Result struct {
 	// Report is the final differential-test report (when run).
 	Report difftest.Report
 	Stats  Stats
-	// Remaining lists unfixed diagnostics when the search failed.
+	// Remaining lists unfixed diagnostics when the search failed (in the
+	// primary target's dialect when Targets was set).
 	Remaining []hls.Diagnostic
+	// PerTarget is the final program's per-device verdict table
+	// (multi-target mode only; nil otherwise).
+	PerTarget []TargetVerdict
+	// Pareto is the latency/resource Pareto archive of every fully
+	// evaluated, all-targets-compatible program the search committed, in
+	// commit order (multi-target mode only; nil otherwise). The final
+	// program is not necessarily a member: the scalar objective chases
+	// the worst-target latency, while the archive keeps every
+	// non-dominated trade-off.
+	Pareto []ParetoPoint
 }
 
 // EditedLines counts the lines of the repaired program that do not appear
@@ -230,6 +255,11 @@ type searcher struct {
 	cache     *evalcache.Cache
 	checkSalt string
 	diffSalt  string
+	// targets is the resolved multi-target set (nil in legacy mode); the
+	// Pareto archive and its dedupe set live on the search goroutine.
+	targets    []resolvedTarget
+	pareto     []paretoEntry
+	paretoSeen map[string]bool
 }
 
 // Search runs HeteroGen's iterative repair from the initial version
@@ -252,7 +282,25 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 	if opts.Budget == 0 {
 		opts.Budget = 3 * 3600
 	}
+	var targets []resolvedTarget
 	cfg := hls.DefaultConfig(kernel)
+	if len(opts.Targets) > 0 {
+		var err error
+		targets, err = resolveAll(opts.Targets)
+		if err != nil {
+			// SearchContext has no error return; an unresolvable target
+			// set surfaces as a configuration diagnostic (core validates
+			// targets up front, so this path serves direct callers only).
+			return Result{
+				Unit: cast.CloneUnit(initial),
+				Remaining: []hls.Diagnostic{{
+					Code:    "CFG 100-1",
+					Message: fmt.Sprintf("target resolution failed: %v", err),
+				}},
+			}
+		}
+		cfg = hls.ConfigFor(kernel, targets[0].profile)
+	}
 	cfg.InterpSteps = opts.InterpSteps
 	s := &searcher{
 		original:  original,
@@ -267,11 +315,25 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 		triedPerf: map[string]bool{},
 		ctx:       ctx,
 		cache:     opts.Cache,
+		targets:   targets,
+	}
+	if len(targets) > 0 {
+		s.paretoSeen = map[string]bool{}
 	}
 	if s.cache != nil {
-		s.checkSalt = evalcache.CheckSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz)
-		s.diffSalt = evalcache.DifftestSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz,
-			s.cfg.InterpSteps, kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
+		if len(targets) > 0 {
+			// Per-target salts: the primary backend name joins the
+			// fingerprint so verdicts for different toolchains (dialect
+			// translation included) never collide across devices.
+			be := targets[0].backend.Name()
+			s.checkSalt = evalcache.TargetCheckSalt(be, s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz)
+			s.diffSalt = evalcache.TargetDifftestSalt(be, s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz,
+				s.cfg.InterpSteps, kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
+		} else {
+			s.checkSalt = evalcache.CheckSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz)
+			s.diffSalt = evalcache.DifftestSalt(s.cfg.Top, s.cfg.Device, s.cfg.ClockMHz,
+				s.cfg.InterpSteps, kernel, cast.Print(original), fuzz.CorpusFingerprint(tests))
+		}
 	}
 	s.state.TestCount = len(tests)
 	if opts.Workers > 1 {
@@ -323,8 +385,12 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 	if curScore.errors == 0 && curScore.behaviorOK {
 		res.Improved = curScore.report.FPGAMeanMS() < curScore.report.CPUMeanMS()
 	}
+	if len(s.targets) > 0 {
+		res.PerTarget = s.verdicts(curScore)
+		res.Pareto = s.paretoPoints()
+	}
 	if s.tracing {
-		s.obs.Emit(obs.Event{Type: obs.EvRepairDone, Virtual: s.stats.VirtualSeconds, Done: &obs.DoneEvent{
+		de := &obs.DoneEvent{
 			Attempts:            s.stats.CandidatesTried,
 			Accepted:            s.stats.AcceptedCandidates,
 			Rejected:            s.stats.RejectedCandidates,
@@ -339,12 +405,23 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 			BehaviorOK:          res.BehaviorOK,
 			Improved:            res.Improved,
 			StageFailures:       s.stats.StageFailures,
-		}})
+		}
+		// The target set rides in the done event only when there is more
+		// than one target: a single-target run is the same search with a
+		// verdict table, and keeping its trace byte-identical to the
+		// legacy path is the API-redesign parity contract.
+		if len(s.targets) > 1 {
+			de.Targets = s.targetNames()
+			de.ParetoSize = len(s.pareto)
+		}
+		s.obs.Emit(obs.Event{Type: obs.EvRepairDone, Virtual: s.stats.VirtualSeconds, Done: de})
 	}
 	return res
 }
 
-// score is the lexicographic fitness of a program version.
+// score is the lexicographic fitness of a program version. In
+// multi-target mode the scalar fields aggregate the per-target vector:
+// errors sum over targets and latencyMS is the slowest target.
 type score struct {
 	errors     int
 	behaviorOK bool
@@ -352,6 +429,13 @@ type score struct {
 	latencyMS  float64
 	diags      []hls.Diagnostic
 	report     difftest.Report
+	// perTarget is the fitness vector (multi-target mode only).
+	perTarget []targetFit
+	// res / resOK carry the resource estimate when one was computed
+	// (multi-target mode), feeding utilization rows and the Pareto
+	// archive.
+	res   sim.Resources
+	resOK bool
 }
 
 // better implements the unified objective: compatibility is the hard
@@ -478,10 +562,21 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score,
 		}
 	}
 	sc = score{errors: len(rep.Diags), diags: rep.Diags, latencyMS: 1e18}
-	if sc.errors > 0 {
+	if len(s.targets) > 0 {
+		// Multi-target mode: the capacity gate runs per device and the
+		// latency model per clock; the differential test below stays
+		// shared (behaviour is target-independent).
+		runDT, terr := s.scoreTargets(u, printed, &sc)
+		if sf := guard.AsFailure(terr); sf != nil {
+			return lines, false, sc, sf
+		}
+		if !runDT {
+			return lines, false, sc, nil
+		}
+	} else if sc.errors > 0 {
 		return lines, false, sc, nil
 	}
-	if s.opts.Device.Name != "" {
+	if len(s.targets) == 0 && s.opts.Device.Name != "" {
 		est, err := s.estimate(u, printed)
 		if sf := guard.AsFailure(err); sf != nil {
 			return lines, false, sc, sf
@@ -524,6 +619,9 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score,
 	sc.passRatio = dt.PassRatio()
 	sc.behaviorOK = dt.AllPass()
 	sc.latencyMS = dt.FPGAMeanMS()
+	if len(s.targets) > 0 {
+		s.finishTargets(&sc)
+	}
 	return lines, true, sc, nil
 }
 
@@ -561,6 +659,29 @@ type costBreakdown struct {
 
 func (c costBreakdown) total() float64 { return c.style + c.compile + c.sim }
 
+// compileCost is the virtual cost of one full compilation of a design
+// across the active target set: each target pays its backend's cost
+// model (one compile per device). Legacy mode and a single default
+// target charge the identical reference cost.
+func (s *searcher) compileCost(lines int) float64 {
+	if len(s.targets) == 0 {
+		return float64(hls.CompileCost(lines))
+	}
+	total := 0.0
+	for _, rt := range s.targets {
+		total += float64(rt.backend.CompileCost(lines))
+	}
+	return total
+}
+
+// invocations is how many toolchain invocations one evaluation spends.
+func (s *searcher) invocations() int {
+	if len(s.targets) == 0 {
+		return 1
+	}
+	return len(s.targets)
+}
+
 // chargeOutcome replays the virtual-cost accounting of one tried
 // candidate. The virtual clock models a single HLS toolchain license,
 // so costs are summed here — on the search goroutine, in enumeration
@@ -590,14 +711,14 @@ func (s *searcher) chargeOutcome(o evalOutcome) costBreakdown {
 	if o.failure != nil {
 		// A later stage crashed mid-evaluation: the compilation was
 		// invoked (and is charged) but simulation never completed.
-		cb.compile = float64(hls.CompileCost(o.lines))
+		cb.compile = s.compileCost(o.lines)
 		s.stats.VirtualSeconds += cb.compile
-		s.stats.HLSInvocations++
+		s.stats.HLSInvocations += s.invocations()
 		return cb
 	}
-	cb.compile = float64(hls.CompileCost(o.lines))
+	cb.compile = s.compileCost(o.lines)
 	s.stats.VirtualSeconds += cb.compile
-	s.stats.HLSInvocations++
+	s.stats.HLSInvocations += s.invocations()
 	if o.simRan {
 		cb.sim = float64(hls.SimPerTestSeconds) * float64(len(s.tests))
 		s.stats.VirtualSeconds += cb.sim
@@ -617,11 +738,15 @@ func (s *searcher) evaluate(u *cast.Unit) score {
 		// improvement, and let the search continue instead of aborting.
 		sc = score{errors: 1 << 20, latencyMS: 1e18}
 		s.stats.StageFailures++
+	} else {
+		// The unrepaired initial version may already be the cheapest
+		// all-targets-compatible design; archive it like any candidate.
+		s.considerPareto(u, sc)
 	}
 	var cb costBreakdown
-	cb.compile = float64(hls.CompileCost(lines))
+	cb.compile = s.compileCost(lines)
 	s.stats.VirtualSeconds += cb.compile
-	s.stats.HLSInvocations++
+	s.stats.HLSInvocations += s.invocations()
 	if simRan {
 		cb.sim = float64(hls.SimPerTestSeconds) * float64(len(s.tests))
 		s.stats.VirtualSeconds += cb.sim

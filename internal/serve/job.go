@@ -60,6 +60,12 @@ type Request struct {
 	Host string `json:"host,omitempty"`
 	// Seed overrides the fuzzer's PRNG seed (0 keeps the default).
 	Seed int64 `json:"seed,omitempty"`
+	// Targets selects the HLS backends/devices the job runs against,
+	// as "backend:device" specs (bare backend or device names are also
+	// accepted — see hls.ParseTarget). Empty keeps the legacy
+	// single-default-target behavior. An unknown spec rejects the
+	// submission with 400.
+	Targets []string `json:"targets,omitempty"`
 	// Budget bounds the job; zero fields take server defaults and every
 	// field is clamped by server limits.
 	Budget Budget `json:"budget"`
@@ -90,6 +96,9 @@ type Job struct {
 	corr   string
 	budget Budget
 	req    Request
+	// targets holds the resolved canonical target set (empty = legacy
+	// single-target behavior), validated at submission time.
+	targets []hls.Target
 
 	events *eventLog
 	ctx    context.Context
@@ -117,6 +126,10 @@ type Status struct {
 	CorrelationID string `json:"correlation_id,omitempty"`
 	State         State  `json:"state"`
 	Client        string `json:"client,omitempty"`
+	// Targets is the resolved canonical target set the job runs
+	// against ("backend:device" per entry); absent for legacy
+	// single-target jobs.
+	Targets []string `json:"targets,omitempty"`
 	// Budget is the effective (clamped) budget the job runs under.
 	Budget Budget `json:"budget"`
 	// Events is the number of observability events buffered so far
@@ -147,6 +160,7 @@ func (j *Job) Status() Status {
 		CorrelationID: j.corr,
 		State:         j.state,
 		Client:        j.client,
+		Targets:       targetNames(j.targets),
 		Budget:        j.budget,
 		Events:        j.events.Len(),
 		CreatedMS:     j.created.UnixMilli(),
@@ -188,6 +202,10 @@ type TranspileResult struct {
 	FPGAMeanMS  float64       `json:"fpga_mean_ms"`
 	Resources   sim.Resources `json:"resources"`
 	Summary     string        `json:"summary"`
+	// PerTarget / Pareto are the multi-target outcome (jobs submitted
+	// with a targets field); absent otherwise.
+	PerTarget []TargetVerdict `json:"per_target,omitempty"`
+	Pareto    []ParetoPoint   `json:"pareto,omitempty"`
 }
 
 // CheckResult is the synthesizability verdict.
@@ -195,6 +213,39 @@ type CheckResult struct {
 	OK          bool         `json:"ok"`
 	Errors      int          `json:"errors"`
 	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	// PerTarget holds one verdict per requested target, in the
+	// submitted order (jobs submitted with a targets field).
+	PerTarget []TargetCheck `json:"per_target,omitempty"`
+}
+
+// TargetCheck is one target's synthesizability verdict in its
+// backend's diagnostic dialect.
+type TargetCheck struct {
+	Target      string       `json:"target"`
+	OK          bool         `json:"ok"`
+	Errors      int          `json:"errors"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// TargetVerdict is the JSON form of one device's verdict on the final
+// program of a multi-target job.
+type TargetVerdict struct {
+	Target      string   `json:"target"`
+	Compatible  bool     `json:"compatible"`
+	BehaviorOK  bool     `json:"behavior_ok"`
+	Fits        bool     `json:"fits"`
+	Over        []string `json:"over,omitempty"`
+	Errors      int      `json:"errors"`
+	LatencyMS   float64  `json:"latency_ms"`
+	Utilization string   `json:"utilization,omitempty"`
+}
+
+// ParetoPoint is the JSON form of one non-dominated latency/resource
+// trade-off program from a multi-target repair.
+type ParetoPoint struct {
+	Source    string          `json:"source"`
+	Resources sim.Resources   `json:"resources"`
+	PerTarget []TargetVerdict `json:"per_target"`
 }
 
 // Diagnostic is the JSON form of one checker diagnostic.
@@ -219,6 +270,10 @@ type RepairResult struct {
 	VirtualSeconds float64  `json:"virtual_seconds"`
 	EditLog        []string `json:"edit_log,omitempty"`
 	Remaining      []string `json:"remaining,omitempty"`
+	// PerTarget / Pareto are the multi-target outcome (jobs submitted
+	// with a targets field); absent otherwise.
+	PerTarget []TargetVerdict `json:"per_target,omitempty"`
+	Pareto    []ParetoPoint   `json:"pareto,omitempty"`
 }
 
 // FuzzResult summarizes a test-generation campaign.
@@ -248,7 +303,58 @@ func transpileResult(r core.Result) *TranspileResult {
 		FPGAMeanMS:  r.FPGAMeanMS,
 		Resources:   r.Resources,
 		Summary:     r.Summary(),
+		PerTarget:   targetVerdicts(r.PerTarget),
+		Pareto:      paretoPoints(r.Pareto),
 	}
+}
+
+// targetNames renders a resolved target set canonically.
+func targetNames(ts []hls.Target) []string {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// targetVerdicts converts the repair layer's verdict table to JSON form.
+func targetVerdicts(vs []repair.TargetVerdict) []TargetVerdict {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]TargetVerdict, len(vs))
+	for i, v := range vs {
+		out[i] = TargetVerdict{
+			Target:      v.Target,
+			Compatible:  v.Compatible,
+			BehaviorOK:  v.BehaviorOK,
+			Fits:        v.Fits,
+			Over:        v.Over,
+			Errors:      v.Errors,
+			LatencyMS:   v.LatencyMS,
+			Utilization: v.Utilization,
+		}
+	}
+	return out
+}
+
+// paretoPoints converts the repair layer's Pareto set to JSON form.
+func paretoPoints(ps []repair.ParetoPoint) []ParetoPoint {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]ParetoPoint, len(ps))
+	for i, p := range ps {
+		out[i] = ParetoPoint{
+			Source:    p.Source,
+			Resources: p.Resources,
+			PerTarget: targetVerdicts(p.PerTarget),
+		}
+	}
+	return out
 }
 
 func checkResult(rep hls.Report) *CheckResult {
@@ -260,6 +366,29 @@ func checkResult(rep hls.Report) *CheckResult {
 			Message: d.Message,
 			Subject: d.Subject,
 		})
+	}
+	return out
+}
+
+// checkSetResult renders a per-target check run; the top-level verdict
+// aggregates across targets (OK iff every target is clean).
+func checkSetResult(reps []core.TargetReport) *CheckResult {
+	out := &CheckResult{OK: true}
+	for _, tr := range reps {
+		tc := TargetCheck{Target: tr.Target, OK: tr.Report.OK, Errors: len(tr.Report.Diags)}
+		for _, d := range tr.Report.Diags {
+			tc.Diagnostics = append(tc.Diagnostics, Diagnostic{
+				Code:    d.Code,
+				Class:   d.Class.String(),
+				Message: d.Message,
+				Subject: d.Subject,
+			})
+		}
+		if !tc.OK {
+			out.OK = false
+		}
+		out.Errors += tc.Errors
+		out.PerTarget = append(out.PerTarget, tc)
 	}
 	return out
 }
@@ -277,6 +406,8 @@ func repairResult(rr repair.Result, src string) *RepairResult {
 		StageFailures:  rr.Stats.StageFailures,
 		VirtualSeconds: rr.Stats.VirtualSeconds,
 		EditLog:        rr.Stats.EditLog,
+		PerTarget:      targetVerdicts(rr.PerTarget),
+		Pareto:         paretoPoints(rr.Pareto),
 	}
 	for _, d := range rr.Remaining {
 		out.Remaining = append(out.Remaining, fmt.Sprintf("[%s] %s", d.Code, d.Message))

@@ -15,6 +15,7 @@ import (
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/guard"
+	"github.com/hetero/heterogen/internal/hls"
 	"github.com/hetero/heterogen/internal/obs"
 	"github.com/hetero/heterogen/internal/repair"
 )
@@ -38,6 +39,10 @@ type Options struct {
 	// Defaults fill a request's unset budget fields; zero fields take
 	// DefaultBudget.
 	Defaults Budget
+	// DefaultTargets fills the target set of requests that omit the
+	// targets field (hgserve's -backend/-device/-target flags). Nil
+	// keeps such requests on the legacy single-default-target path.
+	DefaultTargets []hls.Target
 	// Cache, when non-nil, is shared by every job (typically sharded —
 	// see evalcache.Options.Shards — since jobs run concurrently).
 	Cache *evalcache.Cache
@@ -200,6 +205,13 @@ func (s *Server) SubmitWithCorrelation(req Request, client, corr string) (*Job, 
 	if req.Kernel == "" {
 		return nil, fmt.Errorf("serve: no kernel specified")
 	}
+	targets, terr := hls.ParseTargets(req.Targets)
+	if terr != nil {
+		return nil, fmt.Errorf("serve: %w", terr)
+	}
+	if len(targets) == 0 {
+		targets = s.opts.DefaultTargets
+	}
 	eff := req.Budget.fill(s.defaults).clampTo(s.limits)
 
 	s.mu.Lock()
@@ -222,6 +234,7 @@ func (s *Server) SubmitWithCorrelation(req Request, client, corr string) (*Job, 
 		corr:    corr,
 		budget:  eff,
 		req:     req,
+		targets: targets,
 		events:  newEventLog(),
 		state:   StateQueued,
 		created: time.Now(),
@@ -439,10 +452,16 @@ func (s *Server) execute(j *Job) (res *Result, err error) {
 		// bytes stay byte-identical with logging on or off.
 		sink = obs.Multi(sink, phaseLogger{log: s.jobLogger(j)})
 	}
+	if len(j.targets) > 0 {
+		// Targeted jobs stamp every event with the canonical target set —
+		// a configuration edge, so untargeted jobs' traces are unchanged.
+		sink = obs.TagTarget(sink, hls.TargetSetString(j.targets))
+	}
 	copts := core.Options{
 		Kernel:   j.req.Kernel,
 		HostMain: j.req.Host,
 		Workers:  j.budget.Workers,
+		Targets:  j.targets,
 		Obs:      sink,
 		Cache:    s.opts.Cache,
 		Guard:    g,
@@ -469,6 +488,13 @@ func (s *Server) execute(j *Job) (res *Result, err error) {
 		}
 		return &Result{Transpile: transpileResult(r)}, nil
 	case KindCheck:
+		if len(j.targets) > 0 {
+			reps, cerr := core.CheckSet(j.req.Source, copts)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &Result{Check: checkSetResult(reps)}, nil
+		}
 		rep, cerr := core.CheckWith(j.req.Source, copts)
 		if cerr != nil {
 			return nil, cerr

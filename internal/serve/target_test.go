@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+// The targets half of the jobs API: requests carry raw target specs,
+// the status echoes the canonical set, results grow per-target
+// verdicts (and a Pareto set for repairs), the NDJSON stream is
+// stamped with the target set, and an unresolvable spec is a 400 at
+// submission — never a queued job that fails later.
+
+func TestJobTargets(t *testing.T) {
+	sub := subjectP2(t)
+	_, ts := startServer(t, Options{})
+
+	st, resp := postJob(t, ts, Request{
+		Kind: KindRepair, Source: sub.Source, Kernel: sub.Kernel,
+		Targets: []string{"zc706", "vivado_hls:xcvu9p"},
+		Budget:  smallBudget(),
+	}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	want := []string{"vivado_hls:zc706", "vivado_hls:xcvu9p"}
+	if len(st.Targets) != 2 || st.Targets[0] != want[0] || st.Targets[1] != want[1] {
+		t.Fatalf("status targets = %v, want canonical %v (order preserved)", st.Targets, want)
+	}
+
+	fin := awaitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state = %q (error %q)", fin.State, fin.Error)
+	}
+	r := fin.Result.Repair
+	if r == nil {
+		t.Fatal("terminal repair job has no result")
+	}
+	if len(r.PerTarget) != 2 {
+		t.Fatalf("result has %d per-target verdicts, want 2", len(r.PerTarget))
+	}
+	for i, v := range r.PerTarget {
+		if v.Target != want[i] {
+			t.Errorf("per_target[%d] = %q, want %q", i, v.Target, want[i])
+		}
+		if v.Compatible && v.LatencyMS <= 0 {
+			t.Errorf("per_target[%d] compatible but has no latency", i)
+		}
+	}
+	if len(r.Pareto) == 0 {
+		t.Error("multi-target repair result has no Pareto set")
+	}
+	for _, pt := range r.Pareto {
+		if pt.Source == "" || len(pt.PerTarget) != 2 {
+			t.Fatalf("malformed Pareto point: %d verdicts, source %d bytes",
+				len(pt.PerTarget), len(pt.Source))
+		}
+	}
+
+	stamp := []byte(`"target":"vivado_hls:zc706+vivado_hls:xcvu9p"`)
+	if !bytes.Contains(eventBody(t, ts, st.ID), stamp) {
+		t.Errorf("NDJSON events missing the target-set stamp %s", stamp)
+	}
+}
+
+// TestJobTargetsDefault: a daemon-wide default target set applies to
+// requests that omit targets, and an explicit request overrides it.
+func TestJobTargetsDefault(t *testing.T) {
+	sub := subjectP2(t)
+	defaults, err := hls.ParseTargets([]string{"vitis:aws_f1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := startServer(t, Options{DefaultTargets: defaults})
+
+	st, _ := postJob(t, ts, Request{
+		Kind: KindRepair, Source: sub.Source, Kernel: sub.Kernel, Budget: smallBudget(),
+	}, "")
+	if len(st.Targets) != 1 || st.Targets[0] != "vitis:aws_f1" {
+		t.Errorf("defaulted job targets = %v, want [vitis:aws_f1]", st.Targets)
+	}
+
+	st, _ = postJob(t, ts, Request{
+		Kind: KindRepair, Source: sub.Source, Kernel: sub.Kernel,
+		Targets: []string{"vivado_hls:zc706"}, Budget: smallBudget(),
+	}, "")
+	if len(st.Targets) != 1 || st.Targets[0] != "vivado_hls:zc706" {
+		t.Errorf("explicit job targets = %v, want [vivado_hls:zc706]", st.Targets)
+	}
+}
+
+// TestJobTargetsInvalid: unresolvable specs are rejected at submission
+// with 400, for both unknown backends and unknown devices.
+func TestJobTargetsInvalid(t *testing.T) {
+	sub := subjectP2(t)
+	_, ts := startServer(t, Options{})
+	for _, spec := range []string{"sdaccel:pluto", "vivado_hls:nope", "::"} {
+		_, resp := postJob(t, ts, Request{
+			Kind: KindCheck, Source: sub.Source, Kernel: sub.Kernel,
+			Targets: []string{spec}, Budget: smallBudget(),
+		}, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("targets=[%q]: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+}
+
+// TestCheckJobTargets: a multi-target check job returns the per-target
+// diagnostic sets with the aggregate verdict.
+func TestCheckJobTargets(t *testing.T) {
+	sub := subjectP2(t)
+	_, ts := startServer(t, Options{})
+	st, _ := postJob(t, ts, Request{
+		Kind: KindCheck, Source: sub.Source, Kernel: sub.Kernel,
+		Targets: []string{"vivado_hls:xcvu9p", "vitis:aws_f1"},
+		Budget:  smallBudget(),
+	}, "")
+	fin := awaitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("state = %q (error %q)", fin.State, fin.Error)
+	}
+	r := fin.Result.Check
+	if r == nil || len(r.PerTarget) != 2 {
+		t.Fatalf("check result lacks per-target reports: %+v", r)
+	}
+	sum := 0
+	for _, tc := range r.PerTarget {
+		sum += tc.Errors
+		if tc.OK != (tc.Errors == 0) {
+			t.Errorf("%s: OK=%v with %d errors", tc.Target, tc.OK, tc.Errors)
+		}
+	}
+	if r.Errors != sum {
+		t.Errorf("aggregate errors %d != per-target sum %d", r.Errors, sum)
+	}
+	if r.OK != (sum == 0) {
+		t.Errorf("aggregate OK=%v with %d total errors", r.OK, sum)
+	}
+}

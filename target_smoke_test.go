@@ -1,0 +1,221 @@
+package heterogen_test
+
+// The target-smoke gate (`make target-smoke`, TARGET_SMOKE=1): build
+// the real heterogen and hgserve binaries and run one subject against
+// every shipped backend/device profile — each profile alone through
+// the heterogen CLI, the full profile set at once as a multi-target
+// Pareto repair, and a multi-target job over hgserve's HTTP API
+// (including the 400 contract for unknown target specs). This is the
+// only test that exercises target selection as an operator would:
+// through flags, the request's targets field, and the printed
+// artifacts.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetero/heterogen/internal/hls"
+)
+
+func TestTargetSmoke(t *testing.T) {
+	if os.Getenv("TARGET_SMOKE") == "" {
+		t.Skip("set TARGET_SMOKE=1 (make target-smoke) to run")
+	}
+
+	dir := t.TempDir()
+	hgBin := filepath.Join(dir, "heterogen")
+	serveBin := filepath.Join(dir, "hgserve")
+	for bin, pkg := range map[string]string{hgBin: "./cmd/heterogen", serveBin: "./cmd/hgserve"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			t.Fatalf("go build %s: %v", pkg, err)
+		}
+	}
+
+	subject := filepath.Join(dir, "subject.c")
+	if err := os.WriteFile(subject, []byte(overlapKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shipped profile, one at a time, through the real CLI.
+	all := hls.AllTargets()
+	if len(all) < 3 {
+		t.Fatalf("AllTargets() = %v, want at least 3 shipped profiles", all)
+	}
+	for _, target := range all {
+		cmd := exec.Command(hgBin, "-kernel", "kernel", "-quick",
+			"-target", target.String(), "-out", filepath.Join(dir, "out.c"), subject)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("heterogen -target %s: %v\n%s", target, err, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "target "+target.String()+":") {
+			t.Errorf("-target %s: missing per-target verdict line in stderr:\n%s", target, stderr.String())
+		}
+	}
+
+	// The full set at once: a multi-target Pareto repair with a
+	// per-device verdict table in the Markdown report.
+	report := filepath.Join(dir, "report.md")
+	args := []string{"-kernel", "kernel", "-quick", "-report", report, "-out", filepath.Join(dir, "out.c")}
+	for _, target := range all {
+		args = append(args, "-target", target.String())
+	}
+	args = append(args, subject)
+	cmd := exec.Command(hgBin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("heterogen multi-target: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pareto set:") {
+		t.Errorf("multi-target run: no pareto summary on stderr:\n%s", stderr.String())
+	}
+	md, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## Per-device verdicts", "### Pareto set"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("report missing %q section", want)
+		}
+	}
+
+	// An unknown target is a CLI usage error, not a silent default.
+	cmd = exec.Command(hgBin, "-kernel", "kernel", "-device", "nope", subject)
+	if err := cmd.Run(); err == nil {
+		t.Error("heterogen -device nope succeeded, want failure")
+	}
+
+	// The same set over the service API.
+	targetSpecs, err := json.Marshal([]string{all[0].String(), all[1].String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := exec.Command(serveBin, "-addr", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(dir, "cache"))
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatalf("start hgserve: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = serve.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = serve.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			_ = serve.Process.Kill()
+			<-done
+		}
+	})
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading startup line: %v", err)
+	}
+	base, ok := strings.CutPrefix(strings.TrimSpace(line), "hgserve: listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	go io.Copy(io.Discard, stdout)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Unknown target spec: rejected with 400 at submission.
+	badBody := fmt.Sprintf(`{"kind":"repair","kernel":"kernel","source":%q,
+		"targets":["sdaccel:pluto"],"budget":{"max_iterations":8}}`, overlapKernel)
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(badBody))
+	if err != nil {
+		t.Fatalf("submit bad target: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown target submit = %d, want 400", resp.StatusCode)
+	}
+
+	body := fmt.Sprintf(`{"kind":"repair","kernel":"kernel","source":%q,
+		"targets":%s,"budget":{"fuzz_execs":150,"max_iterations":16}}`, overlapKernel, targetSpecs)
+	resp, err = client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st struct {
+		ID      string   `json:"id"`
+		State   string   `json:"state"`
+		Targets []string `json:"targets"`
+		Result  *struct {
+			Repair *struct {
+				PerTarget []struct {
+					Target string `json:"target"`
+				} `json:"per_target"`
+			} `json:"repair"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit = %d %+v, want 202 with id", resp.StatusCode, st)
+	}
+	if len(st.Targets) != 2 {
+		t.Errorf("job status targets = %v, want the 2 canonical specs", st.Targets)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding status: %v", err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job %s ended %s", st.ID, st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 2m", st.ID, st.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if st.Result == nil || st.Result.Repair == nil || len(st.Result.Repair.PerTarget) != 2 {
+		t.Fatalf("terminal job missing per-target verdicts: %+v", st.Result)
+	}
+	for i, v := range st.Result.Repair.PerTarget {
+		if v.Target != st.Targets[i] {
+			t.Errorf("per_target[%d] = %q, want %q", i, v.Target, st.Targets[i])
+		}
+	}
+
+	// Targeted jobs stamp every NDJSON event with the target set.
+	resp, err = client.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	events, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantStamp := fmt.Sprintf(`"target":"%s+%s"`, st.Targets[0], st.Targets[1])
+	if !bytes.Contains(events, []byte(wantStamp)) {
+		t.Errorf("NDJSON events missing target stamp %s", wantStamp)
+	}
+}
