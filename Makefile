@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke target-smoke docs-check
+.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs bench-repair check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke target-smoke interp-diff-smoke docs-check
 
 all: build
 
@@ -45,6 +45,22 @@ bench-cache:
 # observer at all, pure compute. Fails at 5% overhead or above.
 bench-obs:
 	WRITE_BENCH=1 $(GO) test -run TestWriteObsBenchReport -v .
+
+# Regenerates the candidate_throughput section of bench_parallel.json:
+# the fast evaluation path (structure-sharing clones, compiled code,
+# cached references, report memoization) vs the per-candidate
+# clone-and-tree-walk pipeline on the Figure 2 subject. Fails below 10x
+# or on any report divergence between the two paths.
+bench-repair:
+	WRITE_BENCH=1 $(GO) test -run TestWriteRepairBenchReport -v .
+
+# Full differential belt for the compiled fast path: the 2000-seed
+# VM-vs-tree sweep (clean and fault-injected progen programs, CPU and
+# FPGA modes, tight step budgets) plus the shared-Codebase race test.
+# `make check` runs the same belt at its 200-seed default.
+interp-diff-smoke:
+	INTERP_DIFF=1 $(GO) test -run 'TestDiffVMAgainstTree|TestDiffEqualVerdicts' -v ./internal/interp/
+	$(GO) test -race -run TestCodebaseSharedConcurrently ./internal/interp/
 
 # Fixed-seed conformance smoke: 100 generated kernels with planted HLS
 # violations through the full pipeline (checker oracle, repair

@@ -1,0 +1,196 @@
+// Candidate-throughput benchmark for the fast evaluation path: the
+// three PR-9 layers (structure-sharing candidate construction,
+// fingerprint-keyed compiled code and report memoization, reference
+// caching) against the pre-existing pipeline (full clone per candidate,
+// tree-walking differential run with per-candidate CPU references).
+//
+// The workload mirrors the random-mode search on the paper's Figure 2
+// working example: the same candidate set is materialized and evaluated
+// round after round, exactly like search iterations re-instantiating
+// the template registry against the current program. Reports from both
+// paths are asserted identical before any number is written.
+package heterogen_test
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/difftest"
+	"github.com/hetero/heterogen/internal/hls"
+	"github.com/hetero/heterogen/internal/interp"
+	"github.com/hetero/heterogen/internal/repair"
+)
+
+// benchFile is the committed benchmark record; sections are merged so
+// regenerating one leaves the others untouched.
+const benchFile = "bench_parallel.json"
+
+func readBenchSections(t *testing.T) map[string]json.RawMessage {
+	t.Helper()
+	sections := map[string]json.RawMessage{}
+	data, err := os.ReadFile(benchFile)
+	if os.IsNotExist(err) {
+		return sections
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sections); err != nil {
+		t.Fatal(err)
+	}
+	return sections
+}
+
+func writeBenchSections(t *testing.T, sections map[string]json.RawMessage) {
+	t.Helper()
+	data, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteRepairBenchReport regenerates the candidate_throughput
+// section of bench_parallel.json. Guarded by an env var so normal test
+// runs stay fast:
+//
+//	WRITE_BENCH=1 go test -run TestWriteRepairBenchReport -v
+func TestWriteRepairBenchReport(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") == "" {
+		t.Skip("set WRITE_BENCH=1 to regenerate the candidate_throughput section")
+	}
+	orig, tests := overlapInputs()
+	kernel := "kernel"
+	cfg := hls.DefaultConfig(kernel)
+
+	// The candidate set of one random-mode iteration: every template
+	// instantiated over the whole edit space, deterministically.
+	st := repair.NewState()
+	cands := append(repair.RandomCandidates(orig, nil, st), repair.PerfCandidates(orig, st)...)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for the Figure 2 subject")
+	}
+
+	materialize := func(c repair.Candidate, fastClone bool) *cast.Unit {
+		var clone *cast.Unit
+		if fastClone && len(c.Edits) == 1 && len(c.Edits[0].Scope) > 0 {
+			clone = cast.CloneUnitScoped(orig, c.Edits[0].Scope)
+		} else {
+			clone = cast.CloneUnit(orig)
+		}
+		for _, e := range c.Edits {
+			if err := e.Apply(clone); err != nil {
+				t.Fatalf("edit %v failed to re-apply: %v", e, err)
+			}
+		}
+		return clone
+	}
+
+	const rounds = 100
+
+	// Parity first: both paths must report identical verdicts for every
+	// candidate before any throughput number means anything.
+	code := interp.NewCodebase()
+	fps := cast.NewFingerprints()
+	runner := difftest.NewRunner(orig, kernel, cfg, tests, code, fps)
+	for _, c := range cands {
+		slowRep := difftest.Run(orig, materialize(c, false), kernel, cfg, tests)
+		fastRep := runner.Run(materialize(c, true))
+		if !reflect.DeepEqual(slowRep, fastRep) {
+			t.Fatalf("report diverges for %v:\n  slow: %+v\n  fast: %+v", c.Edits, slowRep, fastRep)
+		}
+	}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, c := range cands {
+			cu := materialize(c, false)
+			difftest.Run(orig, cu, kernel, cfg, tests)
+		}
+	}
+	slowWall := time.Since(start)
+
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, c := range cands {
+			cu := materialize(c, true)
+			runner.Run(cu)
+		}
+	}
+	fastWall := time.Since(start)
+
+	n := rounds * len(cands)
+	slowRate := float64(n) / slowWall.Seconds()
+	fastRate := float64(n) / fastWall.Seconds()
+	speedup := fastRate / slowRate
+
+	section := map[string]any{
+		"note": "Candidate construction + differential evaluation over the " +
+			"paper's Figure 2 working example, cycling one random-mode " +
+			"iteration's candidate set for many rounds, exactly as the search " +
+			"revisits it. Slow path: full clone per candidate, tree-walking " +
+			"differential run recomputing CPU references every time. Fast " +
+			"path: structure-sharing clones, cached references, " +
+			"fingerprint-keyed compiled code, and report memoization. Both " +
+			"paths produce identical reports for every candidate (asserted " +
+			"before timing).",
+		"subject":           "figure2-tree",
+		"candidates":        len(cands),
+		"rounds":            rounds,
+		"tests":             len(tests),
+		"slow_cand_per_sec": slowRate,
+		"fast_cand_per_sec": fastRate,
+		"speedup":           speedup,
+		"reports_identical": true,
+		"compiled_funcs":    code.Size(),
+		"compiled_reuses":   code.Reuses(),
+	}
+	raw, err := json.Marshal(section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := readBenchSections(t)
+	sections["candidate_throughput"] = raw
+	writeBenchSections(t, sections)
+
+	t.Logf("candidate throughput: slow %.0f/s, fast %.0f/s, speedup %.1fx over %d candidates x %d rounds",
+		slowRate, fastRate, speedup, len(cands), rounds)
+	if speedup < 10 {
+		t.Errorf("speedup %.2fx below the 10x target", speedup)
+	}
+}
+
+// TestRepairBenchRecordCommitted pins the committed record: the
+// candidate_throughput section must exist and document the >=10x
+// speedup, so a regression in the fast path shows up as a stale or
+// failing record rather than silently shifted numbers.
+func TestRepairBenchRecordCommitted(t *testing.T) {
+	sections := readBenchSections(t)
+	raw, ok := sections["candidate_throughput"]
+	if !ok {
+		t.Fatal("bench_parallel.json has no candidate_throughput section; run `make bench-repair`")
+	}
+	var rec struct {
+		Speedup          float64 `json:"speedup"`
+		ReportsIdentical bool    `json:"reports_identical"`
+		Candidates       int     `json:"candidates"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Speedup < 10 {
+		t.Errorf("committed candidate throughput speedup %.2fx is below the 10x contract", rec.Speedup)
+	}
+	if !rec.ReportsIdentical {
+		t.Error("committed record does not assert report parity")
+	}
+	if rec.Candidates == 0 {
+		t.Error("committed record has no candidates")
+	}
+}

@@ -549,13 +549,21 @@ func TestWriteParallelBenchReport(t *testing.T) {
 	if report.Speedup < 2 {
 		t.Errorf("speedup %.2fx below the 2x target", report.Speedup)
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	// Merge into the committed file so sections owned by other writers
+	// (candidate_throughput from TestWriteRepairBenchReport) survive.
+	data, err := json.Marshal(report)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("bench_parallel.json", append(data, '\n'), 0o644); err != nil {
+	var mine map[string]json.RawMessage
+	if err := json.Unmarshal(data, &mine); err != nil {
 		t.Fatal(err)
 	}
+	sections := readBenchSections(t)
+	for k, v := range mine {
+		sections[k] = v
+	}
+	writeBenchSections(t, sections)
 	t.Logf("speedup %.2fx (%.0fms -> %.0fms), results identical", report.Speedup, seqMS, parMS)
 }
 

@@ -49,6 +49,45 @@ func CloneUnit(u *Unit) *Unit {
 	return out
 }
 
+// CloneUnitScoped is the structure-sharing (path-copying) counterpart
+// of CloneUnit for edits confined to the bodies or pragmas of known
+// functions. It copies only the spine from the edited functions to the
+// root: a fresh Unit with a fresh Decls slice, deep copies of the
+// functions named in scope, and every other declaration, the type maps,
+// and every *ctypes.Struct shared with the parent by pointer.
+//
+// The sharing is only sound for edits that (a) mutate nothing outside
+// the scoped functions' bodies and pragma lists, (b) never retype struct
+// fields, and (c) never renumber branch sites unit-wide. Edits that
+// violate any of those (segment buffering, index retyping, top-level
+// pragma renames) must keep using CloneUnit; repair's edit templates
+// declare their scope explicitly and default to the full clone.
+func CloneUnitScoped(u *Unit, scope []string) *Unit {
+	if len(scope) == 0 {
+		return CloneUnit(u)
+	}
+	scoped := make(map[string]bool, len(scope))
+	for _, name := range scope {
+		scoped[name] = true
+	}
+	out := &Unit{
+		Typedefs:    u.Typedefs,
+		Structs:     u.Structs,
+		NumBranches: u.NumBranches,
+	}
+	out.Decls = make([]Decl, len(u.Decls))
+	for i, d := range u.Decls {
+		// Prototypes are cloned too: pragma-stripping edits filter the
+		// pragma list of every declaration bearing the name.
+		if fn, ok := d.(*FuncDecl); ok && scoped[fn.Name] {
+			out.Decls[i] = CloneFunc(fn)
+			continue
+		}
+		out.Decls[i] = d
+	}
+	return out
+}
+
 // mapStructs rewrites struct references inside a type onto their clones.
 func mapStructs(t ctypes.Type, m map[*ctypes.Struct]*ctypes.Struct) ctypes.Type {
 	switch x := t.(type) {

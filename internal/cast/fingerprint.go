@@ -1,0 +1,106 @@
+package cast
+
+// Incremental content fingerprints.
+//
+// The repair search derives cache keys from the candidate's canonical
+// text. Printing a whole unit per candidate is O(unit), which dominates
+// candidate construction once evaluation itself is fast. Fingerprints
+// make that cost proportional to the edit instead: the unit hash is
+// composed from per-declaration hashes, and a Fingerprints memo keyed by
+// *FuncDecl identity caches the expensive leaves. Structure-sharing
+// clones (CloneUnitScoped) keep the identity of every unedited function,
+// so after an edit only the edited declaration is reprinted and the unit
+// hash is recombined from memoized parts in O(edited decl).
+//
+// The hash is length-prefixed SHA-256 over the printed form of each
+// declaration plus the branch-site count, so two structurally distinct
+// units cannot collide without a SHA-256 collision, and the composed
+// value is a pure function of the unit — memoized and from-scratch
+// computations agree by construction (fingerprint_test.go proves it over
+// random generated programs and a committed regression corpus).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"sync"
+)
+
+// fingerprintMemoCap bounds the per-search memo. The stable residents
+// are the parent unit's declarations; every evaluated candidate also
+// deposits its (ephemeral) edited declaration, and a large cap would
+// pin thousands of dead candidate ASTs for the garbage collector to
+// scan. A small cap keeps the live set near the working set — on reset
+// the stable declarations re-hash once, which is noise.
+const fingerprintMemoCap = 512
+
+// Fingerprints memoizes per-declaration hashes across the candidates of
+// one repair search. The zero value and nil are both usable (every
+// lookup misses); methods are safe for concurrent use.
+type Fingerprints struct {
+	mu sync.Mutex
+	m  map[Decl]string
+}
+
+// NewFingerprints returns an empty memo.
+func NewFingerprints() *Fingerprints {
+	return &Fingerprints{m: make(map[Decl]string)}
+}
+
+// Unit composes the content fingerprint of u from per-declaration
+// hashes, reusing memoized hashes for function declarations already
+// seen (by pointer identity).
+func (f *Fingerprints) Unit(u *Unit) string {
+	h := sha256.New()
+	hashPart(h, "unit")
+	hashPart(h, strconv.Itoa(u.NumBranches))
+	for _, d := range u.Decls {
+		hashPart(h, f.decl(d))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// decl returns the hash of one declaration, memoized by pointer
+// identity. Structure-sharing candidates keep the identity of every
+// unedited declaration (functions, structs, globals alike), so after an
+// edit only the edited declaration is rehashed.
+func (f *Fingerprints) decl(d Decl) string {
+	if f == nil {
+		return hashDecl(d)
+	}
+	f.mu.Lock()
+	if fp, ok := f.m[d]; ok {
+		f.mu.Unlock()
+		return fp
+	}
+	f.mu.Unlock()
+	fp := hashDecl(d)
+	f.mu.Lock()
+	if f.m == nil || len(f.m) >= fingerprintMemoCap {
+		f.m = make(map[Decl]string)
+	}
+	f.m[d] = fp
+	f.mu.Unlock()
+	return fp
+}
+
+// FingerprintUnit computes the unit fingerprint from scratch, with no
+// memo. Defined to agree exactly with Fingerprints.Unit.
+func FingerprintUnit(u *Unit) string {
+	return (*Fingerprints)(nil).Unit(u)
+}
+
+func hashDecl(d Decl) string {
+	h := sha256.New()
+	hashPart(h, "decl")
+	hashPart(h, PrintDecl(d))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashPart(h interface{ Write([]byte) (int, error) }, p string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+	h.Write(n[:])
+	h.Write([]byte(p))
+}

@@ -1,0 +1,164 @@
+package cast_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/progen"
+)
+
+// mutateFunc applies one deterministic random edit to fn's body — the
+// kinds of change a repair edit makes (tweak a literal, insert a pragma,
+// drop a statement). Reports false when the function offers nothing to
+// edit.
+func mutateFunc(fn *cast.FuncDecl, rng *rand.Rand) bool {
+	if fn.Body == nil {
+		return false
+	}
+	switch rng.Intn(3) {
+	case 0:
+		var lits []*cast.IntLit
+		cast.Inspect(fn, func(n cast.Node) bool {
+			if lit, ok := n.(*cast.IntLit); ok {
+				lits = append(lits, lit)
+			}
+			return true
+		})
+		if len(lits) == 0 {
+			return false
+		}
+		lit := lits[rng.Intn(len(lits))]
+		lit.Value++
+		lit.Text = strconv.FormatInt(lit.Value, 10)
+		return true
+	case 1:
+		fn.Body.Stmts = append(fn.Body.Stmts,
+			&cast.Pragma{Text: fmt.Sprintf("HLS PIPELINE II=%d", 1+rng.Intn(4))})
+		return true
+	default:
+		if len(fn.Body.Stmts) < 2 {
+			return false
+		}
+		fn.Body.Stmts = fn.Body.Stmts[:len(fn.Body.Stmts)-1]
+		return true
+	}
+}
+
+// TestFingerprintRecombinesAfterEdits is the core property: over random
+// edit sequences applied through structure-sharing clones, the memoized
+// fingerprint (which recomputes only the edited declaration and reuses
+// cached hashes for every untouched one) equals the from-scratch
+// fingerprint of the whole unit, and every effective edit changes it.
+func TestFingerprintRecombinesAfterEdits(t *testing.T) {
+	for seed := 0; seed < 40; seed++ {
+		prog := progen.MustGenerate(progen.Options{Seed: int64(seed), Clean: seed%2 == 0})
+		memo := cast.NewFingerprints()
+		rng := rand.New(rand.NewSource(int64(seed) + 1))
+
+		cur := prog.Unit
+		curFP := memo.Unit(cur)
+		if want := cast.FingerprintUnit(cur); curFP != want {
+			t.Fatalf("seed %d: memoized %s != scratch %s on unedited unit", seed, curFP, want)
+		}
+
+		var names []string
+		for _, fn := range cur.Funcs() {
+			if fn.Body != nil {
+				names = append(names, fn.Name)
+			}
+		}
+		if len(names) == 0 {
+			t.Fatalf("seed %d: no function bodies", seed)
+		}
+
+		for step := 0; step < 10; step++ {
+			name := names[rng.Intn(len(names))]
+			clone := cast.CloneUnitScoped(cur, []string{name})
+			if !mutateFunc(clone.Func(name), rng) {
+				continue
+			}
+			got := memo.Unit(clone)
+			want := cast.FingerprintUnit(clone)
+			if got != want {
+				t.Fatalf("seed %d step %d (%s): recombined %s != scratch %s",
+					seed, step, name, got, want)
+			}
+			if got == curFP {
+				t.Fatalf("seed %d step %d (%s): edit did not change the fingerprint",
+					seed, step, name)
+			}
+			cur, curFP = clone, got
+		}
+	}
+}
+
+// TestFingerprintNoCollisions checks that distinct units — distinct by
+// canonical printed text — never share a fingerprint, across generated
+// programs and their edit derivatives.
+func TestFingerprintNoCollisions(t *testing.T) {
+	byFP := map[string]string{}
+	note := func(u *cast.Unit) {
+		fp := cast.FingerprintUnit(u)
+		text := cast.Print(u)
+		if prev, ok := byFP[fp]; ok && prev != text {
+			t.Fatalf("fingerprint collision %s between distinct units", fp)
+		}
+		byFP[fp] = text
+	}
+	rng := rand.New(rand.NewSource(42))
+	for seed := 0; seed < 120; seed++ {
+		prog := progen.MustGenerate(progen.Options{Seed: int64(seed), Clean: seed%3 == 0})
+		note(prog.Unit)
+		for _, fn := range prog.Unit.Funcs() {
+			if fn.Body == nil {
+				continue
+			}
+			clone := cast.CloneUnitScoped(prog.Unit, []string{fn.Name})
+			if mutateFunc(clone.Func(fn.Name), rng) {
+				note(clone)
+			}
+		}
+	}
+	if len(byFP) < 200 {
+		t.Fatalf("only %d distinct units generated, want a denser corpus", len(byFP))
+	}
+}
+
+// TestFingerprintRegressionCorpus pins fingerprints of a fixed program
+// set. The committed golden file catches accidental changes to the hash
+// composition or the printer: either would silently invalidate every
+// persisted cache entry without the schema-version bump that is supposed
+// to accompany such changes. Regenerate with UPDATE_FINGERPRINTS=1.
+func TestFingerprintRegressionCorpus(t *testing.T) {
+	golden := filepath.Join("testdata", "fingerprint_corpus.txt")
+	var sb strings.Builder
+	sb.WriteString("# seed clean unit-fingerprint — regenerate with UPDATE_FINGERPRINTS=1\n")
+	for seed := 0; seed < 24; seed++ {
+		clean := seed%2 == 0
+		prog := progen.MustGenerate(progen.Options{Seed: int64(seed), Clean: clean})
+		fmt.Fprintf(&sb, "%d %v %s\n", seed, clean, cast.FingerprintUnit(prog.Unit))
+	}
+	if os.Getenv("UPDATE_FINGERPRINTS") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("golden file updated")
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_FINGERPRINTS=1): %v", err)
+	}
+	if string(want) != sb.String() {
+		t.Fatalf("fingerprint corpus drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, sb.String(), want)
+	}
+}

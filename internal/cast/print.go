@@ -23,6 +23,16 @@ func Print(u *Unit) string {
 	return p.sb.String()
 }
 
+// PrintDecl renders a single top-level declaration. The per-declaration
+// fingerprints (fingerprint.go) hash this rendering, so a unit's
+// composed fingerprint can be recombined from cached declaration hashes
+// after an edit instead of reprinting the whole unit.
+func PrintDecl(d Decl) string {
+	var p printer
+	p.decl(d)
+	return p.sb.String()
+}
+
 // PrintStmt renders a single statement (used in diagnostics and tests).
 func PrintStmt(s Stmt) string {
 	var p printer

@@ -164,7 +164,7 @@ func Run(original, candidate *cast.Unit, kernel string, cfg hls.Config, tests []
 				if !interp.IsBudget(ref.Err) {
 					side = "FPGA"
 				}
-				rep.FirstDiff = fmt.Sprintf("inconclusive(timeout): test %d: %s side exhausted its step budget", i, side)
+				rep.FirstDiff = timeoutDiff(i, side)
 			}
 			continue
 		}
@@ -189,6 +189,10 @@ func Run(original, candidate *cast.Unit, kernel string, cfg hls.Config, tests []
 		rep.FPGAMeanCycles = fpgaSum / float64(measured)
 	}
 	return rep
+}
+
+func timeoutDiff(i int, side string) string {
+	return fmt.Sprintf("inconclusive(timeout): test %d: %s side exhausted its step budget", i, side)
 }
 
 func describeDiff(i int, ref, got Outcome) string {

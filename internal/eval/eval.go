@@ -170,10 +170,13 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 	ropts.InterpSteps = cfg.Guard.InterpSteps()
 	ropts.Targets = cfg.Targets
 	rr := repair.Search(orig, initial, s.Kernel, valSuite, ropts)
+	// One counter serves every ΔLOC render of this run: the original is
+	// printed and line-indexed once instead of per metric.
+	origLines := repair.NewLineCounter(orig)
 	run.Compatible = rr.Compatible
 	run.BehaviorOK = rr.BehaviorOK
 	run.Improved = rr.Improved
-	run.DeltaLOC = repair.EditedLines(orig, rr.Unit)
+	run.DeltaLOC = origLines.EditedLines(rr.Unit)
 	run.HGMinutes = rr.Stats.VirtualMinutes()
 	run.HGInvocations = rr.Stats.HLSInvocations
 	run.HGCandidates = rr.Stats.CandidatesTried
@@ -209,7 +212,7 @@ func RunSubject(s subjects.Subject, cfg Config) (SubjectRun, error) {
 		hrRep := difftest.Run(orig, hrRes.Unit, s.Kernel, cfgHLS, valSuite)
 		if hrRep.AllPass() {
 			run.RuntimeHRMS = hrRep.FPGAMeanMS()
-			run.HRDeltaLOC = repair.EditedLines(orig, hrRes.Unit)
+			run.HRDeltaLOC = origLines.EditedLines(hrRes.Unit)
 		} else {
 			run.HRSucceeded = false
 		}

@@ -4,12 +4,17 @@ import "fmt"
 
 // Key derivation — the single place that decides what each cached
 // verdict depends on (and therefore what invalidates it). Every
-// component is either canonical program text (cast.Print output,
-// passed in by callers since this package stays AST-agnostic) or a
-// rendered option value; anything that cannot affect the verdict —
-// Workers, observers, the cache itself, EvalDelay — is deliberately
-// absent, so cold and warm runs address the same entries regardless of
-// parallelism or tracing.
+// component is either canonical program text (cast.Print output — or,
+// on the repair search's fast evaluation path, a cast.FingerprintUnit
+// content hash of that text; both are passed in by callers since this
+// package stays AST-agnostic) or a rendered option value; anything
+// that cannot affect the verdict — Workers, observers, the cache
+// itself, EvalDelay — is deliberately absent, so cold and warm runs
+// address the same entries regardless of parallelism or tracing.
+// Printed-text keys and fingerprint keys never collide: a fingerprint
+// is a fixed-width hex string that is not valid C, and the salts that
+// feed per-candidate keys (CheckSalt, DifftestSalt) still consume the
+// original's printed text, which is produced once per search.
 
 // CheckSalt captures the toolchain configuration a synthesizability
 // verdict depends on. Combine with the candidate's printed text via

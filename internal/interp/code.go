@@ -1,0 +1,314 @@
+package interp
+
+import (
+	"sync"
+
+	"github.com/hetero/heterogen/internal/cast"
+)
+
+// This file holds the compiled-code runtime: the direct-threaded
+// instruction representation produced by compile.go, the per-function
+// container, and the shared Codebase cache that lets every candidate
+// unit sharing an unedited *cast.FuncDecl reuse its compiled form.
+//
+// The contract with the tree walker is strict: for any program in the
+// subset, compiled execution produces byte-identical results — values,
+// cost, raw cost, step count, output, coverage bits, profiles, and
+// error messages (including positions and budget classification). The
+// differential belt in difffuzz_test.go enforces the contract over
+// thousands of generated programs. Any construct the compiler cannot
+// reproduce exactly falls back to the tree for the whole function.
+
+// Op types: compiled code is a flat slice of closures ("direct-threaded
+// code") — one execOp per statement, composed from evalOp/lvOp
+// sub-instructions. Closures carry only compile-time-constant state, so
+// one compiled function is safely shared across goroutines, interpreter
+// instances, and execution modes (every mode-dependent decision reads
+// in.opts at run time, mirroring the tree walker).
+type (
+	execOp func(in *Interp, fr *frame) control
+	evalOp func(in *Interp, fr *frame) Value
+	lvOp   func(in *Interp, fr *frame) lvalue
+)
+
+// compiledFunc is one function's compiled body.
+type compiledFunc struct {
+	fn *cast.FuncDecl
+	// stmts are the top-level body statements; isCall marks which are
+	// call statements (the dataflow cost-overlap set, precomputed).
+	stmts  []execOp
+	isCall []bool
+	// nslots is the frame's flat local-variable array size; paramSlots
+	// maps parameter index -> slot.
+	nslots     int
+	paramSlots []int
+	// parts is the function-head array_partition map. It is shared by
+	// every frame running this code, so the interpreter marks it
+	// partitionsShared and copies on the first runtime pragma write.
+	parts    map[string]int
+	dataflow bool
+	// fallback marks a function the compiler could not reproduce
+	// exactly; callers run the tree walker instead.
+	fallback bool
+}
+
+// run executes the body like callFunction's execBlock(fn.Body) — the
+// body block itself is not stepped, and compiled frames need no scope
+// push (every name was resolved to a slot at compile time).
+func (cf *compiledFunc) run(in *Interp, fr *frame) {
+	for _, op := range cf.stmts {
+		if c := op(in, fr); c != ctlNone || fr.returned {
+			return
+		}
+	}
+}
+
+// runDataflow mirrors execDataflowBody: top-level call statements
+// overlap (max instead of sum, on cost only — rawCost keeps the
+// sequential sum, exactly like the tree walker's addCost/rollback).
+func (cf *compiledFunc) runDataflow(in *Interp, fr *frame) {
+	var maxCall int64
+	for i, op := range cf.stmts {
+		before := in.cost
+		c := op(in, fr)
+		if cf.isCall[i] {
+			delta := in.cost - before
+			in.cost = before
+			if delta > maxCall {
+				maxCall = delta
+			}
+		}
+		if c != ctlNone || fr.returned {
+			break
+		}
+	}
+	in.cost += maxCall
+}
+
+// loopScale is the compile-time precomputation of scaleLoopCost's
+// inputs: the parsed pragma directives and the index-identifier names
+// the body's partition lookup walks. The partition factors themselves
+// stay a run-time lookup (pragmas executed inside the body can change
+// them mid-run, and the tree walker sees that).
+type loopScale struct {
+	// hasPragmas preserves the tree walker's raw len(pragmas) > 0 gate,
+	// which counts unparsed and non-HLS pragmas too.
+	hasPragmas bool
+	dirs       []PragmaDirective
+	idxNames   []string
+}
+
+func newLoopScale(pragmas []*cast.Pragma, body cast.Stmt) *loopScale {
+	ls := &loopScale{hasPragmas: len(pragmas) > 0}
+	for _, p := range pragmas {
+		ls.dirs = append(ls.dirs, ParsePragma(p.Text))
+	}
+	seen := map[string]bool{}
+	cast.Inspect(body, func(n cast.Node) bool {
+		if ix, ok := n.(*cast.Index); ok {
+			if id, ok := ix.X.(*cast.Ident); ok && !seen[id.Name] {
+				seen[id.Name] = true
+				ls.idxNames = append(ls.idxNames, id.Name)
+			}
+		}
+		return true
+	})
+	return ls
+}
+
+// maxPartition is maxPartitionOf over the precomputed name list.
+func (ls *loopScale) maxPartition(in *Interp) int {
+	max := 1
+	for _, n := range ls.idxNames {
+		if f, ok := in.partitions[n]; ok && f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// vmScaleLoop is scaleLoopCost over a precomputed loopScale.
+func (in *Interp) vmScaleLoop(ls *loopScale, startCost, iterations int64, minII int) {
+	if in.opts.Mode != FPGA || !ls.hasPragmas || iterations <= 0 {
+		return
+	}
+	delta := in.cost - startCost
+	if delta <= 0 {
+		return
+	}
+	pipelined := false
+	ii := minII
+	unroll := 1
+	for _, d := range ls.dirs {
+		switch d.Kind {
+		case PragmaPipeline:
+			pipelined = true
+			if d.Factor > ii {
+				ii = d.Factor
+			}
+		case PragmaUnroll:
+			f := d.Factor
+			if f <= 0 {
+				f = 8 // full unroll default benefit
+			}
+			ports := 2 * ls.maxPartition(in)
+			if f > ports {
+				f = ports
+			}
+			if f > unroll {
+				unroll = f
+			}
+		}
+	}
+	scaled := delta
+	if unroll > 1 {
+		scaled = delta / int64(unroll)
+	}
+	if pipelined {
+		piped := iterations*int64(ii)/int64(unroll) + pipelineDepth
+		if piped < scaled {
+			scaled = piped
+		}
+	}
+	if floor := delta / maxLoopSpeedup; scaled < floor {
+		scaled = floor
+	}
+	if scaled >= delta {
+		return
+	}
+	in.cost = startCost + scaled + costLoopOverhead
+}
+
+// codebaseCap bounds the content-keyed compiled-function cache; it
+// stays near the number of distinct candidate bodies a search visits.
+const codebaseCap = 4096
+
+// codebasePtrCap bounds the pointer-identity map separately, and much
+// tighter: every evaluated candidate mints a fresh edited *cast.FuncDecl,
+// and compiled closures would pin each candidate's AST for the cache's
+// lifetime. A small cap keeps the live set to the recent working set —
+// evicted entries cost one content-cache lookup to restore, not a
+// recompilation.
+const codebasePtrCap = 128
+
+// Codebase caches compiled functions, keyed twice: by declaration
+// identity (the fast hit for structure-sharing candidates, which keep
+// unedited *cast.FuncDecl pointers and for repeated runs of one
+// candidate), and — when the caller supplies a content key via
+// Options.CodeKey — by (unit content key, function name), so a
+// candidate regenerated with identical content in a later search
+// iteration, a fresh pointer every time, reuses the compiled body
+// instead of recompiling it.
+//
+// The CodeKey contract: two units presenting the same key must be
+// interchangeable per declaration — equal canonical text, equal token
+// positions, and equal branch-site numbering — because the reused code
+// executes the AST nodes of whichever unit compiled first, and
+// positions (error messages) and branch IDs (coverage bits) are
+// observable. The repair search's content fingerprints satisfy this:
+// every candidate descends from one parsed unit through edits that
+// preserve parse positions and branch numbering (or renumber the whole
+// unit deterministically), so equal printed text implies equal
+// positions and numbering.
+//
+// Codebase is safe for concurrent use; a cache miss compiles outside
+// the lock (duplicate concurrent compiles of the same function produce
+// equivalent code, and the last write wins harmlessly).
+type Codebase struct {
+	mu      sync.Mutex
+	m       map[*cast.FuncDecl]*compiledFunc
+	content map[string]*compiledFunc
+	reuses  int
+}
+
+// NewCodebase creates an empty compiled-code cache, shareable across
+// interpreters, goroutines, and execution modes.
+func NewCodebase() *Codebase {
+	return &Codebase{
+		m:       map[*cast.FuncDecl]*compiledFunc{},
+		content: map[string]*compiledFunc{},
+	}
+}
+
+// contentKey builds the content-cache key for fn inside a unit whose
+// caller-supplied key is codeKey. The function name disambiguates
+// declarations within the unit; the body marker separates a prototype
+// from its definition (same name, different compiled form).
+func contentKey(codeKey string, fn *cast.FuncDecl) string {
+	body := "p"
+	if fn.Body != nil {
+		body = "d"
+	}
+	return codeKey + "\x00" + fn.Name + "\x00" + body
+}
+
+func (cb *Codebase) get(u *cast.Unit, fn *cast.FuncDecl, codeKey string) *compiledFunc {
+	cb.mu.Lock()
+	if cf, ok := cb.m[fn]; ok {
+		cb.mu.Unlock()
+		return cf
+	}
+	cb.mu.Unlock()
+
+	var key string
+	if codeKey != "" {
+		key = contentKey(codeKey, fn)
+		cb.mu.Lock()
+		if cf, ok := cb.content[key]; ok {
+			if len(cb.m) >= codebasePtrCap {
+				cb.m = map[*cast.FuncDecl]*compiledFunc{}
+			}
+			cb.m[fn] = cf
+			cb.reuses++
+			cb.mu.Unlock()
+			return cf
+		}
+		cb.mu.Unlock()
+	}
+
+	cf := compileFunc(u, fn)
+	cb.mu.Lock()
+	if len(cb.m) >= codebasePtrCap {
+		cb.m = map[*cast.FuncDecl]*compiledFunc{}
+	}
+	cb.m[fn] = cf
+	if key != "" {
+		if len(cb.content) >= codebaseCap {
+			cb.content = map[string]*compiledFunc{}
+		}
+		cb.content[key] = cf
+	}
+	cb.mu.Unlock()
+	return cf
+}
+
+// Size reports the number of cached compiled functions (for tests and
+// observability).
+func (cb *Codebase) Size() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return len(cb.m)
+}
+
+// Reuses reports how many pointer-cache misses were served by the
+// content cache instead of a fresh compilation (for tests and
+// observability).
+func (cb *Codebase) Reuses() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.reuses
+}
+
+// Fallbacks reports how many cached functions could not be compiled and
+// run on the tree walker instead.
+func (cb *Codebase) Fallbacks() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	n := 0
+	for _, cf := range cb.m {
+		if cf.fallback {
+			n++
+		}
+	}
+	return n
+}

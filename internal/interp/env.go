@@ -63,6 +63,11 @@ type frame struct {
 	recvType *ctypes.Struct
 	retVal   Value
 	returned bool
+	// slots is the flat local-variable array of a compiled-code frame
+	// (compile.go): the compiler resolves every name to a slot index, so
+	// compiled frames never touch the scope maps. Tree-walked frames
+	// leave it nil.
+	slots []*binding
 }
 
 func newFrame(fn string) *frame {

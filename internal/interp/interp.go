@@ -40,6 +40,20 @@ type Options struct {
 	// getKernelSeed).
 	CaptureName string
 	CaptureCall func(args []Value)
+	// Code, when non-nil, enables the compiled fast path: function
+	// bodies are compiled once into direct-threaded code (compile.go)
+	// and cached in the shared Codebase, keyed by *cast.FuncDecl
+	// identity. Semantics, costs, step accounting, coverage, profiles,
+	// and error messages are identical to the tree walker (the
+	// differential belt in difffuzz_test.go holds both paths to that
+	// contract); functions using unsupported constructs fall back to the
+	// tree per function.
+	Code *Codebase
+	// CodeKey is an optional content identity for the unit, enabling
+	// compiled-code reuse across distinct units with identical content
+	// (see the Codebase CodeKey contract). Empty disables content
+	// keying; compiled code is then shared by declaration pointer only.
+	CodeKey string
 }
 
 // Range is a profiled value range for one variable.
@@ -121,7 +135,14 @@ type Interp struct {
 	// partitions maps array variable name -> array_partition factor for
 	// the function currently executing (FPGA cycle model input).
 	partitions map[string]int
-	mallocSeq  int
+	// partitionsShared marks partitions as a compiledFunc's cached map,
+	// which runtime pragmas must copy before mutating (setPartition).
+	partitionsShared bool
+	mallocSeq        int
+	// fnCache memoizes unit.Func lookups for compiled call sites, which
+	// resolve callees by name at runtime so compiled code can be shared
+	// between structure-sharing candidate units.
+	fnCache map[string]*cast.FuncDecl
 }
 
 // New builds an interpreter over u and initializes global storage.
@@ -158,6 +179,7 @@ func (in *Interp) Reset() error {
 		in.Profiles = map[string]*Range{}
 	}
 	in.partitions = map[string]int{}
+	in.partitionsShared = false
 
 	var err error
 	func() {
@@ -367,11 +389,15 @@ func (in *Interp) callFunction(fn *cast.FuncDecl, args []Value, p ctoken.Pos) Va
 		}
 		in.opts.CaptureCall(snap)
 	}
+	if cf := in.compiledFor(fn); cf != nil {
+		return in.callCompiled(cf, fn, args, p)
+	}
 	fr := newFrame(fn.Name)
 	in.bindParams(fr, fn, args, p)
 	in.frames = append(in.frames, fr)
-	prevPart := in.partitions
+	prevPart, prevShared := in.partitions, in.partitionsShared
 	in.partitions = gatherPartitions(fn)
+	in.partitionsShared = false
 	in.addCost(costCall)
 
 	dataflow := hasDataflow(fn)
@@ -381,10 +407,89 @@ func (in *Interp) callFunction(fn *cast.FuncDecl, args []Value, p ctoken.Pos) Va
 		in.execBlock(fn.Body)
 	}
 
-	in.partitions = prevPart
+	in.partitions, in.partitionsShared = prevPart, prevShared
 	ret := fr.retVal
 	in.frames = in.frames[:len(in.frames)-1]
 	return ret
+}
+
+// compiledFor returns the compiled form of fn when the fast path is on
+// and the function compiles (nil otherwise: tree walk).
+func (in *Interp) compiledFor(fn *cast.FuncDecl) *compiledFunc {
+	if in.opts.Code == nil {
+		return nil
+	}
+	cf := in.opts.Code.get(in.unit, fn, in.opts.CodeKey)
+	if cf.fallback {
+		return nil
+	}
+	return cf
+}
+
+// callCompiled is callFunction's compiled-code twin: same frame
+// discipline, same cost and partition accounting, but locals live in a
+// flat slot array instead of scope maps.
+func (in *Interp) callCompiled(cf *compiledFunc, fn *cast.FuncDecl, args []Value, p ctoken.Pos) Value {
+	fr := &frame{fn: fn.Name}
+	in.bindParamsSlots(fr, cf, fn, args, p)
+	in.frames = append(in.frames, fr)
+	prevPart, prevShared := in.partitions, in.partitionsShared
+	in.partitions = cf.parts
+	in.partitionsShared = true
+	in.addCost(costCall)
+
+	if cf.dataflow && in.opts.Mode == FPGA {
+		cf.runDataflow(in, fr)
+	} else {
+		cf.run(in, fr)
+	}
+
+	in.partitions, in.partitionsShared = prevPart, prevShared
+	ret := fr.retVal
+	in.frames = in.frames[:len(in.frames)-1]
+	return ret
+}
+
+// funcOf resolves a function name against the unit, memoized. Compiled
+// call sites resolve callees by name at runtime (instead of baking in a
+// *cast.FuncDecl at compile time) so code compiled for one unit stays
+// correct inside structure-sharing sibling units whose edited functions
+// are fresh declarations.
+func (in *Interp) funcOf(name string) *cast.FuncDecl {
+	if fn, ok := in.fnCache[name]; ok {
+		return fn
+	}
+	if in.fnCache == nil {
+		in.fnCache = map[string]*cast.FuncDecl{}
+	}
+	fn := in.unit.Func(name)
+	in.fnCache[name] = fn
+	return fn
+}
+
+// bindParamsSlots is bindParams for a compiled frame: identical checks,
+// coercions, and profile notes, but bindings land in the flat slot
+// array at the compiler-assigned parameter slots.
+func (in *Interp) bindParamsSlots(fr *frame, cf *compiledFunc, fn *cast.FuncDecl, args []Value, p ctoken.Pos) {
+	if len(args) != len(fn.Params) {
+		in.fail(p, "call to %q with %d args, want %d", fn.Name, len(args), len(fn.Params))
+	}
+	fr.slots = make([]*binding, cf.nslots)
+	for i, prm := range fn.Params {
+		rt := ctypes.Resolve(prm.Type)
+		v := args[i]
+		if arr, isArr := rt.(ctypes.Array); isArr {
+			// Array parameters are pointers under the hood.
+			rt = ctypes.Pointer{Elem: arr.Elem}
+		}
+		obj := &Object{Name: prm.Name, Elem: rt, Elems: []Value{in.coerce(v, rt)}}
+		fr.slots[cf.paramSlots[i]] = &binding{lv: lvalue{obj: obj, declared: rt}, typ: prm.Type, isLV: true}
+		if in.opts.Profile {
+			if v.Kind == VInt {
+				in.noteProfile(fn.Name, prm.Name, v.Int)
+			}
+		}
+	}
 }
 
 // bindParams defines parameter bindings in the new frame.

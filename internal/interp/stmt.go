@@ -408,8 +408,24 @@ func partitionBanks(d PragmaDirective) int {
 func (in *Interp) notePartition(text string) {
 	d := ParsePragma(text)
 	if d.Kind == PragmaArrayPartition && d.Variable != "" {
-		in.partitions[d.Variable] = partitionBanks(d)
+		in.setPartition(d.Variable, partitionBanks(d))
 	}
+}
+
+// setPartition records one array's banking, copying the partition map
+// first when it is the shared compile-time map of a compiledFunc (the
+// compiled partitions are cached per function and shared across frames
+// and interpreters, so runtime pragmas must never write through).
+func (in *Interp) setPartition(name string, banks int) {
+	if in.partitionsShared {
+		m := make(map[string]int, len(in.partitions)+1)
+		for k, v := range in.partitions {
+			m[k] = v
+		}
+		in.partitions = m
+		in.partitionsShared = false
+	}
+	in.partitions[name] = banks
 }
 
 // gatherPartitions collects array_partition pragmas at a function's head.

@@ -151,6 +151,7 @@ func instDeleteDataflow(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 			Class:    hls.ClassDataflow,
 			Target:   name,
 			Note:     "remove dataflow",
+			Scope:    []string{name},
 			Apply: func(u *cast.Unit) error {
 				fn := u.Func(name)
 				if fn == nil {
@@ -201,6 +202,7 @@ func instInsertDataflow(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 			Class:    hls.ClassDataflow,
 			Target:   name,
 			Note:     "insert dataflow",
+			Scope:    []string{name},
 			Apply: func(u *cast.Unit) error {
 				fn := u.Func(name)
 				if fn == nil {
@@ -349,6 +351,7 @@ func instExplorePragmas(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 					Class:    hls.ClassLoopParallel,
 					Target:   fmt.Sprintf("%s#%d", site.fn, site.idx),
 					Note:     fmt.Sprintf("pipeline+unroll factor=%d, partition arrays", f),
+					Scope:    []string{site.fn},
 					Apply:    func(u *cast.Unit) error { return applyExplore(u, site, f) },
 					OnAccept: func(s *State) { s.Applied[key] = true },
 				})
@@ -365,6 +368,7 @@ func instExplorePragmas(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 			Class:    hls.ClassLoopParallel,
 			Target:   fmt.Sprintf("%s#%d", site.fn, site.idx),
 			Note:     "pipeline II=1",
+			Scope:    []string{site.fn},
 			Apply:    func(u *cast.Unit) error { return applyExplore(u, site, 0) },
 			OnAccept: func(s *State) { s.Applied[key] = true },
 		})
@@ -432,6 +436,20 @@ func applyExplore(u *cast.Unit, site loopSite, factor int) error {
 	return nil
 }
 
+// funcNames lists every function declaration's name — the widest valid
+// Scope for body/pragma-only edits that sweep the whole program.
+func funcNames(u *cast.Unit) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range u.Decls {
+		if fn, ok := d.(*cast.FuncDecl); ok && !seen[fn.Name] {
+			seen[fn.Name] = true
+			out = append(out, fn.Name)
+		}
+	}
+	return out
+}
+
 func hasPragmaText(fn *cast.FuncDecl, text string) bool {
 	for _, p := range fn.Pragmas {
 		if p.Text == text {
@@ -461,6 +479,7 @@ func instExploreAll(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 		Class:    hls.ClassLoopParallel,
 		Target:   "program",
 		Note:     "pragma sweep over all loops",
+		Scope:    funcNames(u),
 		Apply: func(u *cast.Unit) error {
 			applied := 0
 			for _, site := range loopSites(u) {
@@ -592,6 +611,7 @@ func instDeleteLoopPragma(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 			Class:    hls.ClassLoopParallel,
 			Target:   fmt.Sprintf("%s#%d", site.fn, site.idx),
 			Note:     "remove loop pragmas",
+			Scope:    []string{site.fn},
 			Apply: func(u *cast.Unit) error {
 				f, w := nthLoop(u, site.fn, site.idx)
 				switch {
@@ -679,6 +699,10 @@ func instTopDeletePragma(u *cast.Unit, d hls.Diagnostic, st *State) []Edit {
 		Class:    hls.ClassTopFunction,
 		Target:   wrong,
 		Note:     "delete top pragma",
+		// The edit filters the pragma list of every function declaration
+		// (and drops top-level PragmaDecls, which only rebuilds the
+		// clone's own Decls slice), so the scope is all functions.
+		Scope: funcNames(u),
 		Apply: func(u *cast.Unit) error {
 			removed := false
 			var kept []cast.Decl

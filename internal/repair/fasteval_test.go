@@ -1,0 +1,262 @@
+package repair
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/hetero/heterogen/internal/cast"
+	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/evalcache"
+)
+
+// slowOptions is DefaultOptions with the fast evaluation path switched
+// off: full clones, printed-text cache keys, per-candidate tree-walking
+// difftest — the exact pre-FastEval pipeline.
+func slowOptions() Options {
+	opts := DefaultOptions()
+	opts.FastEval = false
+	return opts
+}
+
+// TestFastEvalParity is the central contract of the fast evaluation
+// path: for every evaluation subject, the FastEval search returns a
+// Result bit-identical to the slow path — accepted edit sequence,
+// printed program, the whole Stats struct down to the virtual clock —
+// and a byte-identical JSONL trace, for both the sequential and the
+// speculative (Workers=4) search.
+func TestFastEvalParity(t *testing.T) {
+	for _, id := range paritySubjects() {
+		t.Run(id, func(t *testing.T) {
+			orig, initial, kernel, tests := subjectInputs(t, id)
+
+			slow, slowTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, slowOptions())
+
+			fast, fastTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, DefaultOptions())
+			assertIdentical(t, id+"/seq", slow, fast)
+			assertTracesIdentical(t, id+"/seq", slowTrace, fastTrace)
+
+			parOpts := DefaultOptions()
+			parOpts.Workers = 4
+			par, parTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, parOpts)
+			assertIdentical(t, id+"/par", slow, par)
+			assertTracesIdentical(t, id+"/par", slowTrace, parTrace)
+		})
+	}
+}
+
+// TestFastEvalTargetsParity extends the parity contract to multi-target
+// mode: verdict table and Pareto set included.
+func TestFastEvalTargetsParity(t *testing.T) {
+	targets := mustTargets(t, "vivado_hls:xcvu9p", "vivado_hls:zc706", "vitis:aws_f1")
+	for _, id := range []string{"P2", "P6"} {
+		t.Run(id, func(t *testing.T) {
+			orig, initial, kernel, tests := subjectInputs(t, id)
+
+			slowOpts := slowOptions()
+			slowOpts.Targets = targets
+			slow, slowTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, slowOpts)
+
+			fastOpts := DefaultOptions()
+			fastOpts.Targets = targets
+			fast, fastTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, fastOpts)
+
+			assertIdentical(t, id, slow, fast)
+			assertTracesIdentical(t, id, slowTrace, fastTrace)
+			if !reflect.DeepEqual(slow.PerTarget, fast.PerTarget) {
+				t.Errorf("verdict tables diverge:\n  slow: %+v\n  fast: %+v", slow.PerTarget, fast.PerTarget)
+			}
+			if !reflect.DeepEqual(slow.Pareto, fast.Pareto) {
+				t.Errorf("pareto sets diverge: %d vs %d points", len(slow.Pareto), len(fast.Pareto))
+			}
+		})
+	}
+}
+
+// TestFastEvalCacheParity: the fast path keys the eval cache by content
+// fingerprint instead of printed text, so a fresh cache misses cleanly
+// and a warm cache serves the same verdicts. Disabled, cold, and warm
+// runs all match the slow path bit-for-bit, and the warm run must
+// actually hit.
+func TestFastEvalCacheParity(t *testing.T) {
+	for _, id := range []string{"P2", "P6"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", id, workers), func(t *testing.T) {
+				orig, initial, kernel, tests := subjectInputs(t, id)
+
+				slowOpts := slowOptions()
+				slowOpts.Workers = workers
+				slow, slowTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, slowOpts)
+
+				fastOpts := DefaultOptions()
+				fastOpts.Workers = workers
+				plain, plainTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, fastOpts)
+
+				cache, err := evalcache.New(evalcache.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fastOpts.Cache = cache
+				cold, coldTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, fastOpts)
+				before := cache.Stats()
+				warm, warmTrace := tracedSearch(orig, cast.CloneUnit(initial), kernel, tests, fastOpts)
+				if cache.Stats().Sub(before).Hits() == 0 {
+					t.Error("warm fast-path run never hit the cache")
+				}
+
+				assertIdentical(t, "plain", slow, plain)
+				assertIdentical(t, "cold", slow, cold)
+				assertIdentical(t, "warm", slow, warm)
+				assertTracesIdentical(t, "plain", slowTrace, plainTrace)
+				assertTracesIdentical(t, "cold", slowTrace, coldTrace)
+				assertTracesIdentical(t, "warm", slowTrace, warmTrace)
+			})
+		}
+	}
+}
+
+// aliasSrc has several functions, pragmas on declarations and in
+// bodies, and pragma-targetable loops, so the registry produces scoped
+// (structure-sharing) candidates from several templates.
+const aliasSrc = `
+#pragma HLS top name=kernel
+void helper(int a[16], int b[16]) {
+#pragma HLS inline
+    for (int i = 0; i < 16; i++) {
+#pragma HLS pipeline
+        b[i] = a[i] * 3;
+    }
+}
+int other(int x) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) { acc = acc + x; }
+    return acc;
+}
+int kernel(int a[16], int b[16]) {
+#pragma HLS dataflow
+    helper(a, b);
+    int s = 0;
+    for (int i = 0; i < 16; i++) { s = s + b[i]; }
+    return s + other(3);
+}`
+
+// sharesFuncDecl reports whether a and b contain the same *cast.FuncDecl
+// pointer — the signature of a structure-sharing clone.
+func sharesFuncDecl(a, b *cast.Unit) bool {
+	ptrs := map[*cast.FuncDecl]bool{}
+	for _, d := range a.Decls {
+		if f, ok := d.(*cast.FuncDecl); ok {
+			ptrs[f] = true
+		}
+	}
+	for _, d := range b.Decls {
+		if f, ok := d.(*cast.FuncDecl); ok && ptrs[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScopedCloneAliasing is the aliasing-safety contract of
+// structure-sharing candidate construction: generating candidates with
+// FastClone never mutates the parent unit, and generating a second
+// generation of candidates from each candidate never mutates the parent
+// or any sibling — even though all of them share unedited FuncDecl
+// pointers.
+func TestScopedCloneAliasing(t *testing.T) {
+	u := cparser.MustParse(aliasSrc)
+	parentBefore := cast.Print(u)
+
+	st := NewState()
+	st.FastClone = true
+	cands := append(RandomCandidates(u, nil, st), PerfCandidates(u, st)...)
+	if len(cands) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	if got := cast.Print(u); got != parentBefore {
+		t.Fatalf("candidate generation mutated the parent unit:\n--- before ---\n%s\n--- after ---\n%s", parentBefore, got)
+	}
+
+	shared := 0
+	for _, c := range cands {
+		if sharesFuncDecl(u, c.Unit) {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no candidate shares a FuncDecl with the parent — structure sharing is not engaged")
+	}
+	t.Logf("%d/%d candidates share structure with the parent", shared, len(cands))
+
+	snaps := make([]string, len(cands))
+	for i, c := range cands {
+		snaps[i] = cast.Print(c.Unit)
+	}
+
+	// Second generation: grow candidates from every first-generation
+	// candidate. Scoped applies on a child must never write through the
+	// shared decls into the parent or a sibling.
+	for _, c := range cands {
+		st2 := NewState()
+		st2.FastClone = true
+		for _, e := range c.Edits {
+			st2.MarkApplied(e)
+		}
+		RandomCandidates(c.Unit, nil, st2)
+		PerfCandidates(c.Unit, st2)
+	}
+	if got := cast.Print(u); got != parentBefore {
+		t.Fatal("second-generation candidate construction mutated the grandparent unit")
+	}
+	for i, c := range cands {
+		if got := cast.Print(c.Unit); got != snaps[i] {
+			t.Errorf("candidate %d (%v) mutated by a sibling's candidate generation:\n--- before ---\n%s\n--- after ---\n%s",
+				i, c.Edits, snaps[i], got)
+		}
+	}
+}
+
+// TestLineCounterPinsReport pins the ΔLOC numbers the evaluation report
+// renders: the reusable LineCounter agrees with the one-shot
+// EditedLines on known edits, repeated calls do not consume the base
+// multiset, and the exact counts are pinned so a change to line
+// accounting shows up as a diff here, not as silently shifted tables.
+func TestLineCounterPinsReport(t *testing.T) {
+	orig := cparser.MustParse(aliasSrc)
+	lc := NewLineCounter(orig)
+
+	if got := lc.EditedLines(orig); got != 0 {
+		t.Errorf("unedited unit reports %d edited lines, want 0", got)
+	}
+
+	st := NewState()
+	st.FastClone = true
+	cands := RandomCandidates(orig, nil, st)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i, c := range cands {
+		want := EditedLines(orig, c.Unit)
+		if got := lc.EditedLines(c.Unit); got != want {
+			t.Errorf("candidate %d: LineCounter=%d, EditedLines=%d", i, got, want)
+		}
+		// Reuse must be non-destructive: same answer twice.
+		if got := lc.EditedLines(c.Unit); got != want {
+			t.Errorf("candidate %d: second call diverged: %d vs %d", i, got, want)
+		}
+	}
+
+	// Pin exact counts for two hand-made edits.
+	ins := cast.CloneUnit(orig)
+	for _, d := range ins.Decls {
+		if f, ok := d.(*cast.FuncDecl); ok && f.Name == "other" {
+			f.Pragmas = append(f.Pragmas, &cast.Pragma{Text: "HLS INLINE"})
+		}
+	}
+	if got := lc.EditedLines(ins); got != 1 {
+		t.Errorf("one inserted pragma: %d edited lines, want 1", got)
+	}
+	if got := EditedLines(orig, ins); got != 1 {
+		t.Errorf("one inserted pragma (one-shot): %d edited lines, want 1", got)
+	}
+}

@@ -66,6 +66,19 @@ func (c Candidate) Describe() string {
 // short: ➊➌➎ style, length <= 3).
 const maxChainDepth = 3
 
+// cloneFor builds the candidate unit an edit will be applied to: a
+// structure-sharing scoped clone when fast cloning is on and the edit
+// declares its mutation scope, the full deep clone otherwise. Sharing
+// unedited declarations by pointer is what makes candidate construction
+// O(edit) and lets the compiled-code and fingerprint caches reuse work
+// across candidates.
+func cloneFor(u *cast.Unit, e Edit, st *State) *cast.Unit {
+	if st != nil && st.FastClone && len(e.Scope) > 0 {
+		return cast.CloneUnitScoped(u, e.Scope)
+	}
+	return cast.CloneUnit(u)
+}
+
 // CandidatesFor generates dependence-ordered candidate chains for one
 // diagnostic against the current program: for each entry template of the
 // diagnostic's class whose prerequisites are satisfiable, the chain
@@ -100,7 +113,7 @@ func CandidatesFor(u *cast.Unit, d hls.Diagnostic, st *State) []Candidate {
 func expandChains(u *cast.Unit, d hls.Diagnostic, st *State, t Template, prefix []Edit, depth int) []Candidate {
 	var out []Candidate
 	for _, e := range t.Instantiate(u, d, st) {
-		clone := cast.CloneUnit(u)
+		clone := cloneFor(u, e, st)
 		if err := e.Apply(clone); err != nil {
 			continue
 		}
@@ -140,6 +153,7 @@ func (s *State) childWith(e Edit) *State {
 		Applied:   make(map[string]bool, len(s.Applied)+1),
 		Sizes:     make(map[string]int, len(s.Sizes)),
 		TestCount: s.TestCount,
+		FastClone: s.FastClone,
 	}
 	for k, v := range s.Applied {
 		out.Applied[k] = v
@@ -166,7 +180,7 @@ func RandomCandidates(u *cast.Unit, diags []hls.Diagnostic, st *State) []Candida
 	for _, t := range Registry() {
 		for _, d := range all {
 			for _, e := range t.Instantiate(u, d, st) {
-				clone := cast.CloneUnit(u)
+				clone := cloneFor(u, e, st)
 				if err := e.Apply(clone); err != nil {
 					continue
 				}
@@ -242,7 +256,7 @@ func PerfCandidates(u *cast.Unit, st *State) []Candidate {
 		switch t.ID {
 		case "explore_all", "explore", "insert_pragma":
 			for _, e := range t.Instantiate(u, synthetic, st) {
-				clone := cast.CloneUnit(u)
+				clone := cloneFor(u, e, st)
 				if err := e.Apply(clone); err != nil {
 					continue
 				}

@@ -16,6 +16,7 @@ import (
 	"github.com/hetero/heterogen/internal/hls/check"
 	"github.com/hetero/heterogen/internal/hls/sim"
 	"github.com/hetero/heterogen/internal/hls/stylecheck"
+	"github.com/hetero/heterogen/internal/interp"
 	"github.com/hetero/heterogen/internal/obs"
 )
 
@@ -120,6 +121,28 @@ type Options struct {
 	// keeps package defaults. Exhaustion yields inconclusive(timeout)
 	// verdicts, never behaviour mismatches.
 	InterpSteps int64
+	// FastEval enables the high-throughput candidate evaluation path:
+	//
+	//   - candidates whose edits declare a mutation Scope are built as
+	//     structure-sharing clones (cast.CloneUnitScoped) instead of
+	//     full deep clones, so construction costs O(edit);
+	//   - the differential test runs through a per-search Runner that
+	//     computes the CPU reference outcomes once and executes the
+	//     FPGA side on direct-threaded compiled code shared across
+	//     candidates (interp.Codebase, keyed by *cast.FuncDecl
+	//     identity — shared declarations reuse compiled bodies);
+	//   - cache keys derive from incremental content fingerprints
+	//     (cast.Fingerprints) recombined per edit instead of printing
+	//     the whole candidate.
+	//
+	// Results, Stats, and traces are byte-identical to the slow path
+	// for any Workers value, cache temperature, and target set — the
+	// compiled interpreter reproduces tree-walker behaviour exactly
+	// (held to that by the differential belt in internal/interp), the
+	// reference outcomes are deterministic, and fingerprint cache keys
+	// are content-addressed just like printed-text keys. The zero value
+	// keeps the pre-existing evaluation path untouched.
+	FastEval bool
 }
 
 // allows reports whether the options permit templates of class c.
@@ -137,6 +160,7 @@ func DefaultOptions() Options {
 		Seed:            1,
 		MaxIterations:   64,
 		Workers:         1,
+		FastEval:        true,
 	}
 }
 
@@ -198,22 +222,43 @@ type Result struct {
 // EditedLines counts the lines of the repaired program that do not appear
 // in the original (a line-multiset difference) — the paper's ΔLOC metric.
 // In-place retypings count (the line changed) as well as insertions.
+// Callers rendering several ΔLOC figures against one original should use
+// a LineCounter, which prints and splits the original once.
 func EditedLines(original, repaired *cast.Unit) int {
-	origLines := map[string]int{}
+	return NewLineCounter(original).EditedLines(repaired)
+}
+
+// LineCounter precomputes one program's line multiset so repeated ΔLOC
+// renders against the same original do not re-print and re-split it per
+// call. The base multiset is immutable after construction; EditedLines
+// is safe for concurrent use.
+type LineCounter struct {
+	base map[string]int
+}
+
+// NewLineCounter prints the original once and indexes its lines.
+func NewLineCounter(original *cast.Unit) *LineCounter {
+	base := map[string]int{}
 	for _, l := range strings.Split(cast.Print(original), "\n") {
 		l = strings.TrimSpace(l)
 		if l != "" {
-			origLines[l]++
+			base[l]++
 		}
 	}
+	return &LineCounter{base: base}
+}
+
+// EditedLines counts repaired lines absent from the original multiset.
+func (c *LineCounter) EditedLines(repaired *cast.Unit) int {
+	used := map[string]int{}
 	delta := 0
 	for _, l := range strings.Split(cast.Print(repaired), "\n") {
 		l = strings.TrimSpace(l)
 		if l == "" {
 			continue
 		}
-		if origLines[l] > 0 {
-			origLines[l]--
+		if used[l] < c.base[l] {
+			used[l]++
 			continue
 		}
 		delta++
@@ -260,6 +305,13 @@ type searcher struct {
 	targets    []resolvedTarget
 	pareto     []paretoEntry
 	paretoSeen map[string]bool
+	// Fast-evaluation state (Options.FastEval; all nil otherwise):
+	// code is the shared compiled-function cache, fps the per-search
+	// fingerprint memo, runner the reference-caching differential
+	// tester. All three are safe for concurrent worker use.
+	code   *interp.Codebase
+	fps    *cast.Fingerprints
+	runner *difftest.Runner
 }
 
 // Search runs HeteroGen's iterative repair from the initial version
@@ -319,6 +371,12 @@ func SearchContext(ctx context.Context, original, initial *cast.Unit, kernel str
 	}
 	if len(targets) > 0 {
 		s.paretoSeen = map[string]bool{}
+	}
+	if opts.FastEval {
+		s.code = interp.NewCodebase()
+		s.fps = cast.NewFingerprints()
+		s.runner = difftest.NewRunner(original, kernel, cfg, tests, s.code, s.fps)
+		s.state.FastClone = true
 	}
 	if s.cache != nil {
 		if len(targets) > 0 {
@@ -530,9 +588,20 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score,
 		}
 		delayed = true
 	}
+	// printed is the candidate's content key for cache lookups and
+	// guard invocations: its canonical text, or — under FastEval — its
+	// incremental fingerprint, recombined from memoized per-declaration
+	// hashes in O(edit) for structure-sharing clones. Both are pure
+	// functions of the candidate's content, so memoization behaves
+	// identically; the evalcache schema version separates the key
+	// domains across persisted stores.
 	var printed string
 	if s.cache != nil {
-		printed = cast.Print(u)
+		if s.fps != nil {
+			printed = s.fps.Unit(u)
+		} else {
+			printed = cast.Print(u)
+		}
 	}
 
 	sc = score{latencyMS: 1e18}
@@ -606,6 +675,9 @@ func (s *searcher) computeScore(u *cast.Unit) (lines int, simRan bool, sc score,
 		var err error
 		dt, err = guard.Do(s.opts.Guard, guard.Invocation{Stage: guard.StageDifftest, Key: printed, Unit: u},
 			func(cu *cast.Unit) (difftest.Report, error) {
+				if s.runner != nil {
+					return s.runner.Run(cu), nil
+				}
 				return difftest.Run(s.original, cu, s.kernel, s.cfg, s.tests), nil
 			})
 		if sf := guard.AsFailure(err); sf != nil {

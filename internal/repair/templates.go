@@ -46,6 +46,16 @@ type Edit struct {
 	// the unit possibly half-edited — callers apply to clones) when the
 	// shape it expects is absent.
 	Apply func(u *cast.Unit) error
+	// Scope, when non-empty, declares that Apply mutates nothing outside
+	// the bodies and pragma lists of the named functions — no retyping,
+	// no unit-wide branch renumbering, no struct or typedef changes.
+	// Scoped edits qualify for structure-sharing candidate construction
+	// (cast.CloneUnitScoped): the candidate deep-copies only the named
+	// functions and shares every other declaration with its parent by
+	// pointer, which is what lets the compiled-code and fingerprint
+	// caches carry over. Empty means "unknown": the candidate gets a
+	// full deep clone.
+	Scope []string
 	// OnAccept, when non-nil, updates the search state after this edit is
 	// accepted into the current program (e.g. recording chosen sizes so
 	// resize can grow them later).
@@ -73,6 +83,10 @@ type State struct {
 	Sizes map[string]int
 	// TestCount scales simulated validation cost.
 	TestCount int
+	// FastClone enables structure-sharing candidate construction for
+	// edits that declare a Scope (set from Options.FastEval; candidate
+	// generators consult it at their clone sites).
+	FastClone bool
 }
 
 // NewState returns empty bookkeeping.
