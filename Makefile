@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs bench-repair check trace-demo conform-smoke chaos-smoke serve-smoke obs-smoke target-smoke interp-diff-smoke docs-check
+.PHONY: all build test race vet bench bench-parallel bench-cache bench-obs bench-repair check trace-demo conform-smoke chaos-smoke serve-smoke crash-smoke obs-smoke target-smoke interp-diff-smoke docs-check
 
 all: build
 
@@ -86,6 +86,17 @@ chaos-smoke:
 # itself is covered by internal/serve's httptest suite.
 serve-smoke:
 	SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v ./cmd/hgserve
+
+# Crash smoke: the durability kill matrix. Builds the real hgserve
+# binary, SIGKILLs it at injected crash points (mid-journal-append,
+# mid-checkpoint-append, mid-cache-write, mid-drain, plus a hard kill
+# after a terminal job), restarts it on the same -state-dir, and
+# asserts the recovery invariants: the journal always reloads, every
+# 202-acknowledged job is findable, and an interrupted repair resumes
+# to a result and event trace byte-identical to an undisturbed control
+# run. The test harness itself runs under the race detector.
+crash-smoke:
+	CRASH_SMOKE=1 $(GO) test -race -run TestCrashSmoke -v ./cmd/hgserve
 
 # Observability smoke: run a small traced hgconform sweep, ingest the
 # retained traces with the real hgstat binary in two different orders,

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTP server hardening knobs. ReadHeaderTimeout bounds how long a
+// connection may dribble request headers (slowloris); IdleTimeout
+// reaps keep-alive connections between requests. WriteTimeout must
+// stay 0: /v1/jobs/{id}/events is a long-lived NDJSON stream that a
+// write deadline would sever mid-job.
+const (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 120 * time.Second
+)
+
+// newHTTPServer wraps the service handler in an http.Server with the
+// hardening timeouts applied.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}

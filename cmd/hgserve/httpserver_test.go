@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetero/heterogen/internal/serve"
+)
+
+// TestHTTPServerHardening pins the http.Server timeout contract: the
+// slowloris knobs are set, and the deadlines that would sever NDJSON
+// event streams or large request bodies stay off.
+func TestHTTPServerHardening(t *testing.T) {
+	hs := newHTTPServer(nil)
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-header connections are never reaped")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections are never reaped")
+	}
+	if hs.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, must be 0: a write deadline severs long NDJSON event streams", hs.WriteTimeout)
+	}
+	if hs.ReadTimeout != 0 {
+		t.Errorf("ReadTimeout = %v, must be 0: it would also cap streamed responses on the same connection", hs.ReadTimeout)
+	}
+}
+
+// TestTimeoutsKeepEventStreamsAlive runs a job through the hardened
+// server and holds its /events stream open from submission to
+// completion — the regression a misapplied write deadline breaks.
+func TestTimeoutsKeepEventStreamsAlive(t *testing.T) {
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer(srv.Handler())
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	body := fmt.Sprintf(`{"kind":"fuzz","kernel":"top","source":%q,
+		"budget":{"fuzz_execs":500}}`, smokeSource)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+
+	// Attach immediately, while the job is still queued or running: the
+	// stream must survive until the job finishes and then close cleanly.
+	stream, err := (&http.Client{Timeout: 2 * time.Minute}).Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	lines := 0
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		if !json.Valid([]byte(sc.Text())) {
+			t.Fatalf("event line %d is not JSON: %q", lines, sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("event stream severed after %d lines: %v", lines, err)
+	}
+	if lines == 0 {
+		t.Error("event stream delivered no events")
+	}
+}

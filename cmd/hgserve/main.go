@@ -6,7 +6,9 @@
 // Usage:
 //
 //	hgserve [-addr host:port] [-pool n] [-queue n] [-per-client n]
+//	        [-state-dir d] [-drain-timeout d]
 //	        [-cache-dir d] [-cache-shards n] [-cache-capacity n] [-no-cache]
+//	        [-cache-compact-bytes n] [-cache-compact-garbage f]
 //	        [-quarantine-dir d] [-chaos rate] [-chaos-seed n]
 //	        [-max-stage-deadline d] [-max-interp-steps n]
 //	        [-max-fuzz-execs n] [-max-iterations n] [-max-workers n]
@@ -22,6 +24,8 @@
 //	GET    /metrics             counters + histograms (?format=text or
 //	                            ?format=prometheus for scrape exposition)
 //	GET    /healthz             liveness and pool gauges
+//	GET    /readyz              readiness; 503 while replaying the
+//	                            journal, draining, or closed
 //
 // See docs/OPERATIONS.md for the full operator's manual: budget
 // clamps, capacity planning, the metrics catalog, and quarantine
@@ -54,9 +58,13 @@ func main() {
 	pool := flag.Int("pool", 0, "concurrently running jobs (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth; a full queue answers 429 (0 = 4*pool)")
 	perClient := flag.Int("per-client", 8, "max queued+running jobs per client, by X-Client-ID header or remote host (negative disables)")
+	stateDir := flag.String("state-dir", "", "durable state directory: write-ahead job journal + repair checkpoints, replayed on restart (empty disables durability)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight jobs before checkpoint-stopping them")
 	cacheDir := flag.String("cache-dir", "", "persist the shared evaluation cache in this directory (reused across restarts)")
 	cacheShards := flag.Int("cache-shards", 8, "evaluation-cache shard count (concurrent jobs contend per shard, not globally)")
 	cacheCapacity := flag.Int("cache-capacity", 0, "in-memory cache entry bound across all shards (0 = package default)")
+	cacheCompactBytes := flag.Int64("cache-compact-bytes", 0, "compact the persistent cache on open once its files reach this size (0 disables compaction)")
+	cacheCompactGarbage := flag.Float64("cache-compact-garbage", 0.5, "garbage fraction that must also be exceeded before an on-open compaction runs")
 	noCache := flag.Bool("no-cache", false, "disable the shared evaluation cache")
 	quarantineDir := flag.String("quarantine-dir", "", "directory for minimized reproducers of contained stage failures (empty disables)")
 	chaosRate := flag.Float64("chaos", 0, "deterministic fault-injection rate in [0,1] (0 disables; testing only)")
@@ -128,11 +136,13 @@ func main() {
 	if !*noCache {
 		var err error
 		cache, err = evalcache.New(evalcache.Options{
-			Dir:      *cacheDir,
-			Shards:   *cacheShards,
-			Capacity: *cacheCapacity,
-			Metrics:  metrics,
-			Warn:     warn,
+			Dir:             *cacheDir,
+			Shards:          *cacheShards,
+			Capacity:        *cacheCapacity,
+			CompactMinBytes: *cacheCompactBytes,
+			CompactGarbage:  *cacheCompactGarbage,
+			Metrics:         metrics,
+			Warn:            warn,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hgserve:", err)
@@ -149,6 +159,7 @@ func main() {
 		Pool:       *pool,
 		QueueDepth: *queue,
 		PerClient:  *perClient,
+		StateDir:   *stateDir,
 		Limits: serve.Budget{
 			StageDeadlineMS: maxStageDeadline.Milliseconds(),
 			InterpSteps:     *maxInterpSteps,
@@ -176,7 +187,7 @@ func main() {
 	// (and make serve-smoke) parse; keep the format stable.
 	fmt.Printf("hgserve: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -189,6 +200,15 @@ func main() {
 	case <-sig:
 	}
 
+	// Graceful drain: stop admission, let in-flight jobs finish (or
+	// checkpoint-stop them at the deadline), then shut the listener down
+	// and flush everything durable. The order matters — Drain quiesces
+	// the pool and closes the journal before the HTTP server stops
+	// answering status polls.
+	fmt.Fprintln(os.Stderr, "hgserve: draining")
+	if stopped := srv.Drain(*drainTimeout); stopped > 0 {
+		fmt.Fprintf(os.Stderr, "hgserve: checkpoint-stopped %d job(s) at drain deadline\n", stopped)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(shutCtx)

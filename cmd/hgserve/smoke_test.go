@@ -47,6 +47,7 @@ func TestServeSmoke(t *testing.T) {
 	traceDir := filepath.Join(t.TempDir(), "traces")
 	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
 		"-cache-dir", filepath.Join(t.TempDir(), "cache"),
+		"-state-dir", filepath.Join(t.TempDir(), "state"),
 		"-trace-dir", traceDir, "-log", "json", "-pprof-addr", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -62,9 +63,15 @@ func TestServeSmoke(t *testing.T) {
 		go func() { _ = cmd.Wait(); close(done) }()
 		select {
 		case <-done:
+			// A drained shutdown with no in-flight work exits 0; anything
+			// else means the drain path broke.
+			if code := cmd.ProcessState.ExitCode(); code != 0 {
+				t.Errorf("SIGINT drain exited %d, want 0", code)
+			}
 		case <-time.After(15 * time.Second):
 			_ = cmd.Process.Kill()
 			<-done
+			t.Error("daemon did not drain within 15s of SIGINT")
 		}
 	})
 
@@ -81,6 +88,24 @@ func TestServeSmoke(t *testing.T) {
 	go io.Copy(io.Discard, stdout)
 
 	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Startup-line emission follows journal replay, so readiness must
+	// already hold: /readyz answers 200 once the daemon accepts work.
+	resp0, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	var ready struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp0.Body).Decode(&ready); err != nil {
+		t.Fatalf("decoding readyz: %v", err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz = %d %+v, want 200 ready", resp0.StatusCode, ready)
+	}
 
 	for _, kind := range []string{"transpile", "check", "repair", "fuzz"} {
 		body := fmt.Sprintf(`{"kind":%q,"kernel":"top","source":%q,

@@ -82,6 +82,13 @@ type Options struct {
 	// them unset. Nil still contains panics (guard.Do is nil-safe) but
 	// has no deadlines, injection, or quarantine.
 	Guard *guard.Guard
+	// RepairCheckpoint, when non-empty, names the repair search's
+	// write-ahead outcome log (see repair.Options.CheckpointPath): an
+	// interrupted run resumed against the same file yields a Result and
+	// trace byte-identical to an uninterrupted run. It is passed down to
+	// Repair.CheckpointPath unless that is already set. Empty disables
+	// checkpointing.
+	RepairCheckpoint string
 }
 
 // Result is the full pipeline outcome.
@@ -269,6 +276,9 @@ func RunUnitContext(ctx context.Context, orig *cast.Unit, opts Options) (Result,
 	}
 	if ropts.Targets == nil {
 		ropts.Targets = opts.Targets
+	}
+	if ropts.CheckpointPath == "" {
+		ropts.CheckpointPath = opts.RepairCheckpoint
 	}
 	endRepair := phase("repair")
 	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
@@ -592,6 +602,9 @@ func RepairStageContext(ctx context.Context, src string, opts Options) (repair.R
 	}
 	if ropts.Targets == nil {
 		ropts.Targets = opts.Targets
+	}
+	if ropts.CheckpointPath == "" {
+		ropts.CheckpointPath = opts.RepairCheckpoint
 	}
 	rr := repair.SearchContext(ctx, orig, initial, opts.Kernel, tests, ropts)
 	if err := ctx.Err(); err != nil {

@@ -97,6 +97,21 @@ type Options struct {
 	// persistent tier degrades (unopenable directory, failed append).
 	// Emitted at most once per cache.
 	Warn func(string)
+	// CompactMinBytes enables on-open compaction of the persistent
+	// tier: when the entries files total at least this many bytes AND
+	// their garbage fraction (bytes not backing a live entry — stale
+	// overwrites, shard-count leftovers, corrupt lines) reaches
+	// CompactGarbage, the store is rewritten to exactly the live
+	// entries under the current shard count. The rewrite is crash-safe
+	// at every point: new shard images build as invisible .tmp files,
+	// are fsynced, and replace the old files by atomic rename; a kill
+	// anywhere leaves a store that loads every live entry (possibly
+	// duplicated across old and new copies — either is valid, the
+	// content address never lies). 0 disables compaction.
+	CompactMinBytes int64
+	// CompactGarbage is the garbage fraction in [0,1) that triggers
+	// compaction once CompactMinBytes is reached (default 0.5).
+	CompactGarbage float64
 }
 
 // DefaultCapacity is the in-memory LRU bound when Options.Capacity is
@@ -137,6 +152,10 @@ type Stats struct {
 	// the first one the affected shard degrades to in-memory operation:
 	// verdicts stay correct, they just stop persisting.
 	DiskWriteFailures int64 `json:"disk_write_failures,omitempty"`
+	// Compactions counts on-open store rewrites (Options.CompactMinBytes);
+	// CompactedBytes is the total file-size reduction they achieved.
+	Compactions    int64 `json:"compactions,omitempty"`
+	CompactedBytes int64 `json:"compacted_bytes,omitempty"`
 }
 
 // Hits sums hits over all stages.
@@ -165,6 +184,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		DiskSkipped:       s.DiskSkipped - prev.DiskSkipped,
 		EncodeFailures:    s.EncodeFailures - prev.EncodeFailures,
 		DiskWriteFailures: s.DiskWriteFailures - prev.DiskWriteFailures,
+		Compactions:       s.Compactions - prev.Compactions,
+		CompactedBytes:    s.CompactedBytes - prev.CompactedBytes,
 	}
 	for stage, st := range s.Stages {
 		p := prev.Stages[stage]
@@ -192,6 +213,8 @@ func (s Stats) merge(o Stats) Stats {
 		DiskSkipped:       s.DiskSkipped + o.DiskSkipped,
 		EncodeFailures:    s.EncodeFailures + o.EncodeFailures,
 		DiskWriteFailures: s.DiskWriteFailures + o.DiskWriteFailures,
+		Compactions:       s.Compactions + o.Compactions,
+		CompactedBytes:    s.CompactedBytes + o.CompactedBytes,
 	}
 	for _, src := range []Stats{s, o} {
 		for stage, st := range src.Stages {
@@ -261,10 +284,12 @@ type Cache struct {
 	dir     string
 	metrics *obs.Registry
 
-	// diskLoaded / diskSkipped are set once at open, before the cache
-	// is shared.
-	diskLoaded  int64
-	diskSkipped int64
+	// diskLoaded / diskSkipped / compactions / compactedBytes are set
+	// once at open, before the cache is shared.
+	diskLoaded     int64
+	diskSkipped    int64
+	compactions    int64
+	compactedBytes int64
 	// encodeFailures counts Put values that failed to serialize; it is
 	// the one counter incremented before an entry is routed to a shard.
 	encodeFailures atomic.Int64
@@ -317,6 +342,29 @@ func New(opts Options) (*Cache, error) {
 		}
 		c.diskLoaded = int64(len(loaded))
 		c.diskSkipped = skipped
+		// Leftover .tmp images from a compaction a crash interrupted are
+		// dead weight: they were never renamed into place and are always
+		// rebuilt from scratch, so sweep them before deciding anew.
+		removeStaleTmps(opts.Dir)
+		if opts.CompactMinBytes > 0 {
+			garbage := opts.CompactGarbage
+			if garbage <= 0 {
+				garbage = 0.5
+			}
+			if due, before := compactionDue(opts.Dir, loaded, opts.CompactMinBytes, garbage); due {
+				if err := compactDir(opts.Dir, loaded, nshards); err != nil {
+					c.degradeNotice(fmt.Sprintf("evalcache: compaction failed: %v", err))
+				} else {
+					after := storeBytes(opts.Dir)
+					c.compactions = 1
+					c.compactedBytes = before - after
+					if opts.Metrics != nil {
+						opts.Metrics.Add("cache.compactions", 1)
+						opts.Metrics.Add("cache.compacted_bytes", before-after)
+					}
+				}
+			}
+		}
 		for i, sh := range c.shards {
 			sh.disk = map[key]json.RawMessage{}
 			store, err := openAppend(opts.Dir, i)
@@ -342,12 +390,19 @@ func New(opts Options) (*Cache, error) {
 // hash is independent of the sha256 content address' own structure, so
 // any key string — hex or not — distributes.
 func (c *Cache) shardFor(hash string) *shard {
-	if len(c.shards) == 1 {
-		return c.shards[0]
+	return c.shards[shardIndex(hash, len(c.shards))]
+}
+
+// shardIndex is the routing function itself, shared with compaction
+// (which rewrites files under the current shard count before any shard
+// struct exists).
+func shardIndex(hash string, n int) int {
+	if n <= 1 {
+		return 0
 	}
 	h := fnv.New32a()
 	h.Write([]byte(hash))
-	return c.shards[h.Sum32()%uint32(len(c.shards))]
+	return int(h.Sum32() % uint32(n))
 }
 
 // degradeNotice emits the once-per-cache persistence warning and the
@@ -518,6 +573,8 @@ func (c *Cache) Stats() Stats {
 		DiskLoaded:     c.diskLoaded,
 		DiskSkipped:    c.diskSkipped,
 		EncodeFailures: c.encodeFailures.Load(),
+		Compactions:    c.compactions,
+		CompactedBytes: c.compactedBytes,
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"github.com/hetero/heterogen/internal/crashpoint"
 )
 
 // The persistent tier is a set of append-only JSONL files plus a small
@@ -137,6 +139,14 @@ func (s *diskStore) append(k key, raw json.RawMessage) error {
 	line, err := json.Marshal(diskEntry{Stage: k.stage, Hash: k.hash, Val: raw})
 	if err != nil {
 		return err
+	}
+	if crashpoint.Hit("evalcache.append") {
+		// Kill-matrix hook: stage the torn final line a SIGKILL
+		// mid-append leaves (half a record, flushed to the kernel, no
+		// newline) and die without cleanup. The loader must skip it.
+		s.w.Write(line[:len(line)/2])
+		s.w.Flush()
+		crashpoint.Kill()
 	}
 	if _, err := s.w.Write(line); err != nil {
 		return err

@@ -96,6 +96,10 @@ type RunMeta struct {
 	Client        string `json:"client,omitempty"`
 	State         string `json:"state,omitempty"`
 	Partial       bool   `json:"partial,omitempty"`
+	// Resumed marks a job that ran (or re-ran) after a journal replay —
+	// a recovery marker that rides in the sidecar, never in the trace,
+	// so resumed traces stay byte-identical to uninterrupted ones.
+	Resumed bool `json:"resumed,omitempty"`
 	// QueueWaitMS / WallMS are the job's real queue wait and run time.
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	WallMS      float64 `json:"wall_ms,omitempty"`

@@ -118,15 +118,27 @@ func (p *evalPool) chunkSize() int { return p.workers * speculationFactor }
 
 // evaluateBatch computes outcomes for a batch concurrently. predictSkip
 // (optional, called in order on the calling goroutine) previews commit-
-// time dedupe so known-skipped candidates are not scheduled. Outcomes
-// of unscheduled candidates stay zero-valued (computed == false).
-func (p *evalPool) evaluateBatch(s *searcher, batch []Candidate, predictSkip func(Candidate) bool) []evalOutcome {
+// time dedupe so known-skipped candidates are not scheduled. nextIdx is
+// the commit index the batch's first non-skipped candidate will get;
+// candidates whose predicted index the checkpoint log already covers
+// are not scheduled either — the commit loop will replay them. Both
+// predictions are only schedule hints: a misprediction wastes or saves
+// speculative work, never changes what the commit loop decides.
+// Outcomes of unscheduled candidates stay zero-valued (computed ==
+// false).
+func (p *evalPool) evaluateBatch(s *searcher, batch []Candidate, predictSkip func(Candidate) bool, nextIdx int) []evalOutcome {
 	outcomes := make([]evalOutcome, len(batch))
 	var wg sync.WaitGroup
+	idx := nextIdx
 	for i, cand := range batch {
 		if predictSkip != nil && predictSkip(cand) {
 			continue
 		}
+		if s.ckpt.has(idx, cand) {
+			idx++
+			continue
+		}
+		idx++
 		wg.Add(1)
 		p.jobs <- evalJob{s: s, unit: cand.Unit, out: &outcomes[i], wg: &wg}
 	}
@@ -159,7 +171,11 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 			if skip != nil && skip(cand) {
 				continue
 			}
-			if s.commitOutcome(cand, s.safeOutcome(cand.Unit), cur, curScore) {
+			o, replayed := s.ckpt.replay(s.commitIdx, cand)
+			if !replayed {
+				o = s.safeOutcome(cand.Unit)
+			}
+			if s.commitOutcome(cand, o, cur, curScore) {
 				return true
 			}
 		}
@@ -173,7 +189,7 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 		if s.stats.VirtualSeconds >= float64(s.opts.Budget) || s.ctx.Err() != nil {
 			return false
 		}
-		outcomes := s.pool.evaluateBatch(s, batch, predictSkip)
+		outcomes := s.pool.evaluateBatch(s, batch, predictSkip, s.commitIdx)
 		for i, cand := range batch {
 			if s.stats.VirtualSeconds >= float64(s.opts.Budget) || s.ctx.Err() != nil {
 				return false
@@ -182,7 +198,12 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 				continue
 			}
 			o := outcomes[i]
-			if !o.computed {
+			// The checkpoint log is authoritative at the actual commit
+			// index: a replay hit discards any speculative computation of
+			// the same candidate.
+			if ro, replayed := s.ckpt.replay(s.commitIdx, cand); replayed {
+				o = ro
+			} else if !o.computed {
 				// The worker declined the job (budget raced exhausted)
 				// or predictSkip mispredicted; fall back to computing
 				// here so commit semantics never depend on speculation.
@@ -203,6 +224,11 @@ func (s *searcher) evalCandidates(cands []Candidate, skip, predictSkip func(Cand
 // what makes traces byte-identical for any Workers value: workers only
 // buffer outcome data (evalOutcome), never emit.
 func (s *searcher) commitOutcome(cand Candidate, o evalOutcome, cur **cast.Unit, curScore *score) bool {
+	// The outcome becomes durable at the same moment it becomes
+	// accountable (a no-op for replayed indices, which are already on
+	// disk); commitIdx is the log's commit-order cursor.
+	s.ckpt.record(s.commitIdx, cand, o)
+	s.commitIdx++
 	cb := s.chargeOutcome(o)
 	if s.pool != nil {
 		s.pool.commit(s.stats.VirtualSeconds)

@@ -18,6 +18,8 @@ import (
 //	DELETE /v1/jobs/{id}        request cancellation → Status
 //	GET    /metrics             registry JSON (?format=text for humans)
 //	GET    /healthz             liveness + basic gauges
+//	GET    /readyz              readiness: 503 during journal replay,
+//	                            drain, or after close
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -26,6 +28,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -150,6 +153,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
+}
+
+// handleReadyz is the load-balancer readiness gate, distinct from
+// /healthz liveness: the process can be healthy (alive, should not be
+// restarted) while not ready (must not receive new work). Not-ready
+// phases are journal replay at startup, a graceful drain, and the
+// closed end state.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready, draining, closed := s.ready, s.draining, s.closed
+	s.mu.Unlock()
+	reason := ""
+	switch {
+	case closed:
+		reason = "closed"
+	case draining:
+		reason = "draining"
+	case !ready:
+		reason = "replaying_journal"
+	}
+	code := http.StatusOK
+	if reason != "" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ready": reason == "", "reason": reason})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

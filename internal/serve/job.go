@@ -112,6 +112,15 @@ type Job struct {
 	result   *Result
 	errMsg   string
 	failure  *guard.StageFailure
+	// resumed marks a job restored from the write-ahead journal after a
+	// restart (terminal re-report or re-enqueued interrupted job).
+	resumed bool
+	// userCancelled records an explicit DELETE; it outranks a drain
+	// stop when deciding the job's journaled fate.
+	userCancelled bool
+	// drainStop marks a running job the drain deadline stopped: it is
+	// journaled "checkpointed" (resumable), not cancelled.
+	drainStop bool
 }
 
 // ID returns the job's server-assigned identifier.
@@ -139,6 +148,11 @@ type Status struct {
 	CreatedMS  int64 `json:"created_ms"`
 	StartedMS  int64 `json:"started_ms,omitempty"`
 	FinishedMS int64 `json:"finished_ms,omitempty"`
+	// Resumed marks a job restored from the write-ahead journal after a
+	// daemon restart — either re-reported terminal history or a
+	// re-enqueued interrupted job (whose repair search resumes from its
+	// checkpoint with a byte-identical result).
+	Resumed bool `json:"resumed,omitempty"`
 	// Error is the failure description when State is failed.
 	Error string `json:"error,omitempty"`
 	// Failure is the typed contained-stage verdict when the failure was
@@ -164,6 +178,7 @@ func (j *Job) Status() Status {
 		Budget:        j.budget,
 		Events:        j.events.Len(),
 		CreatedMS:     j.created.UnixMilli(),
+		Resumed:       j.resumed,
 		Error:         j.errMsg,
 		Failure:       j.failure,
 		Result:        j.result,

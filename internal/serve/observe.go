@@ -105,6 +105,7 @@ func (s *Server) persistTrace(j *Job, st State, queueWait, wall time.Duration, c
 	if j.result != nil {
 		meta.Partial = j.result.Partial
 	}
+	meta.Resumed = j.resumed
 	j.mu.Unlock()
 	if len(cacheDelta.Stages) > 0 {
 		meta.Cache = &cacheDelta

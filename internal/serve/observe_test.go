@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -148,12 +149,34 @@ func TestRetainedTraceWorkerParity(t *testing.T) {
 	}
 }
 
+// syncBuffer is a mutex-guarded bytes.Buffer: the slog handler writes
+// from worker goroutines while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // TestCorrelationIDThreading: a caller-supplied X-Correlation-ID
 // surfaces in the job status, the structured log, and the retained
 // sidecar.
 func TestCorrelationIDThreading(t *testing.T) {
 	dir := t.TempDir()
-	var logBuf bytes.Buffer
+	// The worker goroutine logs "trace persisted" after the sidecar the
+	// test polls for is visible, so reads of the log must synchronize
+	// with slog's writes.
+	var logBuf syncBuffer
 	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
 	sub := subjectP2(t)
 	_, ts := startServer(t, Options{TraceDir: dir, Logger: logger})

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"github.com/hetero/heterogen/internal/cast"
 	"github.com/hetero/heterogen/internal/core"
 	"github.com/hetero/heterogen/internal/cparser"
+	"github.com/hetero/heterogen/internal/crashpoint"
 	"github.com/hetero/heterogen/internal/evalcache"
 	"github.com/hetero/heterogen/internal/fuzz"
 	"github.com/hetero/heterogen/internal/guard"
@@ -78,13 +81,28 @@ type Options struct {
 	// before starting counts into serve.slo.queue_wait_violations.
 	// Zero disables the counter.
 	QueueWaitSLO time.Duration
+	// evalDelay (test hook, package-internal) rides into every repair
+	// job's repair.Options.EvalDelay so durability tests can pace a
+	// search in real time and interrupt it deterministically mid-run.
+	// It never changes results or traces (EvalDelay is excluded from
+	// the determinism envelope and the checkpoint key).
+	evalDelay time.Duration
+	// StateDir, when set, makes the server crash-recoverable: every job
+	// state transition is appended (fsynced) to a write-ahead journal
+	// under it before the transition is visible to clients, and repair
+	// and transpile jobs checkpoint their search under
+	// <state-dir>/checkpoints/<id>.ckpt. A restarted server replays the
+	// journal: terminal jobs are re-reported, interrupted jobs are
+	// re-enqueued and resume from their checkpoints with byte-identical
+	// results and traces. "" disables durability (today's behavior).
+	StateDir string
 }
 
 // AdmissionError is a rejected submission: the server is over one of
-// its admission bounds. HTTP maps it to status 429 with a Retry-After
-// header.
+// its admission bounds or shutting down. HTTP maps it to status 429
+// with a Retry-After header.
 type AdmissionError struct {
-	Reason     string        // "queue_full" or "client_cap"
+	Reason     string        // "queue_full", "client_cap", or "draining"
 	RetryAfter time.Duration // suggested client backoff
 }
 
@@ -106,6 +124,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	queue   chan *Job
 
+	// journal is the write-ahead job log (nil without Options.StateDir).
+	journal *journal
+	// drainCh closes when a graceful drain starts: idle workers exit
+	// and no further queued jobs are dequeued.
+	drainCh chan struct{}
+
 	// gate, when non-nil, makes workers wait for one token per job
 	// before executing — a test hook for deterministic backpressure.
 	gate chan struct{}
@@ -116,12 +140,31 @@ type Server struct {
 	inflight map[string]int
 	nextID   int64
 	closed   bool
+	draining bool
+	ready    bool
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. With
+// Options.StateDir set, the state journal is replayed first: terminal
+// jobs reappear as reportable history and interrupted ones are
+// re-enqueued before the pool starts. Until replay completes the
+// server reports not-ready (GET /readyz → 503).
 func New(opts Options) *Server {
 	s := newServer(opts)
+	if opts.StateDir != "" {
+		if err := s.recover(); err != nil {
+			s.metrics.Add("serve.recovery.errors", 1)
+			s.logger().Error("state recovery failed; running without durability",
+				"state_dir", opts.StateDir, "error", err)
+			if opts.Warn != nil {
+				opts.Warn(fmt.Sprintf("serve: state recovery failed, durability disabled: %v", err))
+			}
+		}
+	}
 	s.start()
+	s.mu.Lock()
+	s.ready = true
+	s.mu.Unlock()
 	return s
 }
 
@@ -158,9 +201,98 @@ func newServer(opts Options) *Server {
 		queue:    make(chan *Job, opts.QueueDepth),
 		jobs:     map[string]*Job{},
 		inflight: map[string]int{},
+		drainCh:  make(chan struct{}),
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	return s
+}
+
+// recover replays the write-ahead journal under Options.StateDir.
+func (s *Server) recover() error {
+	dir := s.opts.StateDir
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+		return err
+	}
+	jn, entries, err := openJournal(dir)
+	if err != nil {
+		return err
+	}
+	s.journal = jn
+	s.nextID = maxJobID(entries)
+
+	var requeue []*Job
+	for _, e := range entries {
+		targets, terr := hls.ParseTargets(e.req.Targets)
+		if terr != nil {
+			// The target set validated at submission; a parse failure now
+			// means the server's backend registry shrank. Surface it as a
+			// failed job rather than dropping the id.
+			e.state, e.errMsg = StateFailed, fmt.Sprintf("serve: recovery: %v", terr)
+		}
+		if len(targets) == 0 {
+			targets = s.opts.DefaultTargets
+		}
+		j := &Job{
+			id:      e.id,
+			kind:    e.req.Kind,
+			client:  e.client,
+			corr:    e.corr,
+			budget:  e.req.Budget.fill(s.defaults).clampTo(s.limits),
+			req:     e.req,
+			targets: targets,
+			events:  newEventLog(),
+			created: time.UnixMilli(e.acceptedMS),
+			resumed: true,
+		}
+		if j.corr == "" {
+			j.corr = j.id
+		}
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+		if e.state.Terminal() {
+			j.state = e.state
+			j.result = e.result
+			j.errMsg = e.errMsg
+			j.failure = e.failure
+			j.finished = time.UnixMilli(e.lastMS)
+			j.events.finish()
+			j.cancel()
+			s.metrics.Add("serve.recovery.terminal_reloaded", 1)
+		} else {
+			// accepted / queued / running / checkpointed: run (again).
+			// Checkpointed searches resume from <id>.ckpt byte-identically.
+			j.state = StateQueued
+			requeue = append(requeue, j)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+
+	// The restored backlog may exceed the configured queue depth; size
+	// the channel to hold all of it (workers have not started yet).
+	if len(requeue) > cap(s.queue) {
+		s.queue = make(chan *Job, len(requeue)+s.opts.QueueDepth)
+	}
+	for _, j := range requeue {
+		s.queue <- j
+		s.inflight[j.client]++
+		s.metrics.Add("serve.queue.depth", 1)
+		s.metrics.Add("serve.recovery.jobs_requeued", 1)
+		s.jobLogger(j).Info("job requeued from journal")
+	}
+	if n := len(entries); n > 0 {
+		s.logger().Info("journal replayed",
+			"jobs", n, "requeued", len(requeue), "state_dir", dir)
+	}
+	return nil
+}
+
+// checkpointPath is the per-job repair checkpoint file ("" without a
+// state dir).
+func (s *Server) checkpointPath(j *Job) string {
+	if s.opts.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.StateDir, "checkpoints", j.id+".ckpt")
 }
 
 // start launches the worker pool.
@@ -179,6 +311,74 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	s.journal.close()
+}
+
+// Drain gracefully quiesces the server for shutdown:
+//
+//  1. Admission stops — new submissions get 429 "draining" and
+//     GET /readyz turns 503 — and workers stop dequeuing, so queued
+//     jobs stay journaled "accepted" for the next process to run.
+//  2. Running jobs get up to timeout to finish normally (their
+//     terminal records journal as usual).
+//  3. Jobs still running at the deadline are stopped at their next
+//     commit point and journaled "checkpointed": a restart re-enqueues
+//     them and their searches resume from checkpoint files with
+//     byte-identical results.
+//  4. The journal is fsynced and closed.
+//
+// Drain is idempotent; it does not cancel the server's base context
+// (call Close afterwards to release the job records). Returns the
+// number of jobs that were checkpoint-stopped.
+func (s *Server) Drain(timeout time.Duration) int {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		close(s.drainCh)
+	}
+	s.logger().Info("drain started", "timeout", timeout.String())
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	stopped := 0
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Deadline: checkpoint-stop whatever is still running. The
+		// cancellation lands at the search's next commit point; the
+		// outcome log already holds everything committed before it.
+		s.mu.Lock()
+		var running []*Job
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j == nil {
+				continue
+			}
+			j.mu.Lock()
+			if j.state == StateRunning {
+				j.drainStop = true
+				running = append(running, j)
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		for _, j := range running {
+			s.jobLogger(j).Info("drain checkpoint-stopping job")
+			j.cancel()
+		}
+		stopped = len(running)
+		<-done
+	}
+	crashpoint.Here("serve.drain")
+	s.journal.close()
+	s.metrics.Add("serve.drain.checkpoint_stopped", int64(stopped))
+	s.logger().Info("drain complete", "checkpoint_stopped", stopped)
+	return stopped
 }
 
 // Metrics exposes the server's registry (for embedding callers).
@@ -219,6 +419,12 @@ func (s *Server) SubmitWithCorrelation(req Request, client, corr string) (*Job, 
 	if s.closed {
 		return nil, fmt.Errorf("serve: server closed")
 	}
+	if s.draining {
+		s.metrics.Add("serve.jobs.rejected.draining", 1)
+		s.logger().Warn("admission rejected", "reason", "draining",
+			"client", client, "correlation_id", corr)
+		return nil, &AdmissionError{Reason: "draining", RetryAfter: s.opts.RetryAfter}
+	}
 	if s.opts.PerClient > 0 && s.inflight[client] >= s.opts.PerClient {
 		s.metrics.Add("serve.jobs.rejected.client_cap", 1)
 		s.metrics.Add("serve.slo.overload_rejections", 1)
@@ -258,8 +464,29 @@ func (s *Server) SubmitWithCorrelation(req Request, client, corr string) (*Job, 
 	s.metrics.Add("serve.jobs.submitted", 1)
 	s.metrics.Add("serve.queue.depth", 1)
 	s.evictLocked()
+	// The admission becomes durable before the caller sees it: the
+	// journal line (request payload included) is fsynced here, so a
+	// crash any time after the 202 cannot lose the job.
+	s.journalAppend(journalRecord{ID: j.id, State: stateAccepted,
+		Client: client, Corr: j.corr, Req: &req, MS: j.created.UnixMilli()})
 	s.jobLogger(j).Info("job admitted", "queue_depth", len(s.queue))
 	return j, nil
+}
+
+// journalAppend writes one record to the write-ahead journal (no-op
+// without a state dir). Append failures degrade durability, never
+// availability: they log and count, and the job proceeds in memory.
+func (s *Server) journalAppend(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.metrics.Add("serve.journal.append_errors", 1)
+		s.logger().Error("journal append failed", "job", rec.ID,
+			"state", string(rec.State), "error", err)
+		return
+	}
+	s.metrics.Add("serve.journal.appends", 1)
 }
 
 // evictLocked drops the oldest terminal jobs past the retention bound.
@@ -295,19 +522,35 @@ func (s *Server) Cancel(id string) bool {
 	if j == nil {
 		return false
 	}
-	j.cancel()
 	j.mu.Lock()
+	// userCancelled distinguishes an explicit DELETE from a drain stop:
+	// a drain journals "checkpointed" (resumable), a user cancellation
+	// journals "cancelled" (terminal) — the user's intent wins the race.
+	j.userCancelled = true
 	wasQueued := j.state == StateQueued
 	if wasQueued {
 		j.state = StateCancelled
 		j.finished = time.Now()
 	}
 	j.mu.Unlock()
+	j.cancel()
 	if wasQueued {
+		// A second DELETE finds the job already terminal (wasQueued
+		// false), so the journal line and accounting stay exactly-once.
+		s.journalAppend(record(j, StateCancelled))
 		j.events.finish()
 		s.finishAccounting(j, StateCancelled)
+		s.removeCheckpoint(j)
 	}
 	return true
+}
+
+// removeCheckpoint deletes a terminal job's repair checkpoint file —
+// nothing will ever resume it.
+func (s *Server) removeCheckpoint(j *Job) {
+	if p := s.checkpointPath(j); p != "" {
+		os.Remove(p)
+	}
 }
 
 // finishAccounting releases the client's in-flight slot and counts the
@@ -324,25 +567,42 @@ func (s *Server) finishAccounting(j *Job, st State) {
 	s.metrics.Add("serve.jobs."+string(st), 1)
 }
 
-// worker drains the queue until the server closes.
+// worker drains the queue until the server closes or drains.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.baseCtx.Done():
 			return
+		case <-s.drainCh:
+			return
 		case j := <-s.queue:
+			// The select picks randomly among ready cases, so re-check:
+			// once a drain starts no queued job may begin running. The
+			// dequeued job stays "accepted" in the journal and runs after
+			// restart; its in-memory state stays queued until shutdown.
+			if s.isDraining() {
+				return
+			}
 			s.metrics.Add("serve.queue.depth", -1)
 			if s.gate != nil {
 				select {
 				case <-s.gate:
 				case <-s.baseCtx.Done():
 					return
+				case <-s.drainCh:
+					return
 				}
 			}
 			s.runJob(j)
 		}
 	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // runJob executes one dequeued job through its terminal transition.
@@ -357,6 +617,7 @@ func (s *Server) runJob(j *Job) {
 	j.started = time.Now()
 	queueWait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	s.journalAppend(record(j, StateRunning))
 	s.metrics.Add("serve.jobs.running", 1)
 	s.metrics.Observe("serve.queue_wait_ms", float64(queueWait.Milliseconds()))
 	if s.opts.QueueWaitSLO > 0 && queueWait > s.opts.QueueWaitSLO {
@@ -390,6 +651,12 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	j.mu.Lock()
+	// A drain stop is not a cancellation: the journal keeps the job
+	// resumable ("checkpointed") so a restart re-runs it from its
+	// checkpoint, while the in-memory record for this process's clients
+	// reads cancelled-with-partial. An explicit user DELETE that raced
+	// the drain wins — the job stays terminal across the restart.
+	drainStopped := j.drainStop && !j.userCancelled && j.ctx.Err() != nil && st != StateDone
 	j.state = st
 	j.result = res
 	j.errMsg = msg
@@ -397,6 +664,14 @@ func (s *Server) runJob(j *Job) {
 	j.finished = time.Now()
 	wall := j.finished.Sub(j.started)
 	j.mu.Unlock()
+	if drainStopped {
+		s.journalAppend(record(j, stateCheckpointed))
+	} else {
+		rec := record(j, st)
+		rec.Result, rec.Error, rec.Failure = res, msg, failure
+		s.journalAppend(rec)
+		s.removeCheckpoint(j)
+	}
 	j.events.finish()
 	j.cancel()
 	s.metrics.Add("serve.jobs.running", -1)
@@ -465,6 +740,10 @@ func (s *Server) execute(j *Job) (res *Result, err error) {
 		Obs:      sink,
 		Cache:    s.opts.Cache,
 		Guard:    g,
+		// With a state dir, the repair search write-ahead-logs its
+		// outcomes per job id: a drained or crashed job re-runs to a
+		// byte-identical result and trace by replaying this file.
+		RepairCheckpoint: s.checkpointPath(j),
 	}
 	copts.Fuzz = fuzz.DefaultOptions()
 	copts.Fuzz.MaxExecs = j.budget.FuzzExecs
@@ -473,6 +752,7 @@ func (s *Server) execute(j *Job) (res *Result, err error) {
 	}
 	copts.Repair = repair.DefaultOptions()
 	copts.Repair.MaxIterations = j.budget.MaxIterations
+	copts.Repair.EvalDelay = s.opts.evalDelay
 	if j.req.Seed != 0 {
 		copts.Repair.Seed = j.req.Seed
 	}
